@@ -1,0 +1,183 @@
+// Command advm-run executes a DSL program file on the adaptive VM.
+//
+// External arrays are declared on the command line:
+//
+//	-in  name=kind:v1,v2,v3   bind an input array with values
+//	-in  name=kind:zeros(N)   bind N zeroed values
+//	-out name=kind            bind an (initially empty) output array,
+//	                          printed after the run
+//
+// Example — the paper's Figure 2 program:
+//
+//	advm-run -in 'some_data=i64:zeros(4096)' -out v=i64 -out w=i64 \
+//	         -runs 4 -transitions testdata/figure2.advm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/vector"
+)
+
+type bindFlag struct {
+	specs *[]string
+}
+
+func (b bindFlag) String() string { return "" }
+func (b bindFlag) Set(s string) error {
+	*b.specs = append(*b.specs, s)
+	return nil
+}
+
+func main() {
+	var ins, outs []string
+	flag.Var(bindFlag{&ins}, "in", "input binding name=kind:values")
+	flag.Var(bindFlag{&outs}, "out", "output binding name=kind")
+	runs := flag.Int("runs", 1, "number of executions (later runs exercise compiled traces)")
+	showTransitions := flag.Bool("transitions", false, "print the VM state-machine log")
+	showPlan := flag.Bool("plan", false, "print the final execution plan")
+	showProfile := flag.Bool("profile", false, "print per-instruction profile")
+	showIR := flag.Bool("ir", false, "print the normalized IR and exit")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: advm-run [flags] program.advm")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	ext := map[string]*vector.Vector{}
+	kinds := map[string]vector.Kind{}
+	for _, spec := range ins {
+		name, v, err := parseBinding(spec)
+		if err != nil {
+			fatal(err)
+		}
+		ext[name] = v
+		kinds[name] = v.Kind()
+	}
+	var outNames []string
+	for _, spec := range outs {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -out %q (want name=kind)", spec))
+		}
+		kind, err := vector.ParseKind(parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		ext[parts[0]] = vector.New(kind, 0, 0)
+		kinds[parts[0]] = kind
+		outNames = append(outNames, parts[0])
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Sync = true
+	cfg.HotCalls = 2
+	prog, err := core.Compile(string(src), kinds, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *showIR {
+		fmt.Print(prog.IR.String())
+		return
+	}
+	for r := 0; r < *runs; r++ {
+		for _, name := range outNames {
+			ext[name].SetLen(0)
+		}
+		if err := prog.Run(ext); err != nil {
+			fatal(err)
+		}
+	}
+	for _, name := range outNames {
+		fmt.Printf("%s = %s\n", name, ext[name])
+	}
+	if *showTransitions {
+		fmt.Println("\nstate machine transitions:")
+		for _, tr := range prog.Transitions() {
+			fmt.Printf("  %v\n", tr)
+		}
+	}
+	if *showPlan {
+		fmt.Println("\nexecution plan:")
+		fmt.Print(prog.PlanReport())
+	}
+	if *showProfile {
+		fmt.Println()
+		fmt.Print(prog.Profile().String())
+	}
+}
+
+func parseBinding(spec string) (string, *vector.Vector, error) {
+	eq := strings.IndexByte(spec, '=')
+	colon := strings.IndexByte(spec, ':')
+	if eq < 0 || colon < eq {
+		return "", nil, fmt.Errorf("bad -in %q (want name=kind:values)", spec)
+	}
+	name := spec[:eq]
+	kind, err := vector.ParseKind(spec[eq+1 : colon])
+	if err != nil {
+		return "", nil, err
+	}
+	valSpec := spec[colon+1:]
+	if strings.HasPrefix(valSpec, "zeros(") && strings.HasSuffix(valSpec, ")") {
+		n, err := strconv.Atoi(valSpec[6 : len(valSpec)-1])
+		if err != nil {
+			return "", nil, err
+		}
+		return name, vector.NewLen(kind, n), nil
+	}
+	if strings.HasPrefix(valSpec, "iota(") && strings.HasSuffix(valSpec, ")") {
+		n, err := strconv.Atoi(valSpec[5 : len(valSpec)-1])
+		if err != nil {
+			return "", nil, err
+		}
+		v := vector.NewLen(kind, n)
+		for i := 0; i < n; i++ {
+			v.Set(i, vector.IntValue(kind, int64(i)))
+		}
+		return name, v, nil
+	}
+	var vals []string
+	if valSpec != "" {
+		vals = strings.Split(valSpec, ",")
+	}
+	v := vector.New(kind, 0, len(vals))
+	for _, s := range vals {
+		s = strings.TrimSpace(s)
+		switch kind {
+		case vector.F64:
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return "", nil, err
+			}
+			v.AppendValue(vector.F64Value(f))
+		case vector.Bool:
+			v.AppendValue(vector.BoolValue(s == "true"))
+		case vector.Str:
+			v.AppendValue(vector.StrValue(s))
+		default:
+			i, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return "", nil, err
+			}
+			v.AppendValue(vector.IntValue(kind, i))
+		}
+	}
+	return name, v, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "advm-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command tpch-gen generates the synthetic TPC-H-style tables as CSV for
+// inspection or external use.
+//
+//	tpch-gen -sf 0.01 -table lineitem > lineitem.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tpch"
+	"repro/internal/vector"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor (1.0 = 6M lineitem rows)")
+	table := flag.String("table", "lineitem", "table to generate: lineitem or orders")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	var st *vector.DSMStore
+	switch *table {
+	case "lineitem":
+		st = tpch.GenLineitem(*sf, *seed)
+	case "orders":
+		st = tpch.GenOrders(*sf, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "tpch-gen: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	sch := st.Schema()
+	for i, name := range sch.Names {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprint(w, name)
+	}
+	fmt.Fprintln(w)
+	for r := 0; r < st.Rows(); r++ {
+		for c := range sch.Names {
+			if c > 0 {
+				fmt.Fprint(w, ",")
+			}
+			v := st.Col(c).Get(r)
+			switch v.Kind {
+			case vector.Str:
+				fmt.Fprint(w, v.S)
+			case vector.F64:
+				fmt.Fprintf(w, "%.2f", v.F)
+			default:
+				fmt.Fprint(w, v.I)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

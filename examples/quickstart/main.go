@@ -1,0 +1,61 @@
+// Quickstart: run the paper's Figure 2 program on the adaptive VM.
+//
+// The program reads some_data, doubles every value into v, and writes the
+// positive doubles consecutively into w. The VM starts interpreting,
+// profiles the loop body, greedily partitions its dependency graph
+// (Figure 3), JIT-compiles the two fragments and injects them — all visible
+// in the printed transition log and plan report.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/vector"
+)
+
+func main() {
+	fmt.Printf("pre-compiled vectorized kernels available at startup: %d\n\n", core.KernelCount())
+	fmt.Println("Figure 2 program:")
+	fmt.Print(dsl.Figure2Source)
+
+	cfg := core.DefaultConfig()
+	cfg.Sync = true // optimize between runs for a deterministic demo
+	cfg.HotCalls = 2
+	prog, err := core.Compile(dsl.Figure2Source, map[string]vector.Kind{
+		"some_data": vector.I64, "v": vector.I64, "w": vector.I64,
+	}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	data := make([]int64, 4096)
+	for i := range data {
+		data[i] = int64(i%7 - 3)
+	}
+
+	run := func(label string) {
+		v := vector.New(vector.I64, 0, 4096)
+		w := vector.New(vector.I64, 0, 4096)
+		if err := prog.Run(map[string]*vector.Vector{
+			"some_data": vector.FromI64(data), "v": v, "w": w,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: v=%s  w=%s (|w|=%d)\n", label, v, w, w.Len())
+	}
+
+	run("run 1 (interpreted)")
+	run("run 2 (hot: compiled traces injected)")
+
+	fmt.Println("\nVM state machine (Figure 1) transitions:")
+	for _, tr := range prog.Transitions() {
+		fmt.Printf("  %v\n", tr)
+	}
+	fmt.Println("\ncurrent plan:")
+	fmt.Print(prog.PlanReport())
+}

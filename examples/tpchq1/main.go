@@ -1,0 +1,69 @@
+// TPC-H Q1 under four execution strategies inside the same framework —
+// the paper's plan-step-1 goal ("the same system to be able to either use
+// vectorized execution, or tuple-at-a-time JIT compilation, as such
+// mimicking the MonetDB/X100 and HyPer approaches inside the same
+// framework") plus the [12] optimization mix and the adaptive VM.
+//
+// Run: go run ./examples/tpchq1 [-sf 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/jit"
+	"repro/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor (1.0 = 6M rows)")
+	flag.Parse()
+
+	fmt.Printf("generating lineitem at SF %.3f …\n", *sf)
+	st := tpch.GenLineitem(*sf, 42)
+	cl := tpch.Compact(st)
+	fmt.Printf("%d rows\n\n", st.Rows())
+
+	timeIt := func(label string, f func() (tpch.Q1Result, error)) tpch.Q1Result {
+		start := time.Now()
+		res, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("%-42s %10v\n", label, time.Since(start).Round(time.Microsecond))
+		return res
+	}
+
+	ref := timeIt("tuple-at-a-time compiled (HyPer-style)", func() (tpch.Q1Result, error) {
+		return tpch.Q1HyPer(st, tpch.Q1Cutoff), nil
+	})
+	vect := timeIt("vectorized interpreted (X100-style)", func() (tpch.Q1Result, error) {
+		return tpch.Q1Engine(st, tpch.Q1Cutoff, tpch.Q1Options{JIT: false, PreAgg: engine.PreAggOff})
+	})
+	opt := timeIt("vectorized + compact types + pre-agg [12]", func() (tpch.Q1Result, error) {
+		return tpch.Q1Compact(cl, tpch.Q1Cutoff), nil
+	})
+	adaptive := timeIt("adaptive VM (vectorized + JIT traces)", func() (tpch.Q1Result, error) {
+		return tpch.Q1Engine(st, tpch.Q1Cutoff, tpch.Q1Options{
+			JIT: true, JITOpt: jit.Options{CompileLatency: jit.DefaultCompileLatency},
+		})
+	})
+
+	for _, pair := range []struct {
+		name string
+		res  tpch.Q1Result
+	}{{"vectorized", vect}, {"compact", opt}, {"adaptive", adaptive}} {
+		if err := ref.Equal(pair.res, 1e-9); err != nil {
+			log.Fatalf("%s strategy disagrees: %v", pair.name, err)
+		}
+	}
+
+	fmt.Println("\nall strategies agree; result:")
+	for _, g := range ref {
+		fmt.Printf("  %s|%s  sum_qty=%-9d count=%-8d sum_charge=%.2f\n",
+			g.Returnflag, g.Linestatus, g.SumQty, g.CountOrder, g.SumCharge)
+	}
+}

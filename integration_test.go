@@ -1,0 +1,101 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/engine"
+	"repro/internal/jit"
+	"repro/internal/tpch"
+	"repro/internal/vector"
+)
+
+// TestEndToEndFigure2AllExecutionModes is the repo-level integration test:
+// the paper's example program must produce identical results interpreted,
+// compiled synchronously, and compiled by the background optimizer mid-run.
+func TestEndToEndFigure2AllExecutionModes(t *testing.T) {
+	kinds := map[string]vector.Kind{"some_data": vector.I64, "v": vector.I64, "w": vector.I64}
+	data := make([]int64, 4096)
+	for i := range data {
+		data[i] = int64(i%13 - 6)
+	}
+	run := func(cfg core.Config, runs int) (*vector.Vector, *vector.Vector) {
+		p := core.MustCompile(dsl.Figure2Source, kinds, cfg)
+		var v, w *vector.Vector
+		for r := 0; r < runs; r++ {
+			v = vector.New(vector.I64, 0, 4096)
+			w = vector.New(vector.I64, 0, 4096)
+			if err := p.Run(map[string]*vector.Vector{
+				"some_data": vector.FromI64(data), "v": v, "w": w,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return v, w
+	}
+
+	interpCfg := core.DefaultConfig()
+	interpCfg.Sync = true
+	interpCfg.HotCalls = 1 << 62
+	interpCfg.HotNanos = 1 << 62
+	vI, wI := run(interpCfg, 1)
+
+	syncCfg := core.DefaultConfig()
+	syncCfg.Sync = true
+	syncCfg.HotCalls = 2
+	syncCfg.JIT.CompileLatency = jit.NoCompileLatency
+	vS, wS := run(syncCfg, 3)
+
+	asyncCfg := core.DefaultConfig()
+	asyncCfg.HotCalls = 2
+	asyncCfg.JIT.CompileLatency = jit.NoCompileLatency
+	vA, wA := run(asyncCfg, 5)
+
+	if !vI.Equal(vS) || !wI.Equal(wS) {
+		t.Fatal("sync-compiled output differs from interpreted")
+	}
+	if !vI.Equal(vA) || !wI.Equal(wA) {
+		t.Fatal("async-compiled output differs from interpreted")
+	}
+	// Spot-check semantics against the figure's specification.
+	if vI.Len() != 4096 {
+		t.Fatalf("v length %d", vI.Len())
+	}
+	wantW := 0
+	for i := 0; i < 4096; i++ {
+		d := 2 * data[i]
+		if vI.I64()[i] != d {
+			t.Fatalf("v[%d] = %d, want %d", i, vI.I64()[i], d)
+		}
+		if d > 0 {
+			wantW++
+		}
+	}
+	if wI.Len() != wantW {
+		t.Fatalf("w length %d, want %d", wI.Len(), wantW)
+	}
+}
+
+// TestEndToEndQ6AllStrategies ties the relational layer to the VM: Q6 must
+// agree between the hand-compiled loop and the engine with and without JIT,
+// across evaluation flavors.
+func TestEndToEndQ6AllStrategies(t *testing.T) {
+	st := tpch.GenLineitem(0.002, 99)
+	p := tpch.DefaultQ6Params()
+	want := tpch.Q6HyPer(st, p.ShipLo, p.ShipHi, p.DiscLo, p.DiscHi, p.QtyMax)
+	for _, mode := range []engine.EvalMode{engine.EvalFull, engine.EvalSelective, engine.EvalAdaptive} {
+		for _, useJIT := range []bool{false, true} {
+			got, err := tpch.Q6Engine(st, p, tpch.Q1Options{
+				JIT: useJIT, JITOpt: jit.Options{CompileLatency: jit.NoCompileLatency}, Mode: mode,
+			})
+			if err != nil {
+				t.Fatalf("mode=%v jit=%v: %v", mode, useJIT, err)
+			}
+			rel := (got - want) / want
+			if rel < -1e-9 || rel > 1e-9 {
+				t.Fatalf("mode=%v jit=%v: %v vs %v", mode, useJIT, got, want)
+			}
+		}
+	}
+}

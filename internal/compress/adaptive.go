@@ -1,0 +1,91 @@
+package compress
+
+import (
+	"time"
+)
+
+// AdaptiveScanner mirrors the VM's compressed-execution behaviour (§III-C)
+// at the storage layer: for each block it looks up a specialized executor
+// for the block's compression scheme. On the first encounter of a scheme it
+// "falls back to decompression and interpretation" and starts a (simulated)
+// compilation of the specialized path; once compiled, subsequent blocks of
+// that scheme run the compressed-execution kernel directly.
+type AdaptiveScanner struct {
+	// CompileLatency models specialization cost per scheme (nil = free).
+	CompileLatency func() time.Duration
+
+	specialized map[Scheme]bool
+	pending     map[Scheme]time.Time
+	scratch     []int64
+
+	// Stats.
+	Fallbacks   int // blocks processed through decompress+interpret
+	Specialized int // blocks processed through compressed execution
+	Compiles    int // specializations performed
+}
+
+// NewAdaptiveScanner creates a scanner with the given specialization cost.
+func NewAdaptiveScanner(compileLatency func() time.Duration) *AdaptiveScanner {
+	return &AdaptiveScanner{
+		CompileLatency: compileLatency,
+		specialized:    map[Scheme]bool{},
+		pending:        map[Scheme]time.Time{},
+	}
+}
+
+// SumGreater computes Σ{v : v > x} over the column, adaptively per block.
+func (s *AdaptiveScanner) SumGreater(col *Column, x int64) int64 {
+	var total int64
+	for _, b := range col.blocks {
+		if s.ready(b.Scheme()) {
+			s.Specialized++
+			total += b.SumGreater(x)
+			continue
+		}
+		// Fallback: decompress and interpret.
+		s.Fallbacks++
+		if cap(s.scratch) < b.Len() {
+			s.scratch = make([]int64, b.Len())
+		}
+		buf := s.scratch[:b.Len()]
+		b.Decompress(buf)
+		for _, v := range buf {
+			if v > x {
+				total += v
+			}
+		}
+	}
+	return total
+}
+
+// ready reports whether the specialized path for a scheme is available,
+// starting (and accounting) the specialization when the scheme is new.
+func (s *AdaptiveScanner) ready(sc Scheme) bool {
+	if s.specialized[sc] {
+		return true
+	}
+	if started, ok := s.pending[sc]; ok {
+		// Asynchronous compilation finishes after the latency elapses.
+		var d time.Duration
+		if s.CompileLatency != nil {
+			d = s.CompileLatency()
+		}
+		if time.Since(started) >= d {
+			s.specialized[sc] = true
+			delete(s.pending, sc)
+			s.Compiles++
+			return true
+		}
+		return false
+	}
+	s.pending[sc] = time.Now()
+	if s.CompileLatency == nil || s.CompileLatency() == 0 {
+		s.specialized[sc] = true
+		delete(s.pending, sc)
+		s.Compiles++
+		// First block of the scheme still pays the fallback (the
+		// specialization is injected for the *next* block), matching the
+		// VM's interpret-then-inject cycle.
+	}
+	return false
+}

@@ -1,0 +1,249 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func datasets() map[string][]int64 {
+	rng := rand.New(rand.NewSource(7))
+	runs := make([]int64, 10000)
+	for i := range runs {
+		runs[i] = int64(i / 500) // long runs → RLE
+	}
+	smallDomain := make([]int64, 10000)
+	for i := range smallDomain {
+		smallDomain[i] = int64(rng.Intn(5)) * 1000 // 5 distinct → Dict
+	}
+	narrow := make([]int64, 10000)
+	for i := range narrow {
+		narrow[i] = 1_000_000 + int64(rng.Intn(200)) // small span → FOR
+	}
+	random := make([]int64, 10000)
+	for i := range random {
+		random[i] = rng.Int63() - (1 << 62)
+	}
+	return map[string][]int64{
+		"runs": runs, "smallDomain": smallDomain, "narrow": narrow, "random": random,
+	}
+}
+
+func TestRoundTripAllSchemes(t *testing.T) {
+	for name, data := range datasets() {
+		for _, scheme := range []Scheme{None, RLE, Dict, FOR} {
+			b, err := Compress(data, scheme)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, scheme, err)
+			}
+			if b.Len() != len(data) {
+				t.Fatalf("%s/%v: len %d != %d", name, scheme, b.Len(), len(data))
+			}
+			out := make([]int64, len(data))
+			b.Decompress(out)
+			for i := range data {
+				if out[i] != data[i] {
+					t.Fatalf("%s/%v: value %d differs: %d != %d", name, scheme, i, out[i], data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGetPointAccess(t *testing.T) {
+	data := []int64{5, 5, 5, -3, -3, 100, 7}
+	for _, scheme := range []Scheme{None, RLE, Dict, FOR} {
+		b, err := Compress(data, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range data {
+			if got := b.Get(i); got != want {
+				t.Fatalf("%v: Get(%d) = %d, want %d", scheme, i, got, want)
+			}
+		}
+	}
+}
+
+func TestAnalyzePicksSensibleSchemes(t *testing.T) {
+	ds := datasets()
+	if s := Analyze(ds["runs"]); s != RLE {
+		t.Errorf("runs data should pick RLE, got %v", s)
+	}
+	if s := Analyze(ds["smallDomain"]); s != Dict && s != FOR {
+		t.Errorf("small domain should pick Dict or FOR, got %v", s)
+	}
+	if s := Analyze(ds["narrow"]); s != FOR {
+		t.Errorf("narrow data should pick FOR, got %v", s)
+	}
+	if s := Analyze(nil); s != None {
+		t.Errorf("empty data → None, got %v", s)
+	}
+	// Compression must actually shrink these datasets.
+	for _, name := range []string{"runs", "smallDomain", "narrow"} {
+		data := ds[name]
+		b, err := Compress(data, Analyze(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.CompressedBytes() >= 8*len(data) {
+			t.Errorf("%s: %v did not compress (%d ≥ %d)", name, b.Scheme(), b.CompressedBytes(), 8*len(data))
+		}
+	}
+}
+
+func TestDictOverflow(t *testing.T) {
+	data := make([]int64, 1<<16+1)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	if _, err := Compress(data, Dict); err == nil {
+		t.Fatal("dictionary overflow should error")
+	}
+}
+
+func TestCompressedExecutionKernels(t *testing.T) {
+	for name, data := range datasets() {
+		var wantSum, wantCount, wantSumGt int64
+		x := data[len(data)/2]
+		for _, v := range data {
+			wantSum += v
+			if v > x {
+				wantCount++
+				wantSumGt += v
+			}
+		}
+		for _, scheme := range []Scheme{None, RLE, Dict, FOR} {
+			b, err := Compress(data, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := b.Sum(); got != wantSum {
+				t.Errorf("%s/%v: Sum = %d, want %d", name, scheme, got, wantSum)
+			}
+			if got := b.CountGreater(x); got != wantCount {
+				t.Errorf("%s/%v: CountGreater = %d, want %d", name, scheme, got, wantCount)
+			}
+			if got := b.SumGreater(x); got != wantSumGt {
+				t.Errorf("%s/%v: SumGreater = %d, want %d", name, scheme, got, wantSumGt)
+			}
+		}
+	}
+}
+
+func TestFORCountGreaterBelowBase(t *testing.T) {
+	b, err := Compress([]int64{10, 11, 12}, FOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CountGreater(5); got != 3 {
+		t.Fatalf("CountGreater below base = %d, want 3", got)
+	}
+}
+
+func TestColumnPerBlockSchemes(t *testing.T) {
+	// Build data whose blocks favour different schemes.
+	var data []int64
+	for i := 0; i < 4096; i++ {
+		data = append(data, 7) // constant → RLE
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4096; i++ {
+		data = append(data, int64(rng.Uint64())) // full-range random → None
+	}
+	for i := 0; i < 4096; i++ {
+		data = append(data, 500+int64(rng.Intn(3))) // tiny domain/span
+	}
+	col, err := BuildColumn(data, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Blocks()) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(col.Blocks()))
+	}
+	if col.SchemeChanges() < 2 {
+		t.Fatalf("expected per-block scheme changes, got %d (%v, %v, %v)",
+			col.SchemeChanges(), col.Blocks()[0].Scheme(), col.Blocks()[1].Scheme(), col.Blocks()[2].Scheme())
+	}
+	if col.Len() != len(data) {
+		t.Fatal("column length wrong")
+	}
+	if col.CompressedBytes() >= 8*len(data) {
+		t.Error("mixed column should still compress overall")
+	}
+}
+
+func TestAdaptiveScannerMatchesDirect(t *testing.T) {
+	var data []int64
+	rng := rand.New(rand.NewSource(3))
+	for b := 0; b < 8; b++ {
+		switch b % 3 {
+		case 0:
+			for i := 0; i < 1000; i++ {
+				data = append(data, int64(b))
+			}
+		case 1:
+			for i := 0; i < 1000; i++ {
+				data = append(data, rng.Int63n(1000))
+			}
+		default:
+			for i := 0; i < 1000; i++ {
+				data = append(data, 1<<40+rng.Int63n(16))
+			}
+		}
+	}
+	col, err := BuildColumn(data, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, v := range data {
+		if v > 100 {
+			want += v
+		}
+	}
+	sc := NewAdaptiveScanner(nil)
+	if got := sc.SumGreater(col, 100); got != want {
+		t.Fatalf("adaptive sum = %d, want %d", got, want)
+	}
+	if sc.Fallbacks == 0 {
+		t.Error("first blocks of each scheme must go through the fallback")
+	}
+	if sc.Compiles == 0 {
+		t.Error("scanner never specialized")
+	}
+	// Second pass: everything specialized now.
+	before := sc.Fallbacks
+	if got := sc.SumGreater(col, 100); got != want {
+		t.Fatal("second pass wrong")
+	}
+	if sc.Fallbacks != before {
+		t.Error("second pass should not fall back")
+	}
+}
+
+// Property: round trip through the Analyze-chosen scheme is identity.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []int64) bool {
+		b, err := Compress(data, Analyze(data))
+		if err != nil {
+			return true // dictionary overflow etc. is acceptable to refuse
+		}
+		out := make([]int64, len(data))
+		b.Decompress(out)
+		for i := range data {
+			if out[i] != data[i] {
+				return false
+			}
+		}
+		// Compressed kernels must agree with the decompressed truth.
+		var sum int64
+		for _, v := range data {
+			sum += v
+		}
+		return b.Sum() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

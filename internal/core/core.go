@@ -1,0 +1,108 @@
+// Package core is the public face of the adaptive VM framework: it wires
+// the DSL front-end (parse → check → normalize) to the adaptive virtual
+// machine (vectorized interpretation + profiling + greedy partitioning +
+// trace JIT + micro-adaptive fallback) behind a small API that examples and
+// host applications use.
+//
+// The three layers correspond to the paper's architecture:
+//
+//	dsl (§II)   — the data-parallel skeleton language of Table I/Figure 2
+//	nir (§III-A) — normalized single-operation IR served by pre-compiled
+//	              vectorized kernels (package primitive)
+//	vm  (§III)  — the Figure-1 state machine over interpretation and
+//	              partial compilation (packages interp, depgraph, jit)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dsl"
+	"repro/internal/interp"
+	"repro/internal/nir"
+	"repro/internal/primitive"
+	"repro/internal/profile"
+	"repro/internal/vector"
+	"repro/internal/vm"
+)
+
+// Program is a compiled DSL program bound to an adaptive VM. It is reusable:
+// every Run executes against fresh external bindings while profiling data
+// and injected traces persist and keep improving later runs.
+type Program struct {
+	Source string
+	AST    *dsl.Program
+	IR     *nir.Program
+	VM     *vm.VM
+}
+
+// Config re-exports the VM configuration.
+type Config = vm.Config
+
+// DefaultConfig returns the production-shaped VM configuration (background
+// optimizer, micro-adaptive revert, modeled compile latency).
+func DefaultConfig() Config { return vm.DefaultConfig() }
+
+// Compile parses, checks and normalizes src, and prepares an adaptive VM.
+// externals maps every external array name used by read/write/gather/scatter
+// to its element kind.
+func Compile(src string, externals map[string]vector.Kind, cfg Config) (*Program, error) {
+	ast, err := dsl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ir, err := nir.Normalize(ast, externals)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Source: src, AST: ast, IR: ir, VM: vm.New(ir, cfg)}, nil
+}
+
+// MustCompile is Compile for tests and examples; it panics on error.
+func MustCompile(src string, externals map[string]vector.Kind, cfg Config) *Program {
+	p, err := Compile(src, externals, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run executes the program once against the given external arrays.
+func (p *Program) Run(ext map[string]*vector.Vector) error {
+	env, err := p.VM.NewEnv(ext)
+	if err != nil {
+		return err
+	}
+	return p.VM.Run(env)
+}
+
+// Profile returns the VM's live profiling counters.
+func (p *Program) Profile() *profile.Profile { return p.VM.Interp.Prof }
+
+// Transitions returns the VM's Figure-1 state-machine log.
+func (p *Program) Transitions() []vm.Transition { return p.VM.Transitions() }
+
+// CompiledSegments returns the segments currently running compiled plans.
+func (p *Program) CompiledSegments() []int { return p.VM.CompiledSegments() }
+
+// PlanReport renders the current execution plan of every segment, showing
+// which steps are interpreted and which run compiled traces.
+func (p *Program) PlanReport() string {
+	out := ""
+	for _, seg := range p.VM.Interp.Segments {
+		out += fmt.Sprintf("segment %d:\n", seg.ID)
+		for _, step := range p.VM.Interp.Plan(seg.ID).Steps {
+			out += "  " + step.Describe() + "\n"
+		}
+	}
+	return out
+}
+
+// KernelCount reports the number of pre-compiled vectorized kernels
+// available to the interpreter ("generated and compiled during startup").
+func KernelCount() int { return primitive.Count() }
+
+// NewEnv exposes environment construction for callers that manage
+// environments directly (e.g. to reuse buffers across runs).
+func (p *Program) NewEnv(ext map[string]*vector.Vector) (*interp.Env, error) {
+	return p.VM.NewEnv(ext)
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/jit"
+	"repro/internal/vector"
+)
+
+func TestCompileAndRunFigure2(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sync = true
+	cfg.HotCalls = 2
+	cfg.JIT.CompileLatency = jit.NoCompileLatency
+	p := MustCompile(dsl.Figure2Source, map[string]vector.Kind{
+		"some_data": vector.I64, "v": vector.I64, "w": vector.I64,
+	}, cfg)
+
+	data := make([]int64, 4096)
+	for i := range data {
+		data[i] = int64(i%5 - 2)
+	}
+	v := vector.New(vector.I64, 0, 4096)
+	w := vector.New(vector.I64, 0, 4096)
+	if err := p.Run(map[string]*vector.Vector{
+		"some_data": vector.FromI64(data), "v": v, "w": w,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 4096 {
+		t.Fatalf("v len = %d", v.Len())
+	}
+	if p.Profile().TotalNanos() == 0 {
+		t.Fatal("no profiling data")
+	}
+	// Run again: the Sync epilogue compiled hot segments; report must show
+	// traces.
+	v2 := vector.New(vector.I64, 0, 4096)
+	w2 := vector.New(vector.I64, 0, 4096)
+	if err := p.Run(map[string]*vector.Vector{
+		"some_data": vector.FromI64(data), "v": v2, "w": w2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.CompiledSegments()) == 0 {
+		t.Fatalf("Figure-2 loop not compiled; transitions: %v", p.Transitions())
+	}
+	if !strings.Contains(p.PlanReport(), "trace[") {
+		t.Fatalf("plan report shows no traces:\n%s", p.PlanReport())
+	}
+	if !v.Equal(v2) || !w.Equal(w2) {
+		t.Fatal("compiled run disagrees with interpreted run")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("let a = ", nil, DefaultConfig()); err == nil {
+		t.Fatal("parse error must surface")
+	}
+	if _, err := Compile("let a = read 0 missing", nil, DefaultConfig()); err == nil {
+		t.Fatal("unbound external must surface")
+	}
+}
+
+func TestKernelCount(t *testing.T) {
+	if n := KernelCount(); n < 500 {
+		t.Fatalf("kernel inventory suspiciously small: %d", n)
+	}
+}

@@ -1,0 +1,155 @@
+// Package device abstracts execution targets for the VM's third research
+// target (§IV): running (parts of) a program "on multiple hardware
+// platforms, making adaptive decisions which strategy to use ... but also on
+// which hardware".
+//
+// A Device combines a cost model with (host-side) execution. The CPU device
+// reports measured wall time; the simulated GPU (package gpu) executes the
+// same computation on the host for result correctness but reports modeled
+// time derived from a launch-overhead + transfer + throughput model. The
+// Placer chooses a device per kernel using the models, corrected by
+// observed/modeled feedback (EWMA), which reproduces the canonical
+// CPU-vs-GPU crossover: small or non-resident inputs favour the CPU; large,
+// device-resident inputs favour the GPU.
+package device
+
+import (
+	"time"
+
+	"repro/internal/profile"
+)
+
+// Kernel describes one data-parallel work item for costing purposes.
+type Kernel struct {
+	// Name identifies the kernel for residency and feedback tracking.
+	Name string
+	// Elems is the number of elements processed.
+	Elems int
+	// BytesIn / BytesOut are the data volumes the kernel touches.
+	BytesIn, BytesOut int
+	// OpsPerElem approximates arithmetic intensity.
+	OpsPerElem float64
+	// Inputs names the arrays consumed (for residency decisions).
+	Inputs []string
+}
+
+// Cost is the device-reported cost of an execution.
+type Cost struct {
+	// Modeled is the cost the device charges (measured wall time for the
+	// CPU, modeled time for simulated hardware).
+	Modeled time.Duration
+	// Transfer is the portion spent moving data (simulated devices only).
+	Transfer time.Duration
+}
+
+// Device is an execution target.
+type Device interface {
+	// Name returns the device name ("cpu", "gpu").
+	Name() string
+	// Estimate predicts the cost of k before running it.
+	Estimate(k Kernel) Cost
+	// Run executes work (host-side) and returns the device-accounted cost.
+	Run(k Kernel, work func()) Cost
+	// MakeResident pins an input array in device memory so subsequent
+	// kernels skip its transfer. No-op for the CPU.
+	MakeResident(name string, bytes int)
+	// Resident reports whether the named array is in device memory.
+	Resident(name string) bool
+}
+
+// CPU is the host device: zero launch overhead, no transfers, throughput
+// modeled from calibrated per-element cost; Run reports measured time.
+type CPU struct {
+	// NsPerElemOp calibrates Estimate (default 1.0 ns per element-op).
+	NsPerElemOp float64
+	// BytesPerNs is the memory bandwidth (default 16 B/ns ≈ 16 GB/s).
+	BytesPerNs float64
+}
+
+// NewCPU returns a CPU device with default calibration.
+func NewCPU() *CPU { return &CPU{NsPerElemOp: 1.0, BytesPerNs: 16} }
+
+// Name implements Device.
+func (c *CPU) Name() string { return "cpu" }
+
+// Estimate implements Device.
+func (c *CPU) Estimate(k Kernel) Cost {
+	compute := float64(k.Elems) * maxf(k.OpsPerElem, 1) * c.NsPerElemOp
+	mem := float64(k.BytesIn+k.BytesOut) / c.BytesPerNs
+	return Cost{Modeled: time.Duration(maxf(compute, mem))}
+}
+
+// Run implements Device: executes work and reports measured wall time.
+func (c *CPU) Run(k Kernel, work func()) Cost {
+	start := time.Now()
+	work()
+	return Cost{Modeled: time.Since(start)}
+}
+
+// MakeResident implements Device (no-op: host memory is always resident).
+func (c *CPU) MakeResident(string, int) {}
+
+// Resident implements Device (host memory is always resident).
+func (c *CPU) Resident(string) bool { return true }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Placer picks a device per kernel: model-based with EWMA feedback from the
+// costs devices actually report, so a mis-calibrated model self-corrects —
+// the cross-hardware generalization of micro-adaptivity.
+type Placer struct {
+	Devices []Device
+	// bias[deviceName] multiplies the device's estimates (learned).
+	bias map[string]*profile.EWMA
+	// Decisions counts placements per device for reports.
+	Decisions map[string]int
+}
+
+// NewPlacer creates a placer over the given devices.
+func NewPlacer(devices ...Device) *Placer {
+	p := &Placer{Devices: devices, bias: map[string]*profile.EWMA{}, Decisions: map[string]int{}}
+	for _, d := range devices {
+		p.bias[d.Name()] = profile.NewEWMA(0.2)
+	}
+	return p
+}
+
+// Choose returns the device with the lowest bias-corrected estimate.
+func (p *Placer) Choose(k Kernel) Device {
+	var best Device
+	var bestCost float64
+	for _, d := range p.Devices {
+		est := float64(d.Estimate(k).Modeled)
+		est *= p.bias[d.Name()].Value(1)
+		if best == nil || est < bestCost {
+			best, bestCost = d, est
+		}
+	}
+	p.Decisions[best.Name()]++
+	return best
+}
+
+// Execute places and runs the kernel, feeding the observed/modeled cost
+// back into the bias for that device.
+func (p *Placer) Execute(k Kernel, work func()) (Device, Cost) {
+	d := p.Choose(k)
+	est := d.Estimate(k).Modeled
+	cost := d.Run(k, work)
+	if est > 0 && cost.Modeled > 0 {
+		p.bias[d.Name()].Observe(float64(cost.Modeled) / float64(est))
+	}
+	return d, cost
+}
+
+// ObserveForTest feeds a raw observed/estimated cost ratio into a device's
+// bias, for tests that simulate mis-calibrated models.
+func (p *Placer) ObserveForTest(deviceName string, ratio float64) {
+	if e, ok := p.bias[deviceName]; ok {
+		e.Observe(ratio)
+	}
+}

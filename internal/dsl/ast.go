@@ -1,0 +1,480 @@
+// Package dsl implements the paper's domain-specific language (§II): a
+// language of data-parallel skeletons (Table I) extended with control flow,
+// mutable variables, let bindings and function definitions, exactly the
+// feature set the paper motivates for representing relational queries and
+// UDFs.
+//
+// The package provides the AST, a lexer+parser for the Figure-2 surface
+// syntax, a scope/arity checker, a pretty printer, and the normalizer that
+// lowers programs to the normalized IR (package nir) executed by the VM.
+package dsl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vector"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	// Pos returns the source position of the node.
+	Pos() Position
+	node()
+}
+
+// Position is a line/column source location.
+type Position struct {
+	Line, Col int
+}
+
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+type base struct{ P Position }
+
+func (b base) Pos() Position { return b.P }
+func (base) node()           {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Const is a literal scalar constant.
+type Const struct {
+	base
+	Val vector.Value
+}
+
+// VarRef references a let-bound, mutable, parameter or external variable.
+type VarRef struct {
+	base
+	Name string
+}
+
+// BinOp enumerates binary operators usable in expressions and lambdas.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpInvalid BinOp = iota
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd // bitwise / logical and
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpMin
+	OpMax
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpMin: "min", OpMax: "max",
+}
+
+func (op BinOp) String() string {
+	if s, ok := binOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsComparison reports whether the operator yields a boolean.
+func (op BinOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// Bin is a binary expression. Applied to arrays it is element-wise; applied
+// to scalars it is scalar.
+type Bin struct {
+	base
+	Op   BinOp
+	L, R Expr
+}
+
+// UnOp enumerates unary operators.
+type UnOp uint8
+
+// Unary operators.
+const (
+	UnNeg UnOp = iota + 1
+	UnNot
+	UnAbs
+	UnSqrt
+)
+
+func (op UnOp) String() string {
+	switch op {
+	case UnNeg:
+		return "-"
+	case UnNot:
+		return "!"
+	case UnAbs:
+		return "abs"
+	case UnSqrt:
+		return "sqrt"
+	}
+	return "un?"
+}
+
+// Un is a unary expression.
+type Un struct {
+	base
+	Op UnOp
+	E  Expr
+}
+
+// Lambda is an anonymous function used as a skeleton argument, e.g.
+// (\x -> 2*x).
+type Lambda struct {
+	base
+	Params []string
+	Body   Expr
+}
+
+// CallExpr applies a user-defined function or named builtin to arguments.
+type CallExpr struct {
+	base
+	Name string
+	Args []Expr
+}
+
+// LenExpr is len(a): the number of (selected) elements in a flow.
+type LenExpr struct {
+	base
+	E Expr
+}
+
+// CastExpr converts an array or scalar to another element kind, written
+// cast<i32>(e). Inserted by the compact-data-types refinement and available
+// in the surface syntax.
+type CastExpr struct {
+	base
+	To vector.Kind
+	E  Expr
+}
+
+// ---------------------------------------------------------------------------
+// Skeleton expressions (Table I)
+
+// ReadExpr reads up to Count consecutive elements from position Pos of the
+// external array Data. Count nil means "one chunk" (vector.DefaultChunkLen).
+type ReadExpr struct {
+	base
+	At    Expr
+	Data  string
+	Count Expr // optional
+}
+
+// MapExpr applies Fn element-wise to the argument flows.
+type MapExpr struct {
+	base
+	Fn   *Lambda
+	Args []Expr
+}
+
+// FilterExpr computes a selection vector over Arg using predicate Pred. The
+// result is the same flow with a (narrowed) selection vector; the data is not
+// physically modified (Table I note).
+type FilterExpr struct {
+	base
+	Pred *Lambda
+	Arg  Expr
+}
+
+// FoldExpr reduces Arg using reduction function Fn and initial value Init.
+type FoldExpr struct {
+	base
+	Fn   *Lambda
+	Init Expr
+	Arg  Expr
+}
+
+// GatherExpr reads Data at the positions given by Idx.
+type GatherExpr struct {
+	base
+	Data string
+	Idx  Expr
+}
+
+// GenExpr fills an array of length Count using Fn applied to 0..Count-1.
+type GenExpr struct {
+	base
+	Fn    *Lambda
+	Count Expr
+}
+
+// CondenseExpr eliminates the selection vector from Arg, materializing the
+// selected elements contiguously.
+type CondenseExpr struct {
+	base
+	E Expr
+}
+
+// MergeKind selects the merge flavor of the abstract merge skeleton.
+type MergeKind uint8
+
+// Merge flavors.
+const (
+	MergeJoin MergeKind = iota + 1
+	MergeUnion
+	MergeDiff
+	MergeIntersect
+)
+
+func (k MergeKind) String() string {
+	switch k {
+	case MergeJoin:
+		return "join"
+	case MergeUnion:
+		return "union"
+	case MergeDiff:
+		return "diff"
+	case MergeIntersect:
+		return "intersect"
+	}
+	return "merge?"
+}
+
+// MergeExpr is the abstract merge skeleton over two sorted flows. MergeJoin
+// yields matching L positions paired with R positions (two index arrays are
+// produced when bound with let pairs; in expression position it yields the
+// matched L values).
+type MergeExpr struct {
+	base
+	Kind MergeKind
+	L, R Expr
+}
+
+func (*Const) exprNode()        {}
+func (*VarRef) exprNode()       {}
+func (*Bin) exprNode()          {}
+func (*Un) exprNode()           {}
+func (*Lambda) exprNode()       {}
+func (*CallExpr) exprNode()     {}
+func (*LenExpr) exprNode()      {}
+func (*CastExpr) exprNode()     {}
+func (*ReadExpr) exprNode()     {}
+func (*MapExpr) exprNode()      {}
+func (*FilterExpr) exprNode()   {}
+func (*FoldExpr) exprNode()     {}
+func (*GatherExpr) exprNode()   {}
+func (*GenExpr) exprNode()      {}
+func (*CondenseExpr) exprNode() {}
+func (*MergeExpr) exprNode()    {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// MutDecl declares a mutable variable: mut i.
+type MutDecl struct {
+	base
+	Name string
+}
+
+// Assign updates a mutable variable: i := expr.
+type Assign struct {
+	base
+	Name string
+	Val  Expr
+}
+
+// Let introduces an immutable binding scoped to the remainder of the
+// enclosing block: let a = expr [in].
+type Let struct {
+	base
+	Name string
+	Val  Expr
+}
+
+// Loop executes its body forever until a break.
+type Loop struct {
+	base
+	Body []Stmt
+}
+
+// Break terminates the innermost loop.
+type Break struct {
+	base
+}
+
+// If executes Then when Cond is true (scalar boolean), else Else.
+type If struct {
+	base
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WriteStmt writes flow Val consecutively into external array Dst at
+// position Pos (Table I write skeleton, used in statement position).
+type WriteStmt struct {
+	base
+	Dst string
+	At  Expr
+	Val Expr
+}
+
+// ScatterStmt writes Val to positions Idx of Dst. Conflict selects the
+// conflict-handling function by name ("last", "sum", "min", "max").
+type ScatterStmt struct {
+	base
+	Dst      string
+	Idx      Expr
+	Val      Expr
+	Conflict string
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	base
+	E Expr
+}
+
+func (*MutDecl) stmtNode()     {}
+func (*Assign) stmtNode()      {}
+func (*Let) stmtNode()         {}
+func (*Loop) stmtNode()        {}
+func (*Break) stmtNode()       {}
+func (*If) stmtNode()          {}
+func (*WriteStmt) stmtNode()   {}
+func (*ScatterStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()    {}
+
+// FuncDef is a named function definition.
+type FuncDef struct {
+	base
+	Name   string
+	Params []string
+	Body   Expr
+}
+
+// Program is a parsed DSL program: function definitions plus a top-level
+// statement list.
+type Program struct {
+	Funcs map[string]*FuncDef
+	Body  []Stmt
+}
+
+// Externals returns the names of external arrays referenced by read, write,
+// gather and scatter skeletons, in first-use order.
+func (p *Program) Externals() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	var walkExpr func(Expr)
+	var walkStmts func([]Stmt)
+	walkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case *ReadExpr:
+			walkExpr(e.At)
+			add(e.Data)
+			if e.Count != nil {
+				walkExpr(e.Count)
+			}
+		case *GatherExpr:
+			add(e.Data)
+			walkExpr(e.Idx)
+		case *Bin:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *Un:
+			walkExpr(e.E)
+		case *CallExpr:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *LenExpr:
+			walkExpr(e.E)
+		case *CastExpr:
+			walkExpr(e.E)
+		case *MapExpr:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *FilterExpr:
+			walkExpr(e.Arg)
+		case *FoldExpr:
+			walkExpr(e.Init)
+			walkExpr(e.Arg)
+		case *GenExpr:
+			walkExpr(e.Count)
+		case *CondenseExpr:
+			walkExpr(e.E)
+		case *MergeExpr:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		}
+	}
+	walkStmts = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *Assign:
+				walkExpr(s.Val)
+			case *Let:
+				walkExpr(s.Val)
+			case *Loop:
+				walkStmts(s.Body)
+			case *If:
+				walkExpr(s.Cond)
+				walkStmts(s.Then)
+				walkStmts(s.Else)
+			case *WriteStmt:
+				add(s.Dst)
+				walkExpr(s.At)
+				walkExpr(s.Val)
+			case *ScatterStmt:
+				add(s.Dst)
+				walkExpr(s.Idx)
+				walkExpr(s.Val)
+			case *ExprStmt:
+				walkExpr(s.E)
+			}
+		}
+	}
+	walkStmts(p.Body)
+	for _, f := range p.Funcs {
+		walkExpr(f.Body)
+	}
+	return out
+}
+
+// String renders the program in surface syntax (see print.go for the
+// formatter implementation).
+func (p *Program) String() string {
+	var sb strings.Builder
+	Fprint(&sb, p)
+	return sb.String()
+}

@@ -1,0 +1,216 @@
+package dsl
+
+import (
+	"fmt"
+)
+
+// Check validates name resolution and structural rules of a parsed program:
+//
+//   - variables must be declared (mut/let/param/external) before use;
+//     externals is the set of array names the host will bind at run time
+//   - := targets must be mutable variables
+//   - let must not shadow a mutable variable (the paper separates immutable
+//     bindings from mutable state)
+//   - break must appear inside a loop
+//   - user function calls must resolve and match arity
+//   - lambdas passed to skeletons must have the arity the skeleton requires
+//
+// Check returns all errors found, not just the first.
+func Check(p *Program, externals []string) []error {
+	c := &checker{prog: p, ext: map[string]bool{}}
+	for _, e := range externals {
+		c.ext[e] = true
+	}
+	for _, f := range p.Funcs {
+		scope := newScope(nil)
+		for _, param := range f.Params {
+			scope.declare(param, declLet)
+		}
+		c.expr(f.Body, scope)
+	}
+	c.stmts(p.Body, newScope(nil), 0)
+	return c.errs
+}
+
+type declKind uint8
+
+const (
+	declLet declKind = iota
+	declMut
+)
+
+type scope struct {
+	parent *scope
+	vars   map[string]declKind
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, vars: map[string]declKind{}}
+}
+
+func (s *scope) declare(name string, k declKind) { s.vars[name] = k }
+
+func (s *scope) lookup(name string) (declKind, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if k, ok := sc.vars[name]; ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+type checker struct {
+	prog *Program
+	ext  map[string]bool
+	errs []error
+}
+
+func (c *checker) errorf(pos Position, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("dsl: %s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) stmts(stmts []Stmt, sc *scope, loopDepth int) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *MutDecl:
+			if _, exists := sc.vars[s.Name]; exists {
+				c.errorf(s.P, "redeclaration of %q in the same block", s.Name)
+			}
+			sc.declare(s.Name, declMut)
+		case *Assign:
+			k, ok := sc.lookup(s.Name)
+			if !ok {
+				c.errorf(s.P, "assignment to undeclared variable %q (missing mut?)", s.Name)
+			} else if k != declMut {
+				c.errorf(s.P, "cannot assign to immutable binding %q", s.Name)
+			}
+			c.expr(s.Val, sc)
+		case *Let:
+			c.expr(s.Val, sc)
+			if k, ok := sc.lookup(s.Name); ok && k == declMut {
+				c.errorf(s.P, "let %q shadows a mutable variable", s.Name)
+			}
+			sc.declare(s.Name, declLet)
+		case *Loop:
+			c.stmts(s.Body, newScope(sc), loopDepth+1)
+		case *Break:
+			if loopDepth == 0 {
+				c.errorf(s.P, "break outside loop")
+			}
+		case *If:
+			c.expr(s.Cond, sc)
+			c.stmts(s.Then, newScope(sc), loopDepth)
+			c.stmts(s.Else, newScope(sc), loopDepth)
+		case *WriteStmt:
+			if !c.ext[s.Dst] {
+				c.errorf(s.P, "write target %q is not a bound external array", s.Dst)
+			}
+			c.expr(s.At, sc)
+			c.expr(s.Val, sc)
+		case *ScatterStmt:
+			if !c.ext[s.Dst] {
+				c.errorf(s.P, "scatter target %q is not a bound external array", s.Dst)
+			}
+			switch s.Conflict {
+			case "", "last", "first", "sum", "min", "max":
+			default:
+				c.errorf(s.P, "unknown scatter conflict function %q", s.Conflict)
+			}
+			c.expr(s.Idx, sc)
+			c.expr(s.Val, sc)
+		case *ExprStmt:
+			c.expr(s.E, sc)
+		}
+	}
+}
+
+func (c *checker) lambda(l *Lambda, wantArity int, sc *scope, what string) {
+	// Named function reference: resolve and check arity instead.
+	if call, ok := l.Body.(*CallExpr); ok && l.Params == nil && len(call.Args) == 0 {
+		f, ok := c.prog.Funcs[call.Name]
+		if !ok {
+			c.errorf(l.P, "%s references undefined function %q", what, call.Name)
+			return
+		}
+		if wantArity > 0 && len(f.Params) != wantArity {
+			c.errorf(l.P, "%s requires a %d-ary function, %q has %d parameters", what, wantArity, call.Name, len(f.Params))
+		}
+		return
+	}
+	if wantArity > 0 && len(l.Params) != wantArity {
+		c.errorf(l.P, "%s requires a %d-ary lambda, got %d parameters", what, wantArity, len(l.Params))
+	}
+	inner := newScope(sc)
+	for _, p := range l.Params {
+		inner.declare(p, declLet)
+	}
+	c.expr(l.Body, inner)
+}
+
+func (c *checker) expr(e Expr, sc *scope) {
+	switch e := e.(type) {
+	case *Const:
+	case *VarRef:
+		if _, ok := sc.lookup(e.Name); ok {
+			return
+		}
+		if c.ext[e.Name] {
+			return
+		}
+		c.errorf(e.P, "undefined variable %q", e.Name)
+	case *Bin:
+		c.expr(e.L, sc)
+		c.expr(e.R, sc)
+	case *Un:
+		c.expr(e.E, sc)
+	case *Lambda:
+		c.lambda(e, -1, sc, "lambda")
+	case *CallExpr:
+		f, ok := c.prog.Funcs[e.Name]
+		if !ok {
+			c.errorf(e.P, "call to undefined function %q", e.Name)
+		} else if len(e.Args) != len(f.Params) {
+			c.errorf(e.P, "function %q takes %d arguments, got %d", e.Name, len(f.Params), len(e.Args))
+		}
+		for _, a := range e.Args {
+			c.expr(a, sc)
+		}
+	case *LenExpr:
+		c.expr(e.E, sc)
+	case *CastExpr:
+		c.expr(e.E, sc)
+	case *ReadExpr:
+		c.expr(e.At, sc)
+		if !c.ext[e.Data] {
+			c.errorf(e.P, "read source %q is not a bound external array", e.Data)
+		}
+		if e.Count != nil {
+			c.expr(e.Count, sc)
+		}
+	case *MapExpr:
+		c.lambda(e.Fn, len(e.Args), sc, "map")
+		for _, a := range e.Args {
+			c.expr(a, sc)
+		}
+	case *FilterExpr:
+		c.lambda(e.Pred, 1, sc, "filter")
+		c.expr(e.Arg, sc)
+	case *FoldExpr:
+		c.lambda(e.Fn, 2, sc, "fold")
+		c.expr(e.Init, sc)
+		c.expr(e.Arg, sc)
+	case *GatherExpr:
+		if !c.ext[e.Data] {
+			c.errorf(e.P, "gather source %q is not a bound external array", e.Data)
+		}
+		c.expr(e.Idx, sc)
+	case *GenExpr:
+		c.lambda(e.Fn, 1, sc, "gen")
+		c.expr(e.Count, sc)
+	case *CondenseExpr:
+		c.expr(e.E, sc)
+	case *MergeExpr:
+		c.expr(e.L, sc)
+		c.expr(e.R, sc)
+	}
+}

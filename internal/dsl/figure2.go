@@ -1,0 +1,24 @@
+package dsl
+
+// Figure2Source is the paper's Figure 2 example program, written in the
+// surface syntax this package parses (braces delimit the blocks the figure
+// expresses through indentation). It reads some_data (an array of integers)
+// and outputs (a) twice the value of each integer into v and (b) those
+// doubled values that are bigger than zero, written consecutively into w.
+const Figure2Source = `
+mut i
+mut k
+i := 0
+k := 0
+loop {
+  let input = read i some_data in
+  let a = map (\x -> 2*x) input in
+  let t = filter (\x -> x > 0) a in
+  let b = condense t
+  write v i a
+  write w k b
+  i := i + len(a)
+  k := k + len(b)
+  if i >= 4096 then break
+}
+`

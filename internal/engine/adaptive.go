@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/profile"
+	"repro/internal/vector"
+)
+
+// Selector is one selective operation over a chunk: it narrows a selection
+// vector. Hash-join semijoin probes and predicate filters both fit; the
+// §III-C reordering scenario ("Consider a chain of two HashJoin operators A
+// and B... During runtime the order of these operations could change
+// dynamically based on the observed selectivity") is a chain of Selectors.
+type Selector interface {
+	// Name identifies the selector in reports.
+	Name() string
+	// Apply returns the subset of sel whose rows pass.
+	Apply(c *vector.Chunk, sel vector.Sel) vector.Sel
+}
+
+// SetMembership is a semijoin-style selector: row passes when col's value is
+// in the build-side key set (the filtering half of a hash join).
+type SetMembership struct {
+	Label string
+	Col   string
+	Set   map[int64]struct{}
+}
+
+// Name implements Selector.
+func (s *SetMembership) Name() string { return s.Label }
+
+// Apply implements Selector.
+func (s *SetMembership) Apply(c *vector.Chunk, sel vector.Sel) vector.Sel {
+	col := c.MustColumn(s.Col).I64()
+	out := make(vector.Sel, 0, sel.Count(len(col)))
+	if sel == nil {
+		for i := range col {
+			if _, ok := s.Set[col[i]]; ok {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if _, ok := s.Set[col[i]]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CmpSelector selects rows where col <cmp> threshold (cheap predicate stage).
+type CmpSelector struct {
+	Label     string
+	Col       string
+	Threshold int64
+	Greater   bool
+}
+
+// Name implements Selector.
+func (s *CmpSelector) Name() string { return s.Label }
+
+// Apply implements Selector.
+func (s *CmpSelector) Apply(c *vector.Chunk, sel vector.Sel) vector.Sel {
+	col := c.MustColumn(s.Col).I64()
+	out := make(vector.Sel, 0, sel.Count(len(col)))
+	test := func(v int64) bool {
+		if s.Greater {
+			return v > s.Threshold
+		}
+		return v < s.Threshold
+	}
+	if sel == nil {
+		for i := range col {
+			if test(col[i]) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if test(col[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AdaptiveChain applies a set of selectors to every chunk, dynamically
+// ordering them most-selective-first based on observed pass rates (EWMA).
+// With Adaptive=false the construction order is kept (the static baseline).
+type AdaptiveChain struct {
+	child    Operator
+	stages   []Selector
+	passEW   []*profile.EWMA
+	Adaptive bool
+
+	// Applications counts selector applications × rows, the work measure
+	// the reordering minimizes.
+	Applications int64
+	// Reorders counts order changes.
+	Reorders  int64
+	lastOrder []int
+}
+
+// NewAdaptiveChain builds a chain over the given selectors.
+func NewAdaptiveChain(child Operator, adaptive bool, stages ...Selector) *AdaptiveChain {
+	ac := &AdaptiveChain{child: child, stages: stages, Adaptive: adaptive}
+	for range stages {
+		ac.passEW = append(ac.passEW, profile.NewEWMA(0.3))
+	}
+	return ac
+}
+
+// Order returns the current stage order (indexes into the constructor
+// order).
+func (ac *AdaptiveChain) Order() []int {
+	order := make([]int, len(ac.stages))
+	for i := range order {
+		order[i] = i
+	}
+	if !ac.Adaptive {
+		return order
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return ac.passEW[order[a]].Value(1) < ac.passEW[order[b]].Value(1)
+	})
+	return order
+}
+
+// Schema implements Operator.
+func (ac *AdaptiveChain) Schema() []ColInfo { return ac.child.Schema() }
+
+// Open implements Operator.
+func (ac *AdaptiveChain) Open() error { return ac.child.Open() }
+
+// Next implements Operator.
+func (ac *AdaptiveChain) Next() (*vector.Chunk, error) {
+	for {
+		chunk, err := ac.child.Next()
+		if err != nil || chunk == nil {
+			return chunk, err
+		}
+		order := ac.Order()
+		if ac.lastOrder != nil && !equalOrder(order, ac.lastOrder) {
+			ac.Reorders++
+		}
+		ac.lastOrder = order
+
+		sel := chunk.Sel()
+		alive := chunk.SelectedLen()
+		for _, si := range order {
+			if alive == 0 {
+				break
+			}
+			ac.Applications += int64(alive)
+			out := ac.stages[si].Apply(chunk, sel)
+			ac.passEW[si].Observe(float64(len(out)) / float64(alive))
+			sel = out
+			alive = len(out)
+		}
+		if alive == 0 {
+			continue
+		}
+		res := shallowChunk(chunk)
+		res.SetSel(sel)
+		return res, nil
+	}
+}
+
+// Close implements Operator.
+func (ac *AdaptiveChain) Close() error { return ac.child.Close() }
+
+func equalOrder(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,584 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/profile"
+	"repro/internal/vector"
+)
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggSum AggFunc = iota + 1
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+var aggNames = [...]string{0: "?", AggSum: "sum", AggCount: "count", AggMin: "min", AggMax: "max", AggAvg: "avg"}
+
+func (a AggFunc) String() string { return aggNames[a] }
+
+// Aggregate describes one aggregate column.
+type Aggregate struct {
+	Func AggFunc
+	Col  string // input column ("" for count)
+	As   string // output name
+}
+
+// PreAggMode controls the adaptively triggered pre-aggregation of [12]: a
+// small cache-resident table absorbs per-chunk group locality before rows
+// reach the global table.
+type PreAggMode int
+
+// Pre-aggregation flavors.
+const (
+	PreAggAdaptive PreAggMode = iota
+	PreAggOn
+	PreAggOff
+)
+
+// preAggSlots is the size of the cache-resident pre-aggregation table.
+const preAggSlots = 512
+
+// preAggThreshold is the pre-agg hit rate below which the flavor is
+// disabled (high-cardinality uniform keys make it pure overhead).
+const preAggThreshold = 0.5
+
+type aggState struct {
+	key    groupKey
+	counts []int64
+	sumsI  []int64
+	sumsF  []float64
+	minsI  []int64
+	maxsI  []int64
+	minsF  []float64
+	maxsF  []float64
+	seen   []bool
+}
+
+type groupKey struct {
+	i1, i2 int64
+	s1, s2 string
+}
+
+// HashAgg groups by up to two key columns (i64 or str) and computes
+// aggregates. It is a pipeline breaker: Next drains the child on first call
+// and then streams the result groups.
+type HashAgg struct {
+	child  Operator
+	keys   []string
+	aggs   []Aggregate
+	mode   PreAggMode
+	schema []ColInfo
+
+	groups  map[groupKey]*aggState
+	order   []groupKey
+	out     *vector.Chunk
+	emitted bool
+
+	hitEW  *profile.EWMA
+	useNow bool
+	// PreAggHits / PreAggMisses / PreAggFlushes instrument the flavor.
+	PreAggHits, PreAggMisses, PreAggFlushes int64
+}
+
+// NewHashAgg creates a grouped aggregation.
+func NewHashAgg(child Operator, keys []string, aggs []Aggregate) *HashAgg {
+	return &HashAgg{
+		child: child, keys: keys, aggs: aggs,
+		mode: PreAggAdaptive, hitEW: profile.NewEWMA(0.25), useNow: true,
+	}
+}
+
+// SetPreAgg fixes the pre-aggregation flavor (default adaptive).
+func (h *HashAgg) SetPreAgg(m PreAggMode) *HashAgg { h.mode = m; return h }
+
+// PreAggEnabled reports the current flavor decision.
+func (h *HashAgg) PreAggEnabled() bool {
+	switch h.mode {
+	case PreAggOn:
+		return true
+	case PreAggOff:
+		return false
+	}
+	return h.useNow
+}
+
+// Schema implements Operator.
+func (h *HashAgg) Schema() []ColInfo { return h.schema }
+
+func (h *HashAgg) colKind(name string) (vector.Kind, error) {
+	for _, ci := range h.child.Schema() {
+		if ci.Name == name {
+			return ci.Kind, nil
+		}
+	}
+	return vector.Invalid, fmt.Errorf("engine: aggregate column %q not produced by child", name)
+}
+
+// Open implements Operator.
+func (h *HashAgg) Open() error {
+	if err := h.child.Open(); err != nil {
+		return err
+	}
+	if len(h.keys) > 2 {
+		return fmt.Errorf("engine: at most 2 group keys supported, got %d", len(h.keys))
+	}
+	h.schema = nil
+	for _, k := range h.keys {
+		kind, err := h.colKind(k)
+		if err != nil {
+			return err
+		}
+		if kind != vector.I64 && kind != vector.Str {
+			return fmt.Errorf("engine: group key %q must be i64 or str, got %v", k, kind)
+		}
+		h.schema = append(h.schema, ColInfo{Name: k, Kind: kind})
+	}
+	for _, a := range h.aggs {
+		switch a.Func {
+		case AggCount:
+			h.schema = append(h.schema, ColInfo{Name: a.As, Kind: vector.I64})
+		case AggAvg:
+			h.schema = append(h.schema, ColInfo{Name: a.As, Kind: vector.F64})
+		default:
+			kind, err := h.colKind(a.Col)
+			if err != nil {
+				return err
+			}
+			if !kind.IsNumeric() {
+				return fmt.Errorf("engine: aggregate input %q must be numeric", a.Col)
+			}
+			h.schema = append(h.schema, ColInfo{Name: a.As, Kind: kind})
+		}
+	}
+	h.groups = map[groupKey]*aggState{}
+	h.order = nil
+	h.emitted = false
+	return nil
+}
+
+func (h *HashAgg) newState(key groupKey) *aggState {
+	n := len(h.aggs)
+	return &aggState{
+		key:    key,
+		counts: make([]int64, n),
+		sumsI:  make([]int64, n),
+		sumsF:  make([]float64, n),
+		minsI:  make([]int64, n),
+		maxsI:  make([]int64, n),
+		minsF:  make([]float64, n),
+		maxsF:  make([]float64, n),
+		seen:   make([]bool, n),
+	}
+}
+
+func (st *aggState) update(aggs []Aggregate, vals []vector.Value) {
+	for ai, a := range aggs {
+		switch a.Func {
+		case AggCount:
+			st.counts[ai]++
+			continue
+		}
+		v := vals[ai]
+		st.counts[ai]++
+		if v.Kind == vector.F64 {
+			st.sumsF[ai] += v.F
+			if !st.seen[ai] || v.F < st.minsF[ai] {
+				st.minsF[ai] = v.F
+			}
+			if !st.seen[ai] || v.F > st.maxsF[ai] {
+				st.maxsF[ai] = v.F
+			}
+		} else {
+			st.sumsI[ai] += v.I
+			if !st.seen[ai] || v.I < st.minsI[ai] {
+				st.minsI[ai] = v.I
+			}
+			if !st.seen[ai] || v.I > st.maxsI[ai] {
+				st.maxsI[ai] = v.I
+			}
+		}
+		st.seen[ai] = true
+	}
+}
+
+// merge folds a pre-aggregation state into the global state.
+func (st *aggState) merge(aggs []Aggregate, other *aggState) {
+	for ai := range aggs {
+		st.counts[ai] += other.counts[ai]
+		st.sumsI[ai] += other.sumsI[ai]
+		st.sumsF[ai] += other.sumsF[ai]
+		if other.seen[ai] {
+			if !st.seen[ai] || other.minsI[ai] < st.minsI[ai] {
+				st.minsI[ai] = other.minsI[ai]
+			}
+			if !st.seen[ai] || other.maxsI[ai] > st.maxsI[ai] {
+				st.maxsI[ai] = other.maxsI[ai]
+			}
+			if !st.seen[ai] || other.minsF[ai] < st.minsF[ai] {
+				st.minsF[ai] = other.minsF[ai]
+			}
+			if !st.seen[ai] || other.maxsF[ai] > st.maxsF[ai] {
+				st.maxsF[ai] = other.maxsF[ai]
+			}
+			st.seen[ai] = true
+		}
+	}
+}
+
+func (h *HashAgg) global(key groupKey) *aggState {
+	st, ok := h.groups[key]
+	if !ok {
+		st = h.newState(key)
+		h.groups[key] = st
+		h.order = append(h.order, key)
+	}
+	return st
+}
+
+// Next implements Operator.
+func (h *HashAgg) Next() (*vector.Chunk, error) {
+	if h.emitted {
+		return nil, nil
+	}
+	keyCols := make([]*vector.Vector, len(h.keys))
+	valCols := make([]*vector.Vector, len(h.aggs))
+
+	// Pre-aggregation table: direct-mapped, cache resident.
+	var pre []*aggState
+	if h.PreAggEnabled() {
+		pre = make([]*aggState, preAggSlots)
+	}
+	flushPre := func() {
+		for i, st := range pre {
+			if st != nil {
+				h.global(st.key).merge(h.aggs, st)
+				pre[i] = nil
+				h.PreAggFlushes++
+			}
+		}
+	}
+
+	for {
+		chunk, err := h.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if chunk == nil {
+			break
+		}
+		cc := chunk
+		if chunk.Sel() != nil {
+			cc = chunk.Condense()
+		}
+		for i, k := range h.keys {
+			keyCols[i] = cc.MustColumn(k)
+		}
+		for i, a := range h.aggs {
+			if a.Func != AggCount {
+				valCols[i] = cc.MustColumn(a.Col)
+			}
+		}
+		// Compile-time-resolved updaters: one monomorphic closure per
+		// aggregate per chunk, avoiding per-row Value boxing and the
+		// generic update switch.
+		upds := makeUpdaters(h.aggs, valCols)
+		keyAt := makeKeyReader(h.keys, keyCols)
+
+		// Re-evaluate the flavor per chunk (adaptive trigger).
+		wantPre := h.PreAggEnabled()
+		if wantPre && pre == nil {
+			pre = make([]*aggState, preAggSlots)
+		}
+		if !wantPre && pre != nil {
+			flushPre()
+			pre = nil
+		}
+
+		hits, misses := 0, 0
+		apply := func(st *aggState, r int) {
+			for _, u := range upds {
+				u(st, r)
+			}
+		}
+		for r := 0; r < cc.Len(); r++ {
+			key := keyAt(r)
+			if pre != nil {
+				slot := int((uint64(key.i1)*0x9e3779b97f4a7c15 ^ uint64(len(key.s1))<<32 ^ uint64(key.i2) ^ hashStr(key.s1) ^ hashStr(key.s2)) % preAggSlots)
+				st := pre[slot]
+				if st != nil && st.key == key {
+					hits++
+					apply(st, r)
+					continue
+				}
+				misses++
+				if st != nil {
+					h.global(st.key).merge(h.aggs, st)
+					h.PreAggFlushes++
+				}
+				st = h.newState(key)
+				apply(st, r)
+				pre[slot] = st
+				continue
+			}
+			apply(h.global(key), r)
+		}
+		h.PreAggHits += int64(hits)
+		h.PreAggMisses += int64(misses)
+		if pre != nil && hits+misses > 0 {
+			h.hitEW.Observe(float64(hits) / float64(hits+misses))
+			if h.mode == PreAggAdaptive {
+				h.useNow = h.hitEW.Value(1) >= preAggThreshold
+			}
+		}
+	}
+	if pre != nil {
+		flushPre()
+	}
+
+	// Emit groups in first-seen order (stable for tests).
+	return h.emit()
+}
+
+// Close implements Operator.
+func (h *HashAgg) Close() error { return h.child.Close() }
+
+// makeUpdaters resolves one monomorphic per-row updater per aggregate for
+// the current chunk's column vectors.
+func makeUpdaters(aggs []Aggregate, valCols []*vector.Vector) []func(st *aggState, r int) {
+	upds := make([]func(st *aggState, r int), len(aggs))
+	for ai, a := range aggs {
+		ai := ai
+		if a.Func == AggCount {
+			upds[ai] = func(st *aggState, r int) { st.counts[ai]++ }
+			continue
+		}
+		col := valCols[ai]
+		switch col.Kind() {
+		case vector.F64:
+			d := col.F64()
+			switch a.Func {
+			case AggSum, AggAvg:
+				upds[ai] = func(st *aggState, r int) {
+					st.counts[ai]++
+					st.sumsF[ai] += d[r]
+				}
+			case AggMin:
+				upds[ai] = func(st *aggState, r int) {
+					st.counts[ai]++
+					if !st.seen[ai] || d[r] < st.minsF[ai] {
+						st.minsF[ai] = d[r]
+					}
+					st.seen[ai] = true
+				}
+			case AggMax:
+				upds[ai] = func(st *aggState, r int) {
+					st.counts[ai]++
+					if !st.seen[ai] || d[r] > st.maxsF[ai] {
+						st.maxsF[ai] = d[r]
+					}
+					st.seen[ai] = true
+				}
+			}
+		case vector.I64:
+			d := col.I64()
+			switch a.Func {
+			case AggSum, AggAvg:
+				upds[ai] = func(st *aggState, r int) {
+					st.counts[ai]++
+					st.sumsI[ai] += d[r]
+				}
+			case AggMin:
+				upds[ai] = func(st *aggState, r int) {
+					st.counts[ai]++
+					if !st.seen[ai] || d[r] < st.minsI[ai] {
+						st.minsI[ai] = d[r]
+					}
+					st.seen[ai] = true
+				}
+			case AggMax:
+				upds[ai] = func(st *aggState, r int) {
+					st.counts[ai]++
+					if !st.seen[ai] || d[r] > st.maxsI[ai] {
+						st.maxsI[ai] = d[r]
+					}
+					st.seen[ai] = true
+				}
+			}
+		}
+		if upds[ai] == nil {
+			// Generic fallback for narrower integer kinds.
+			fn := a.Func
+			col := col
+			upds[ai] = func(st *aggState, r int) {
+				v := col.Get(r)
+				st.counts[ai]++
+				switch fn {
+				case AggSum, AggAvg:
+					st.sumsI[ai] += v.I
+				case AggMin:
+					if !st.seen[ai] || v.I < st.minsI[ai] {
+						st.minsI[ai] = v.I
+					}
+					st.seen[ai] = true
+				case AggMax:
+					if !st.seen[ai] || v.I > st.maxsI[ai] {
+						st.maxsI[ai] = v.I
+					}
+					st.seen[ai] = true
+				}
+			}
+		}
+	}
+	return upds
+}
+
+// makeKeyReader resolves a typed group-key extractor for the current chunk.
+func makeKeyReader(keys []string, keyCols []*vector.Vector) func(r int) groupKey {
+	switch len(keys) {
+	case 0:
+		return func(int) groupKey { return groupKey{} }
+	case 1:
+		if keyCols[0].Kind() == vector.I64 {
+			d := keyCols[0].I64()
+			return func(r int) groupKey { return groupKey{i1: d[r]} }
+		}
+		d := keyCols[0].Str()
+		return func(r int) groupKey { return groupKey{s1: d[r]} }
+	default:
+		get1 := keyPart(keyCols[0])
+		get2 := keyPart(keyCols[1])
+		return func(r int) groupKey {
+			k := groupKey{}
+			k.i1, k.s1 = get1(r)
+			k.i2, k.s2 = get2(r)
+			return k
+		}
+	}
+}
+
+func keyPart(col *vector.Vector) func(r int) (int64, string) {
+	if col.Kind() == vector.I64 {
+		d := col.I64()
+		return func(r int) (int64, string) { return d[r], "" }
+	}
+	d := col.Str()
+	return func(r int) (int64, string) { return 0, d[r] }
+}
+
+func hashStr(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (h *HashAgg) emit() (*vector.Chunk, error) {
+	h.emitted = true
+	n := len(h.order)
+	out := vector.NewChunk()
+	for ki, ci := range h.schema[:len(h.keys)] {
+		col := vector.New(ci.Kind, 0, n)
+		for _, key := range h.order {
+			switch {
+			case ci.Kind == vector.I64 && ki == 0:
+				col.AppendValue(vector.I64Value(key.i1))
+			case ci.Kind == vector.I64:
+				col.AppendValue(vector.I64Value(key.i2))
+			case ki == 0:
+				col.AppendValue(vector.StrValue(key.s1))
+			default:
+				col.AppendValue(vector.StrValue(key.s2))
+			}
+		}
+		out.Add(ci.Name, col)
+	}
+	for ai, a := range h.aggs {
+		ci := h.schema[len(h.keys)+ai]
+		col := vector.New(ci.Kind, 0, n)
+		for _, key := range h.order {
+			st := h.groups[key]
+			switch a.Func {
+			case AggCount:
+				col.AppendValue(vector.I64Value(st.counts[ai]))
+			case AggSum:
+				if ci.Kind == vector.F64 {
+					col.AppendValue(vector.F64Value(st.sumsF[ai]))
+				} else {
+					col.AppendValue(vector.IntValue(ci.Kind, st.sumsI[ai]))
+				}
+			case AggAvg:
+				sum := st.sumsF[ai] + float64(st.sumsI[ai])
+				col.AppendValue(vector.F64Value(sum / float64(maxi64(st.counts[ai], 1))))
+			case AggMin:
+				if ci.Kind == vector.F64 {
+					col.AppendValue(vector.F64Value(st.minsF[ai]))
+				} else {
+					col.AppendValue(vector.IntValue(ci.Kind, st.minsI[ai]))
+				}
+			case AggMax:
+				if ci.Kind == vector.F64 {
+					col.AppendValue(vector.F64Value(st.maxsF[ai]))
+				} else {
+					col.AppendValue(vector.IntValue(ci.Kind, st.maxsI[ai]))
+				}
+			}
+		}
+		out.Add(a.As, col)
+	}
+	// Deterministic output order: sort rows by key columns.
+	sortChunkByKeys(out, len(h.keys))
+	return out, nil
+}
+
+// sortChunkByKeys reorders all columns of a materialized chunk by its first
+// k columns ascending.
+func sortChunkByKeys(c *vector.Chunk, k int) {
+	n := c.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	less := func(a, b int) bool {
+		for ki := 0; ki < k; ki++ {
+			va, vb := c.Col(ki).Get(a), c.Col(ki).Get(b)
+			if va.Equal(vb) {
+				continue
+			}
+			switch va.Kind {
+			case vector.Str:
+				return va.S < vb.S
+			case vector.F64:
+				return va.F < vb.F
+			default:
+				return va.I < vb.I
+			}
+		}
+		return false
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	sel := make(vector.Sel, n)
+	for i, x := range idx {
+		sel[i] = int32(x)
+	}
+	for i := 0; i < c.Width(); i++ {
+		reordered := vector.Condense(c.Col(i), sel)
+		c.Col(i).CopyFrom(0, reordered, 0, n)
+	}
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+// Package engine is the relational layer on top of the adaptive VM: a
+// chunk-at-a-time operator pipeline (scan, compute, filter, hash join, hash
+// aggregation) in which scalar expressions and predicates are written in the
+// DSL, lowered through the normalizer and executed by the VM — so hot
+// expressions JIT-compile into fused traces exactly as §III prescribes,
+// while the operators themselves host the workload-specific optimizations
+// of §III-C: full-vs-selective predicate evaluation, Bloom filters in
+// selective hash joins, adaptive pre-aggregation, and on-the-fly reordering
+// of selective operators.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/vector"
+)
+
+// ColInfo describes one output column of an operator.
+type ColInfo struct {
+	Name string
+	Kind vector.Kind
+}
+
+// Operator is a chunk-at-a-time relational operator (Volcano-style but
+// vectorized: Next returns a chunk, not a tuple).
+type Operator interface {
+	// Schema returns the operator's output columns.
+	Schema() []ColInfo
+	// Open prepares execution (builds hash tables etc.).
+	Open() error
+	// Next returns the next chunk, or nil at end of stream.
+	Next() (*vector.Chunk, error)
+	// Close releases resources.
+	Close() error
+}
+
+// Scan reads a stored table chunk-at-a-time.
+type Scan struct {
+	store    vector.Store
+	cols     []int
+	schema   []ColInfo
+	chunkLen int
+	pos      int
+	bufs     []*vector.Vector
+}
+
+// NewScan creates a scan over the named columns of store.
+func NewScan(store vector.Store, columns ...string) (*Scan, error) {
+	s := &Scan{store: store, chunkLen: vector.DefaultChunkLen}
+	sch := store.Schema()
+	if len(columns) == 0 {
+		columns = sch.Names
+	}
+	for _, name := range columns {
+		idx := sch.ColumnIndex(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: scan column %q not in schema %v", name, sch.Names)
+		}
+		s.cols = append(s.cols, idx)
+		s.schema = append(s.schema, ColInfo{Name: name, Kind: sch.Kinds[idx]})
+	}
+	return s, nil
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() []ColInfo { return s.schema }
+
+// Open implements Operator.
+func (s *Scan) Open() error {
+	s.pos = 0
+	s.bufs = make([]*vector.Vector, len(s.cols))
+	for i, ci := range s.cols {
+		s.bufs[i] = vector.NewLen(s.store.Schema().Kinds[ci], s.chunkLen)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (*vector.Chunk, error) {
+	n := s.store.Scan(s.pos, s.chunkLen, s.cols, s.bufs)
+	if n == 0 {
+		return nil, nil
+	}
+	s.pos += n
+	c := vector.NewChunk()
+	for i, info := range s.schema {
+		c.Add(info.Name, s.bufs[i].Slice(0, n))
+	}
+	return c, nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error { return nil }
+
+// Drain pulls every chunk of op through fn.
+func Drain(op Operator, fn func(*vector.Chunk) error) error {
+	if err := op.Open(); err != nil {
+		return err
+	}
+	defer op.Close()
+	for {
+		c, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if c == nil {
+			return nil
+		}
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+}
+
+// Collect materializes an operator's full output into a DSM store. The
+// schema is read after Open, since pipeline breakers (joins, aggregations)
+// resolve their output schema there.
+func Collect(op Operator) (*vector.DSMStore, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	sch := vector.Schema{}
+	for _, ci := range op.Schema() {
+		sch.Names = append(sch.Names, ci.Name)
+		sch.Kinds = append(sch.Kinds, ci.Kind)
+	}
+	out := vector.NewDSMStore(sch)
+	for {
+		c, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			return out, nil
+		}
+		out.AppendChunk(projectTo(c, sch.Names))
+	}
+}
+
+func projectTo(c *vector.Chunk, names []string) *vector.Chunk {
+	out := vector.NewChunk()
+	for _, name := range names {
+		out.Add(name, c.MustColumn(name))
+	}
+	out.SetSel(c.Sel())
+	return out
+}
+
+// CountRows counts the (selected) rows an operator produces.
+func CountRows(op Operator) (int64, error) {
+	var n int64
+	err := Drain(op, func(c *vector.Chunk) error {
+		n += int64(c.SelectedLen())
+		return nil
+	})
+	return n, err
+}

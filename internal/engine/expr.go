@@ -1,0 +1,401 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dsl"
+	"repro/internal/interp"
+	"repro/internal/jit"
+	"repro/internal/nir"
+	"repro/internal/profile"
+	"repro/internal/vector"
+	"repro/internal/vm"
+)
+
+// exprVM wraps a per-operator adaptive VM for a DSL lambda applied to input
+// columns. The generated program is the front-end lowering the paper's §II
+// describes: one read per input column, the lambda body as a map, one write.
+type exprVM struct {
+	vm     *vm.VM
+	outVec *vector.Vector
+	ext    map[string]*vector.Vector
+	inCols []string
+	kind   vector.Kind
+	env    *interp.Env
+}
+
+// vmConfigForExpr: synchronous optimization between chunks keeps the engine
+// deterministic; compile latency stays modeled.
+func vmConfigForExpr(enableJIT bool) vm.Config {
+	cfg := vm.DefaultConfig()
+	cfg.Sync = true
+	cfg.HotCalls = 16
+	if !enableJIT {
+		cfg.HotCalls = 1 << 62
+		cfg.HotNanos = 1 << 62
+	}
+	return cfg
+}
+
+// newExprVM lowers "map (\params -> body) cols..." into a VM.
+func newExprVM(lambda string, inCols []string, inKinds []vector.Kind, outKind vector.Kind, enableJIT bool, jitOpt jit.Options) (*exprVM, error) {
+	var sb strings.Builder
+	for i, col := range inCols {
+		fmt.Fprintf(&sb, "let c%d = read 0 %s\n", i, col)
+	}
+	sb.WriteString("let r = map " + lambda)
+	for i := range inCols {
+		fmt.Fprintf(&sb, " c%d", i)
+	}
+	sb.WriteString("\nwrite out 0 r\n")
+
+	prog, err := dsl.Parse(sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("engine: lowering expression: %w", err)
+	}
+	kinds := map[string]vector.Kind{"out": outKind}
+	for i, col := range inCols {
+		kinds[col] = inKinds[i]
+	}
+	np, err := nir.Normalize(prog, kinds)
+	if err != nil {
+		return nil, err
+	}
+	cfg := vmConfigForExpr(enableJIT)
+	cfg.JIT = jitOpt
+	e := &exprVM{
+		vm:     vm.New(np, cfg),
+		outVec: vector.New(outKind, 0, vector.DefaultChunkLen),
+		ext:    map[string]*vector.Vector{},
+		inCols: inCols,
+		kind:   outKind,
+	}
+	return e, nil
+}
+
+// eval applies the expression to the given input vectors (all the same
+// length, no selection) and returns the result vector (valid until the next
+// call).
+func (e *exprVM) eval(inputs []*vector.Vector) (*vector.Vector, error) {
+	for i, col := range e.inCols {
+		e.ext[col] = inputs[i]
+	}
+	e.outVec.SetLen(0)
+	e.ext["out"] = e.outVec
+	// The environment is created once and reused: rebinding happens through
+	// the shared externals map, and register buffers amortize across chunks.
+	if e.env == nil {
+		env, err := e.vm.NewEnv(e.ext)
+		if err != nil {
+			return nil, err
+		}
+		e.env = env
+	}
+	if err := e.vm.Run(e.env); err != nil {
+		return nil, err
+	}
+	return e.ext["out"], nil
+}
+
+// Profile exposes the underlying VM profile (for tests and reports).
+func (e *exprVM) Profile() *profile.Profile { return e.vm.Interp.Prof }
+
+// EvalMode selects how Compute and Filter treat incoming selection vectors
+// (§III-C: "one could also specialize for different selectivities").
+type EvalMode int
+
+// Evaluation flavors.
+const (
+	// EvalAdaptive chooses per chunk from observed selectivity.
+	EvalAdaptive EvalMode = iota
+	// EvalFull computes over all rows, keeping the selection vector
+	// (profitable when most rows are selected: no condense, full SIMD).
+	EvalFull
+	// EvalSelective condenses the selected rows first and computes only
+	// those (profitable when few rows are selected).
+	EvalSelective
+)
+
+var evalNames = [...]string{EvalAdaptive: "adaptive", EvalFull: "full", EvalSelective: "selective"}
+
+func (m EvalMode) String() string { return evalNames[m] }
+
+// fullThreshold is the selectivity above which full evaluation wins (the
+// condense overhead exceeds the wasted compute).
+const fullThreshold = 0.5
+
+// Compute appends a derived column computed by a DSL lambda over input
+// columns.
+type Compute struct {
+	child   Operator
+	outName string
+	lambda  string
+	cols    []string
+	mode    EvalMode
+	evm     *exprVM
+	selEW   *profile.EWMA
+	outKind vector.Kind
+	jitOn   bool
+	jitOpt  jit.Options
+
+	// FullEvals / SelectiveEvals count flavor decisions (for experiments).
+	FullEvals, SelectiveEvals int
+}
+
+// NewCompute creates a compute operator: out := map lambda cols...
+// outKind must be the lambda's result kind.
+func NewCompute(child Operator, outName, lambda string, outKind vector.Kind, cols ...string) *Compute {
+	return &Compute{
+		child: child, outName: outName, lambda: lambda, cols: cols,
+		outKind: outKind, mode: EvalAdaptive, selEW: profile.NewEWMA(0.3),
+		jitOn: true,
+	}
+}
+
+// SetMode fixes the evaluation flavor (default adaptive).
+func (c *Compute) SetMode(m EvalMode) *Compute { c.mode = m; return c }
+
+// SetJIT enables/disables trace compilation in the expression VM.
+func (c *Compute) SetJIT(on bool, opt jit.Options) *Compute {
+	c.jitOn = on
+	c.jitOpt = opt
+	return c
+}
+
+// Schema implements Operator.
+func (c *Compute) Schema() []ColInfo {
+	return append(append([]ColInfo{}, c.child.Schema()...), ColInfo{Name: c.outName, Kind: c.outKind})
+}
+
+// Open implements Operator.
+func (c *Compute) Open() error {
+	if err := c.child.Open(); err != nil {
+		return err
+	}
+	var kinds []vector.Kind
+	for _, col := range c.cols {
+		found := false
+		for _, ci := range c.child.Schema() {
+			if ci.Name == col {
+				kinds = append(kinds, ci.Kind)
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("engine: compute input %q not produced by child", col)
+		}
+	}
+	evm, err := newExprVM(c.lambda, c.cols, kinds, c.outKind, c.jitOn, c.jitOpt)
+	if err != nil {
+		return err
+	}
+	c.evm = evm
+	return nil
+}
+
+// Next implements Operator.
+func (c *Compute) Next() (*vector.Chunk, error) {
+	chunk, err := c.child.Next()
+	if err != nil || chunk == nil {
+		return chunk, err
+	}
+	inputs := make([]*vector.Vector, len(c.cols))
+
+	full := true
+	if chunk.Sel() != nil {
+		switch c.mode {
+		case EvalFull:
+			full = true
+		case EvalSelective:
+			full = false
+		default:
+			sel := float64(chunk.SelectedLen()) / float64(chunk.Len())
+			c.selEW.Observe(sel)
+			full = c.selEW.Value(1) >= fullThreshold
+		}
+	}
+
+	if full {
+		c.FullEvals++
+		for i, col := range c.cols {
+			inputs[i] = chunk.MustColumn(col)
+		}
+		out, err := c.evm.eval(inputs)
+		if err != nil {
+			return nil, err
+		}
+		res := vector.NewChunk()
+		for i := 0; i < chunk.Width(); i++ {
+			res.Add(chunk.Name(i), chunk.Col(i))
+		}
+		res.Add(c.outName, out.Clone())
+		res.SetSel(chunk.Sel())
+		return res, nil
+	}
+
+	// Selective: condense, evaluate the survivors only, re-expand is not
+	// needed because the whole chunk is condensed.
+	c.SelectiveEvals++
+	cc := chunk.Condense()
+	for i, col := range c.cols {
+		inputs[i] = cc.MustColumn(col)
+	}
+	out, err := c.evm.eval(inputs)
+	if err != nil {
+		return nil, err
+	}
+	res := vector.NewChunk()
+	for i := 0; i < cc.Width(); i++ {
+		res.Add(cc.Name(i), cc.Col(i))
+	}
+	res.Add(c.outName, out.Clone())
+	return res, nil
+}
+
+// Close implements Operator.
+func (c *Compute) Close() error { return c.child.Close() }
+
+// Filter narrows the chunk's selection vector with a DSL predicate.
+type Filter struct {
+	child  Operator
+	lambda string
+	col    string
+	mode   EvalMode
+	evm    *exprVM
+	selEW  *profile.EWMA
+	jitOn  bool
+	jitOpt jit.Options
+
+	// Observed counts rows in/out for selectivity reporting.
+	RowsIn, RowsOut int64
+	// MaskEvals / SelEvals count flavor decisions.
+	MaskEvals, SelEvals int
+}
+
+// NewFilter creates a filter with predicate lambda over one column.
+func NewFilter(child Operator, lambda, col string) *Filter {
+	return &Filter{
+		child: child, lambda: lambda, col: col,
+		mode: EvalAdaptive, selEW: profile.NewEWMA(0.3), jitOn: true,
+	}
+}
+
+// SetMode fixes the evaluation flavor.
+func (f *Filter) SetMode(m EvalMode) *Filter { f.mode = m; return f }
+
+// SetJIT enables/disables trace compilation in the predicate VM.
+func (f *Filter) SetJIT(on bool, opt jit.Options) *Filter {
+	f.jitOn = on
+	f.jitOpt = opt
+	return f
+}
+
+// Selectivity returns the observed pass rate.
+func (f *Filter) Selectivity() float64 {
+	if f.RowsIn == 0 {
+		return 1
+	}
+	return float64(f.RowsOut) / float64(f.RowsIn)
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() []ColInfo { return f.child.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error {
+	if err := f.child.Open(); err != nil {
+		return err
+	}
+	var kind vector.Kind
+	found := false
+	for _, ci := range f.child.Schema() {
+		if ci.Name == f.col {
+			kind, found = ci.Kind, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("engine: filter column %q not produced by child", f.col)
+	}
+	evm, err := newExprVM(f.lambda, []string{f.col}, []vector.Kind{kind}, vector.Bool, f.jitOn, f.jitOpt)
+	if err != nil {
+		return err
+	}
+	f.evm = evm
+	return nil
+}
+
+// Next implements Operator.
+func (f *Filter) Next() (*vector.Chunk, error) {
+	for {
+		chunk, err := f.child.Next()
+		if err != nil || chunk == nil {
+			return chunk, err
+		}
+		f.RowsIn += int64(chunk.SelectedLen())
+
+		// Flavor choice: full (bitmap) evaluation computes the predicate
+		// over every physical row and intersects masks — profitable when
+		// most rows are alive; selection-vector evaluation condenses first.
+		full := true
+		if chunk.Sel() != nil {
+			switch f.mode {
+			case EvalFull:
+				full = true
+			case EvalSelective:
+				full = false
+			default:
+				full = f.selEW.Value(1) >= fullThreshold
+			}
+		}
+
+		var out *vector.Chunk
+		if full {
+			f.MaskEvals++
+			mask, err := f.evm.eval([]*vector.Vector{chunk.MustColumn(f.col)})
+			if err != nil {
+				return nil, err
+			}
+			sel := vector.Intersect(chunk.Sel(), vector.SelFromMask(mask.Bool()), chunk.Len())
+			out = shallowChunk(chunk)
+			out.SetSel(sel)
+		} else {
+			f.SelEvals++
+			cc := chunk.Condense()
+			mask, err := f.evm.eval([]*vector.Vector{cc.MustColumn(f.col)})
+			if err != nil {
+				return nil, err
+			}
+			out = shallowChunk(cc)
+			out.SetSel(vector.SelFromMask(mask.Bool()))
+		}
+
+		passed := out.SelectedLen()
+		f.RowsOut += int64(passed)
+		if f.RowsIn > 0 {
+			f.selEW.Observe(float64(passed) / float64(maxi(1, chunk.SelectedLen())))
+		}
+		if passed == 0 {
+			continue // fully filtered chunk: pull the next one
+		}
+		return out, nil
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.child.Close() }
+
+func shallowChunk(c *vector.Chunk) *vector.Chunk {
+	out := vector.NewChunk()
+	for i := 0; i < c.Width(); i++ {
+		out.Add(c.Name(i), c.Col(i))
+	}
+	return out
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+	"repro/internal/vector"
+)
+
+// BloomFilter is a blocked Bloom filter over int64 keys, the §IV-target-2
+// "applicability of Bloom-filters in selective hash-joins" device: probes
+// that miss the filter skip the hash table entirely.
+type BloomFilter struct {
+	bits []uint64
+	mask uint64
+}
+
+// NewBloomFilter sizes the filter for n keys at ~8 bits per key.
+func NewBloomFilter(n int) *BloomFilter {
+	words := 1
+	for words*64 < n*8 {
+		words *= 2
+	}
+	return &BloomFilter{bits: make([]uint64, words), mask: uint64(words*64 - 1)}
+}
+
+func bloomHash1(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func bloomHash2(k int64) uint64 {
+	x := uint64(k)
+	x *= 0xc2b2ae3d27d4eb4f
+	x ^= x >> 29
+	x *= 0x165667b19e3779f9
+	x ^= x >> 32
+	return x
+}
+
+// Add inserts a key.
+func (b *BloomFilter) Add(k int64) {
+	h1, h2 := bloomHash1(k)&b.mask, bloomHash2(k)&b.mask
+	b.bits[h1/64] |= 1 << (h1 % 64)
+	b.bits[h2/64] |= 1 << (h2 % 64)
+}
+
+// MayContain reports whether k may be present (false = definitely absent).
+func (b *BloomFilter) MayContain(k int64) bool {
+	h1, h2 := bloomHash1(k)&b.mask, bloomHash2(k)&b.mask
+	return b.bits[h1/64]&(1<<(h1%64)) != 0 && b.bits[h2/64]&(1<<(h2%64)) != 0
+}
+
+// BloomMode controls Bloom-filter use in HashJoin.
+type BloomMode int
+
+// Bloom flavors.
+const (
+	// BloomAdaptive enables the prefilter while the observed probe hit
+	// rate stays low and disables it when most probes hit anyway.
+	BloomAdaptive BloomMode = iota
+	BloomOn
+	BloomOff
+)
+
+// bloomThreshold is the probe hit rate above which the prefilter is pure
+// overhead.
+const bloomThreshold = 0.5
+
+// HashJoin is an inner equi-join on int64 key columns. The build side is
+// materialized into a hash table at Open; Next streams probe chunks and
+// emits matches (probe columns prefixed as-is, build payload columns
+// appended).
+type HashJoin struct {
+	build, probe       Operator
+	buildKey, probeKey string
+	payload            []string // build-side columns to carry
+	mode               BloomMode
+
+	table   map[int64][]int32
+	rows    *vector.DSMStore
+	bloom   *BloomFilter
+	hitEW   *profile.EWMA
+	useNow  bool
+	schema  []ColInfo
+	payIdx  []int
+	keyIdxP int
+
+	// Probes/BloomSkips/Hits count probe-side behaviour for experiments.
+	Probes, BloomSkips, Hits int64
+	// BloomChecks counts probes that consulted the filter.
+	BloomChecks int64
+}
+
+// NewHashJoin joins probe ⋈ build on probeKey = buildKey, carrying the given
+// build payload columns.
+func NewHashJoin(probe, build Operator, probeKey, buildKey string, payload ...string) *HashJoin {
+	return &HashJoin{
+		build: build, probe: probe, buildKey: buildKey, probeKey: probeKey,
+		payload: payload, mode: BloomAdaptive, hitEW: profile.NewEWMA(0.25),
+		useNow: true,
+	}
+}
+
+// SetBloom fixes the Bloom flavor (default adaptive).
+func (j *HashJoin) SetBloom(m BloomMode) *HashJoin { j.mode = m; return j }
+
+// BloomEnabled reports the current flavor decision.
+func (j *HashJoin) BloomEnabled() bool {
+	switch j.mode {
+	case BloomOn:
+		return true
+	case BloomOff:
+		return false
+	}
+	return j.useNow
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() []ColInfo { return j.schema }
+
+// Open implements Operator: materializes and hashes the build side.
+func (j *HashJoin) Open() error {
+	if err := j.probe.Open(); err != nil {
+		return err
+	}
+	rows, err := Collect(j.build)
+	if err != nil {
+		return err
+	}
+	j.rows = rows
+	sch := rows.Schema()
+	keyIdx := sch.ColumnIndex(j.buildKey)
+	if keyIdx < 0 {
+		return fmt.Errorf("engine: build key %q missing", j.buildKey)
+	}
+	if sch.Kinds[keyIdx] != vector.I64 {
+		return fmt.Errorf("engine: build key %q must be i64", j.buildKey)
+	}
+	j.payIdx = nil
+	for _, p := range j.payload {
+		idx := sch.ColumnIndex(p)
+		if idx < 0 {
+			return fmt.Errorf("engine: payload column %q missing from build side", p)
+		}
+		j.payIdx = append(j.payIdx, idx)
+	}
+
+	j.table = make(map[int64][]int32, rows.Rows())
+	j.bloom = NewBloomFilter(maxi(rows.Rows(), 64))
+	keys := rows.Col(keyIdx).I64()
+	for i, k := range keys {
+		j.table[k] = append(j.table[k], int32(i))
+		j.bloom.Add(k)
+	}
+
+	j.schema = nil
+	j.schema = append(j.schema, j.probe.Schema()...)
+	for i, p := range j.payload {
+		j.schema = append(j.schema, ColInfo{Name: p, Kind: sch.Kinds[j.payIdx[i]]})
+	}
+	j.keyIdxP = -1
+	for i, ci := range j.probe.Schema() {
+		if ci.Name == j.probeKey {
+			j.keyIdxP = i
+			if ci.Kind != vector.I64 {
+				return fmt.Errorf("engine: probe key %q must be i64", j.probeKey)
+			}
+		}
+	}
+	if j.keyIdxP < 0 {
+		return fmt.Errorf("engine: probe key %q missing", j.probeKey)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*vector.Chunk, error) {
+	for {
+		chunk, err := j.probe.Next()
+		if err != nil || chunk == nil {
+			return chunk, err
+		}
+		cc := chunk
+		if chunk.Sel() != nil {
+			cc = chunk.Condense()
+		}
+		keys := cc.Col(j.keyIdxP).I64()
+
+		useBloom := j.BloomEnabled()
+		var probeIdx []int32 // probe row per output row
+		var buildIdx []int32 // matching build row per output row
+		hits := 0
+		for i, k := range keys {
+			j.Probes++
+			if useBloom {
+				j.BloomChecks++
+				if !j.bloom.MayContain(k) {
+					j.BloomSkips++
+					continue
+				}
+			}
+			matches, ok := j.table[k]
+			if !ok {
+				continue
+			}
+			hits++
+			for _, m := range matches {
+				probeIdx = append(probeIdx, int32(i))
+				buildIdx = append(buildIdx, m)
+			}
+		}
+		j.Hits += int64(hits)
+		if len(keys) > 0 {
+			j.hitEW.Observe(float64(hits) / float64(len(keys)))
+			if j.mode == BloomAdaptive {
+				j.useNow = j.hitEW.Value(0) < bloomThreshold
+			}
+		}
+		if len(probeIdx) == 0 {
+			continue
+		}
+
+		out := vector.NewChunk()
+		for i := 0; i < cc.Width(); i++ {
+			out.Add(cc.Name(i), vector.Condense(cc.Col(i), probeIdx))
+		}
+		for pi, p := range j.payload {
+			col := j.rows.Col(j.payIdx[pi])
+			out.Add(p, vector.Condense(col, buildIdx))
+		}
+		return out, nil
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error { return j.probe.Close() }

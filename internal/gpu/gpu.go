@@ -1,0 +1,163 @@
+// Package gpu simulates a discrete GPU behind the device.Device interface.
+//
+// No CUDA bindings exist for this environment (the paper's target-3
+// experiments are hardware-gated), so the device executes kernels on the
+// host — results are bit-identical — while charging *modeled* time from the
+// canonical discrete-GPU cost structure:
+//
+//	cost = launch overhead
+//	     + PCIe transfer for non-resident inputs (+ results read back)
+//	     + max(compute at massive parallel throughput,
+//	           device-memory traffic at HBM bandwidth)
+//
+// The model preserves exactly the behaviour the paper's adaptive placement
+// depends on: a fixed per-kernel cost that dominates small inputs, a
+// transfer term that dominates cold data, and a throughput advantage that
+// dominates large resident data. Defaults approximate a mid-range PCIe 3.0
+// part (5 µs launch, 12 GB/s PCIe, 500 GB/s HBM, 100 elem-ops/ns).
+package gpu
+
+import (
+	"time"
+
+	"repro/internal/device"
+)
+
+// Config parameterizes the simulated hardware.
+type Config struct {
+	LaunchOverhead time.Duration
+	// PCIeBytesPerNs is host↔device bandwidth in bytes per nanosecond.
+	PCIeBytesPerNs float64
+	// HBMBytesPerNs is device-memory bandwidth.
+	HBMBytesPerNs float64
+	// ElemOpsPerNs is aggregate arithmetic throughput.
+	ElemOpsPerNs float64
+	// MemoryBytes is device memory capacity for residency.
+	MemoryBytes int
+}
+
+// DefaultConfig models a mid-range discrete accelerator.
+func DefaultConfig() Config {
+	return Config{
+		LaunchOverhead: 5 * time.Microsecond,
+		PCIeBytesPerNs: 12,
+		HBMBytesPerNs:  500,
+		ElemOpsPerNs:   100,
+		MemoryBytes:    4 << 30,
+	}
+}
+
+// Device is the simulated GPU.
+type Device struct {
+	cfg      Config
+	resident map[string]int
+	used     int
+	order    []string // FIFO eviction order
+
+	// TotalTransfer accumulates modeled transfer time for reports.
+	TotalTransfer time.Duration
+}
+
+// New creates a simulated GPU.
+func New(cfg Config) *Device {
+	return &Device{cfg: cfg, resident: map[string]int{}}
+}
+
+var _ device.Device = (*Device)(nil)
+
+// Name implements device.Device.
+func (d *Device) Name() string { return "gpu" }
+
+// transferBytes sums the sizes of non-resident inputs.
+func (d *Device) transferBytes(k device.Kernel) int {
+	if len(k.Inputs) == 0 {
+		// Unnamed inputs: charge the full input volume unless nothing is
+		// resident at all (conservative).
+		return k.BytesIn
+	}
+	bytes := 0
+	per := k.BytesIn / max(len(k.Inputs), 1)
+	for _, in := range k.Inputs {
+		if _, ok := d.resident[in]; !ok {
+			bytes += per
+		}
+	}
+	return bytes
+}
+
+// Estimate implements device.Device.
+func (d *Device) Estimate(k device.Kernel) device.Cost {
+	transfer := time.Duration(float64(d.transferBytes(k)+k.BytesOut) / d.cfg.PCIeBytesPerNs)
+	compute := float64(k.Elems) * maxf(k.OpsPerElem, 1) / d.cfg.ElemOpsPerNs
+	hbm := float64(k.BytesIn+k.BytesOut) / d.cfg.HBMBytesPerNs
+	total := d.cfg.LaunchOverhead + transfer + time.Duration(maxf(compute, hbm))
+	return device.Cost{Modeled: total, Transfer: transfer}
+}
+
+// Run implements device.Device: executes the host-side work for correctness
+// and returns the modeled cost (not wall time — this is the documented
+// simulation substitution).
+func (d *Device) Run(k device.Kernel, work func()) device.Cost {
+	work()
+	cost := d.Estimate(k)
+	d.TotalTransfer += cost.Transfer
+	// Inputs transferred for a kernel become resident (simple cache).
+	per := k.BytesIn / max(len(k.Inputs), 1)
+	for _, in := range k.Inputs {
+		d.MakeResident(in, per)
+	}
+	return cost
+}
+
+// MakeResident implements device.Device with FIFO eviction.
+func (d *Device) MakeResident(name string, bytes int) {
+	if _, ok := d.resident[name]; ok {
+		return
+	}
+	for d.used+bytes > d.cfg.MemoryBytes && len(d.order) > 0 {
+		victim := d.order[0]
+		d.order = d.order[1:]
+		d.used -= d.resident[victim]
+		delete(d.resident, victim)
+	}
+	if d.used+bytes > d.cfg.MemoryBytes {
+		return // does not fit at all
+	}
+	d.resident[name] = bytes
+	d.order = append(d.order, name)
+	d.used += bytes
+}
+
+// Resident implements device.Device.
+func (d *Device) Resident(name string) bool {
+	_, ok := d.resident[name]
+	return ok
+}
+
+// Evict drops an array from device memory (for failure-injection tests).
+func (d *Device) Evict(name string) {
+	if b, ok := d.resident[name]; ok {
+		d.used -= b
+		delete(d.resident, name)
+		for i, n := range d.order {
+			if n == name {
+				d.order = append(d.order[:i], d.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

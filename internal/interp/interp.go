@@ -1,0 +1,259 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nir"
+	"repro/internal/profile"
+)
+
+// errBreak unwinds to the innermost loop.
+var errBreak = errors.New("break")
+
+// Step is one unit of an execution plan: either a single interpreted
+// instruction or an injected compiled trace covering several instructions.
+type Step interface {
+	// Run executes the step. prof may be nil (profiling off).
+	Run(env *Env, prof *profile.Profile) error
+	// Covers returns the instruction IDs the step implements, in execution
+	// order.
+	Covers() []int
+	// Describe returns a short human-readable label for reports.
+	Describe() string
+}
+
+// InstrStep interprets one instruction via a pre-compiled kernel.
+type InstrStep struct {
+	In *nir.Instr
+}
+
+// Run implements Step.
+func (s *InstrStep) Run(env *Env, prof *profile.Profile) error {
+	if prof == nil {
+		_, err := ExecInstr(env, s.In)
+		return err
+	}
+	start := time.Now()
+	tuples, err := ExecInstr(env, s.In)
+	if err != nil {
+		return err
+	}
+	prof.Record(s.In.ID, tuples, time.Since(start).Nanoseconds())
+	if s.In.Op == nir.OpSelect || s.In.Op == nir.OpSelectCmp {
+		in := env.FlowOf(s.In.A).Len()
+		out := env.FlowOf(s.In.Dst).Len()
+		prof.RecordSel(s.In.ID, in, out)
+	}
+	return nil
+}
+
+// Covers implements Step.
+func (s *InstrStep) Covers() []int { return []int{s.In.ID} }
+
+// Describe implements Step.
+func (s *InstrStep) Describe() string { return fmt.Sprintf("interp[%s]", s.In) }
+
+// Plan is the execution plan of one straight-line segment. Plans are
+// immutable once installed; the VM swaps them atomically.
+type Plan struct {
+	Steps []Step
+}
+
+// Segment is a maximal straight-line run of instructions between control
+// flow constructs. Segments are the injection sites for compiled traces
+// (§III-B: each generated function is "directly plugged into the
+// interpreter").
+type Segment struct {
+	ID     int
+	Instrs []*nir.Instr
+}
+
+// DefaultPlan returns the fully interpreted plan for a segment.
+func (s *Segment) DefaultPlan() *Plan {
+	steps := make([]Step, len(s.Instrs))
+	for i, in := range s.Instrs {
+		steps[i] = &InstrStep{In: in}
+	}
+	return &Plan{Steps: steps}
+}
+
+// execNode is the prepared control-flow tree.
+type execNode interface{ execTag() }
+
+type segNode struct{ seg int }
+type loopNode struct{ body []execNode }
+type ifNode struct {
+	cond nir.Reg
+	then []execNode
+	els  []execNode
+}
+type breakNode struct{}
+
+func (*segNode) execTag()   {}
+func (*loopNode) execTag()  {}
+func (*ifNode) execTag()    {}
+func (*breakNode) execTag() {}
+
+// Interpreter executes a normalized program chunk-at-a-time. It owns the
+// program's segments and their (swappable) execution plans.
+type Interpreter struct {
+	Prog     *nir.Program
+	Segments []*Segment
+	plans    []atomic.Pointer[Plan]
+	tree     []execNode
+
+	// Prof receives per-instruction statistics when Profiling is true.
+	Prof      *profile.Profile
+	Profiling bool
+}
+
+// New prepares an interpreter for prog with default (fully interpreted)
+// plans and a fresh profile.
+func New(prog *nir.Program) *Interpreter {
+	it := &Interpreter{
+		Prog: prog,
+		Prof: profile.New(prog.NumInstrs),
+	}
+	it.tree = it.build(prog.Body)
+	it.plans = make([]atomic.Pointer[Plan], len(it.Segments))
+	for i, seg := range it.Segments {
+		it.plans[i].Store(seg.DefaultPlan())
+	}
+	return it
+}
+
+func (it *Interpreter) build(nodes []nir.Node) []execNode {
+	var out []execNode
+	var cur []*nir.Instr
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		seg := &Segment{ID: len(it.Segments), Instrs: cur}
+		it.Segments = append(it.Segments, seg)
+		out = append(out, &segNode{seg: seg.ID})
+		cur = nil
+	}
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *nir.InstrNode:
+			cur = append(cur, n.Instr)
+		case *nir.LoopNode:
+			flush()
+			out = append(out, &loopNode{body: it.build(n.Body)})
+		case *nir.IfNode:
+			flush()
+			out = append(out, &ifNode{cond: n.Cond, then: it.build(n.Then), els: it.build(n.Else)})
+		case *nir.BreakNode:
+			flush()
+			out = append(out, &breakNode{})
+		}
+	}
+	flush()
+	return out
+}
+
+// InstallPlan atomically replaces the plan of segment segID. It validates
+// that the plan covers exactly the segment's instructions in a
+// dependency-respecting order.
+func (it *Interpreter) InstallPlan(segID int, p *Plan) error {
+	seg := it.Segments[segID]
+	want := map[int]bool{}
+	for _, in := range seg.Instrs {
+		want[in.ID] = true
+	}
+	got := map[int]bool{}
+	for _, st := range p.Steps {
+		for _, id := range st.Covers() {
+			if !want[id] {
+				return fmt.Errorf("interp: plan covers foreign instruction %d", id)
+			}
+			if got[id] {
+				return fmt.Errorf("interp: plan covers instruction %d twice", id)
+			}
+			got[id] = true
+		}
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("interp: plan covers %d of %d instructions", len(got), len(want))
+	}
+	it.plans[segID].Store(p)
+	return nil
+}
+
+// Plan returns the currently installed plan of a segment.
+func (it *Interpreter) Plan(segID int) *Plan { return it.plans[segID].Load() }
+
+// ResetPlans restores every segment to full interpretation (deoptimization).
+func (it *Interpreter) ResetPlans() {
+	for i, seg := range it.Segments {
+		it.plans[i].Store(seg.DefaultPlan())
+	}
+}
+
+// Run executes the whole program against env.
+func (it *Interpreter) Run(env *Env) error {
+	err := it.runNodes(it.tree, env)
+	if errors.Is(err, errBreak) {
+		return fmt.Errorf("interp: break outside loop at runtime")
+	}
+	return err
+}
+
+func (it *Interpreter) runNodes(nodes []execNode, env *Env) error {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *segNode:
+			plan := it.plans[n.seg].Load()
+			prof := it.Prof
+			if !it.Profiling {
+				prof = nil
+			}
+			for _, step := range plan.Steps {
+				if err := step.Run(env, prof); err != nil {
+					return err
+				}
+			}
+		case *loopNode:
+			for {
+				err := it.runNodes(n.body, env)
+				if err == nil {
+					continue
+				}
+				if errors.Is(err, errBreak) {
+					break
+				}
+				return err
+			}
+		case *ifNode:
+			if env.ScalarOf(n.cond).B {
+				if err := it.runNodes(n.then, env); err != nil {
+					return err
+				}
+			} else if len(n.els) > 0 {
+				if err := it.runNodes(n.els, env); err != nil {
+					return err
+				}
+			}
+		case *breakNode:
+			return errBreak
+		}
+	}
+	return nil
+}
+
+// SegmentOf returns the segment that contains the instruction with the given
+// ID, or -1.
+func (it *Interpreter) SegmentOf(instrID int) int {
+	for _, seg := range it.Segments {
+		for _, in := range seg.Instrs {
+			if in.ID == instrID {
+				return seg.ID
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,107 @@
+// Package morsel implements morsel-driven parallelism ([15], listed by the
+// paper as a transformation the DSL must support through dynamic loop
+// boundaries): the input index space is split into small morsels handed to
+// workers on demand, so fast workers absorb the skew of slow morsels instead
+// of waiting at a static partition barrier.
+package morsel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselLen balances dispatch overhead against skew absorption.
+const DefaultMorselLen = 16384
+
+// Options configure a parallel run.
+type Options struct {
+	// Workers is the worker count (0 = GOMAXPROCS).
+	Workers int
+	// MorselLen is the morsel size in rows (0 = DefaultMorselLen).
+	MorselLen int
+}
+
+func (o Options) normalize() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MorselLen <= 0 {
+		o.MorselLen = DefaultMorselLen
+	}
+	return o
+}
+
+// Run processes [0, n) with fn(worker, lo, hi) over dynamically dispatched
+// morsels. fn is called concurrently from Workers goroutines; worker
+// identifies the calling worker for thread-local state.
+func Run(n int, opt Options, fn func(worker, lo, hi int)) {
+	opt = opt.normalize()
+	if n <= 0 {
+		return
+	}
+	if opt.Workers == 1 || n <= opt.MorselLen {
+		fn(0, 0, n)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(opt.MorselLen))) - opt.MorselLen
+				if lo >= n {
+					return
+				}
+				hi := lo + opt.MorselLen
+				if hi > n {
+					hi = n
+				}
+				fn(worker, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Fold computes a parallel reduction: each worker folds its morsels into a
+// private accumulator created by mk, and combine merges the per-worker
+// accumulators in worker order.
+func Fold[T any](n int, opt Options, mk func() T, fold func(acc T, lo, hi int) T, combine func(a, b T) T) T {
+	opt = opt.normalize()
+	accs := make([]T, opt.Workers)
+	for i := range accs {
+		accs[i] = mk()
+	}
+	Run(n, opt, func(worker, lo, hi int) {
+		accs[worker] = fold(accs[worker], lo, hi)
+	})
+	out := accs[0]
+	for _, a := range accs[1:] {
+		out = combine(out, a)
+	}
+	return out
+}
+
+// Stats instruments a run for skew analysis.
+type Stats struct {
+	MorselsPerWorker []int64
+	RowsPerWorker    []int64
+}
+
+// RunInstrumented is Run plus per-worker dispatch statistics.
+func RunInstrumented(n int, opt Options, fn func(worker, lo, hi int)) Stats {
+	opt = opt.normalize()
+	st := Stats{
+		MorselsPerWorker: make([]int64, opt.Workers),
+		RowsPerWorker:    make([]int64, opt.Workers),
+	}
+	Run(n, opt, func(worker, lo, hi int) {
+		atomic.AddInt64(&st.MorselsPerWorker[worker], 1)
+		atomic.AddInt64(&st.RowsPerWorker[worker], int64(hi-lo))
+		fn(worker, lo, hi)
+	})
+	return st
+}

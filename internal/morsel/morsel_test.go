@@ -1,0 +1,149 @@
+package morsel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunCoversEveryRowExactlyOnce(t *testing.T) {
+	n := 1_000_003 // prime-ish, not a multiple of the morsel size
+	seen := make([]int32, n)
+	Run(n, Options{Workers: 8, MorselLen: 1024}, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("row %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestRunSmallInputSingleCall(t *testing.T) {
+	calls := 0
+	Run(100, Options{Workers: 8, MorselLen: 1024}, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 100 {
+			t.Fatalf("small input should be one morsel on worker 0: %d %d %d", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+	Run(0, Options{}, func(_, _, _ int) { t.Fatal("n=0 must not call fn") })
+}
+
+func TestFoldSum(t *testing.T) {
+	n := 500_000
+	data := make([]int64, n)
+	var want int64
+	for i := range data {
+		data[i] = int64(i % 97)
+		want += data[i]
+	}
+	got := Fold(n, Options{Workers: 6, MorselLen: 4096},
+		func() int64 { return 0 },
+		func(acc int64, lo, hi int) int64 {
+			for i := lo; i < hi; i++ {
+				acc += data[i]
+			}
+			return acc
+		},
+		func(a, b int64) int64 { return a + b },
+	)
+	if got != want {
+		t.Fatalf("Fold = %d, want %d", got, want)
+	}
+}
+
+// TestSkewAbsorption: with one pathologically slow morsel, dynamic
+// boundaries must let other workers take the remaining morsels instead of
+// stalling behind a static partition.
+func TestSkewAbsorption(t *testing.T) {
+	n := 64 * 1024
+	slowMorsel := int64(0)
+	st := RunInstrumented(n, Options{Workers: 4, MorselLen: 1024}, func(w, lo, hi int) {
+		if atomic.CompareAndSwapInt64(&slowMorsel, 0, 1) {
+			time.Sleep(30 * time.Millisecond) // one slow morsel
+		}
+	})
+	// The slow worker must have handled far fewer morsels than the rest
+	// combined: 64 morsels total, slow one takes ~1.
+	var minM, maxM int64 = 1 << 62, 0
+	for _, m := range st.MorselsPerWorker {
+		if m < minM {
+			minM = m
+		}
+		if m > maxM {
+			maxM = m
+		}
+	}
+	if minM > 4 {
+		t.Fatalf("slow worker handled %d morsels; dynamic dispatch failed (%v)", minM, st.MorselsPerWorker)
+	}
+	var rows int64
+	for _, r := range st.RowsPerWorker {
+		rows += r
+	}
+	if rows != int64(n) {
+		t.Fatalf("rows covered = %d, want %d", rows, n)
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	n := 1 << 22
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	work := func(workers int) time.Duration {
+		start := time.Now()
+		Fold(n, Options{Workers: workers, MorselLen: 8192},
+			func() float64 { return 0 },
+			func(acc float64, lo, hi int) float64 {
+				for i := lo; i < hi; i++ {
+					acc += data[i] * 1.0001
+				}
+				return acc
+			},
+			func(a, b float64) float64 { return a + b },
+		)
+		return time.Since(start)
+	}
+	seq := work(1)
+	par := work(4)
+	if par >= seq {
+		t.Logf("warning: no speedup (seq=%v par=%v); machine may be loaded", seq, par)
+	}
+}
+
+// Property: Fold(sum) equals sequential sum for random sizes and options.
+func TestFoldProperty(t *testing.T) {
+	f := func(raw []int32, workers uint8, morsel uint16) bool {
+		n := len(raw)
+		var want int64
+		for _, x := range raw {
+			want += int64(x)
+		}
+		got := Fold(n, Options{Workers: int(workers%8) + 1, MorselLen: int(morsel%512) + 1},
+			func() int64 { return 0 },
+			func(acc int64, lo, hi int) int64 {
+				for i := lo; i < hi; i++ {
+					acc += int64(raw[i])
+				}
+				return acc
+			},
+			func(a, b int64) int64 { return a + b },
+		)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,382 @@
+// Package nir defines the normalized intermediate representation of DSL
+// programs and the normalizer that produces it (§III-A of the paper:
+// "These functions have to be normalized, which means, breaking them into
+// simpler operations").
+//
+// A normalized program is a structured control-flow tree (loops, ifs, breaks)
+// over straight-line sequences of primitive instructions. Every instruction
+// applies exactly one primitive operation — an arithmetic map, a comparison
+// producing a selection vector, a fold with a fixed reduction operator, a
+// memory skeleton (read/write/gather/scatter), etc. — so that each one can be
+// served by a pre-compiled vectorized kernel (package primitive), profiled
+// individually (package profile), partitioned into compilable fragments
+// (package depgraph) and fused into traces (package jit).
+package nir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vector"
+)
+
+// Reg is a virtual register index. Registers hold either a scalar or a flow
+// (vector + selection vector); see RegInfo.Scalar.
+type Reg int32
+
+// NoReg marks an unused operand slot.
+const NoReg Reg = -1
+
+// RegInfo describes the static type of a register.
+type RegInfo struct {
+	Kind   vector.Kind
+	Scalar bool
+	Name   string // source-level name, for debugging and reports
+}
+
+func (ri RegInfo) String() string {
+	shape := "vec"
+	if ri.Scalar {
+		shape = "scalar"
+	}
+	if ri.Name != "" {
+		return fmt.Sprintf("%s %s(%s)", ri.Name, shape, ri.Kind)
+	}
+	return fmt.Sprintf("%s(%s)", shape, ri.Kind)
+}
+
+// ArithOp enumerates arithmetic/bitwise operators on vectors and scalars.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	AInvalid ArithOp = iota
+	AAdd
+	ASub
+	AMul
+	ADiv
+	AMod
+	AAnd
+	AOr
+	AXor
+	AShl
+	AShr
+	AMin
+	AMax
+)
+
+var arithNames = [...]string{
+	AInvalid: "?", AAdd: "add", ASub: "sub", AMul: "mul", ADiv: "div", AMod: "mod",
+	AAnd: "and", AOr: "or", AXor: "xor", AShl: "shl", AShr: "shr", AMin: "min", AMax: "max",
+}
+
+func (op ArithOp) String() string { return arithNames[op] }
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CInvalid CmpOp = iota
+	CEq
+	CNe
+	CLt
+	CLe
+	CGt
+	CGe
+)
+
+var cmpNames = [...]string{CInvalid: "?", CEq: "eq", CNe: "ne", CLt: "lt", CLe: "le", CGt: "gt", CGe: "ge"}
+
+func (op CmpOp) String() string { return cmpNames[op] }
+
+// Negate returns the complement comparison (for De Morgan rewrites).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case CEq:
+		return CNe
+	case CNe:
+		return CEq
+	case CLt:
+		return CGe
+	case CLe:
+		return CGt
+	case CGt:
+		return CLe
+	case CGe:
+		return CLt
+	}
+	return CInvalid
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp uint8
+
+// Unary operators.
+const (
+	UInvalid UnaryOp = iota
+	UNeg
+	UNot
+	UAbs
+	USqrt
+)
+
+var unaryNames = [...]string{UInvalid: "?", UNeg: "neg", UNot: "not", UAbs: "abs", USqrt: "sqrt"}
+
+func (op UnaryOp) String() string { return unaryNames[op] }
+
+// OpCode identifies the primitive operation an Instr performs.
+type OpCode uint8
+
+// Instruction opcodes. The comments give the operational semantics; s(x)
+// denotes "under the selection vector of x".
+const (
+	OpInvalid OpCode = iota
+
+	// Scalar operations.
+	OpConst // Dst := Imm
+	OpMove  // Dst := A (register copy; flows copy by reference)
+	OpBinS  // Dst := A <Arith/Cmp> B (scalars)
+	OpUnS   // Dst := <Unary> A (scalar)
+	OpLen   // Dst := selected length of flow A (i64 scalar)
+
+	// Element-wise maps. Scalar operands broadcast.
+	OpMapBin // Dst[i] := A[i] <Arith> B[i]  for i in s(A)
+	OpMapCmp // Dst[i] := A[i] <Cmp> B[i]    for i in s(A)  (bool vector)
+	OpMapUn  // Dst[i] := <Unary> A[i]       for i in s(A)
+	OpCast   // Dst[i] := Kind(A[i])         for i in s(A)
+
+	// Selection.
+	OpSelect    // Dst := flow A with sel narrowed to rows where bool vector B is true
+	OpSelectCmp // Dst := flow A with sel narrowed to rows where A[i] <Cmp> B (B scalar); fused filter primitive
+
+	// Memory skeletons.
+	OpRead     // Dst := up to C (scalar, or Imm if C==NoReg) elements of external Data starting at A (scalar)
+	OpWrite    // external Data[A..] := selected elements of flow B (statement, Dst==NoReg)
+	OpGather   // Dst[i] := Data[A[i]] for i in s(A)
+	OpScatter  // Data[A[i]] := B[i] with Conflict resolution (statement)
+	OpIota     // Dst := [0, 1, ..., A-1] (A scalar count) as Kind
+	OpCondense // Dst := materialize selected elements of flow A contiguously
+
+	// Reductions.
+	OpFold // Dst := fold of flow B with operator Arith and initial scalar A
+
+	// Sorted-set operations (the abstract merge skeleton).
+	OpMerge // Dst := merge<MergeKind>(A, B) over sorted flows
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid", OpConst: "const", OpMove: "move", OpBinS: "bin.s", OpUnS: "un.s", OpLen: "len",
+	OpMapBin: "map.bin", OpMapCmp: "map.cmp", OpMapUn: "map.un", OpCast: "cast",
+	OpSelect: "select", OpSelectCmp: "select.cmp",
+	OpRead: "read", OpWrite: "write", OpGather: "gather", OpScatter: "scatter",
+	OpIota: "iota", OpCondense: "condense", OpFold: "fold", OpMerge: "merge",
+}
+
+func (op OpCode) String() string { return opNames[op] }
+
+// MergeFlavor selects the merge variant.
+type MergeFlavor uint8
+
+// Merge variants.
+const (
+	MJoin MergeFlavor = iota + 1
+	MUnion
+	MDiff
+	MIntersect
+)
+
+var mergeNames = [...]string{0: "?", MJoin: "join", MUnion: "union", MDiff: "diff", MIntersect: "intersect"}
+
+func (m MergeFlavor) String() string { return mergeNames[m] }
+
+// Conflict selects scatter conflict handling.
+type Conflict uint8
+
+// Scatter conflict functions ("using function f to handle conflicts",
+// Table I).
+const (
+	ConfLast Conflict = iota
+	ConfFirst
+	ConfSum
+	ConfMin
+	ConfMax
+)
+
+var conflictNames = [...]string{ConfLast: "last", ConfFirst: "first", ConfSum: "sum", ConfMin: "min", ConfMax: "max"}
+
+func (c Conflict) String() string { return conflictNames[c] }
+
+// Instr is one normalized instruction.
+type Instr struct {
+	Op      OpCode
+	Dst     Reg
+	A, B, C Reg
+	Arith   ArithOp
+	Cmp     CmpOp
+	Unary   UnaryOp
+	Kind    vector.Kind  // element kind the op computes in
+	Imm     vector.Value // immediate (OpConst, OpRead default count)
+	Data    string       // external array name
+	Merge   MergeFlavor
+	Conf    Conflict
+	// ID is a stable instruction identifier assigned by the normalizer,
+	// used by the profiler and the dependency graph.
+	ID int
+}
+
+// Uses returns the registers read by the instruction.
+func (in *Instr) Uses() []Reg {
+	var out []Reg
+	for _, r := range [...]Reg{in.A, in.B, in.C} {
+		if r != NoReg {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.Dst != NoReg {
+		fmt.Fprintf(&sb, "r%d = ", in.Dst)
+	}
+	sb.WriteString(in.Op.String())
+	switch in.Op {
+	case OpBinS:
+		if in.Cmp != CInvalid {
+			fmt.Fprintf(&sb, ".%s", in.Cmp)
+		} else {
+			fmt.Fprintf(&sb, ".%s", in.Arith)
+		}
+	case OpMapBin, OpFold:
+		fmt.Fprintf(&sb, ".%s", in.Arith)
+	case OpMapCmp, OpSelectCmp:
+		fmt.Fprintf(&sb, ".%s", in.Cmp)
+	case OpMapUn, OpUnS:
+		fmt.Fprintf(&sb, ".%s", in.Unary)
+	case OpMerge:
+		fmt.Fprintf(&sb, ".%s", in.Merge)
+	case OpScatter:
+		fmt.Fprintf(&sb, ".%s", in.Conf)
+	}
+	if in.Kind != vector.Invalid {
+		fmt.Fprintf(&sb, "<%s>", in.Kind)
+	}
+	if in.Data != "" {
+		fmt.Fprintf(&sb, " @%s", in.Data)
+	}
+	for _, r := range in.Uses() {
+		fmt.Fprintf(&sb, " r%d", r)
+	}
+	if in.Op == OpConst {
+		fmt.Fprintf(&sb, " %s", in.Imm)
+	}
+	return sb.String()
+}
+
+// Node is one element of the structured control-flow tree.
+type Node interface{ nodeTag() }
+
+// InstrNode wraps a straight-line instruction.
+type InstrNode struct{ Instr *Instr }
+
+// LoopNode is an infinite loop over Body.
+type LoopNode struct{ Body []Node }
+
+// IfNode branches on the scalar boolean register Cond.
+type IfNode struct {
+	Cond Reg
+	Then []Node
+	Else []Node
+}
+
+// BreakNode terminates the innermost loop.
+type BreakNode struct{}
+
+func (*InstrNode) nodeTag() {}
+func (*LoopNode) nodeTag()  {}
+func (*IfNode) nodeTag()    {}
+func (*BreakNode) nodeTag() {}
+
+// External declares an external array binding the host must provide.
+type External struct {
+	Name string
+	Kind vector.Kind
+}
+
+// Program is a normalized DSL program.
+type Program struct {
+	Regs      []RegInfo
+	Body      []Node
+	Externals []External
+	// NumInstrs is the total number of instructions (IDs are 0..NumInstrs-1).
+	NumInstrs int
+}
+
+// Reg returns the info for register r.
+func (p *Program) Reg(r Reg) RegInfo { return p.Regs[r] }
+
+// ExternalKind returns the declared kind of an external array, or Invalid.
+func (p *Program) ExternalKind(name string) vector.Kind {
+	for _, e := range p.Externals {
+		if e.Name == name {
+			return e.Kind
+		}
+	}
+	return vector.Invalid
+}
+
+// String renders the program as indented instruction listing.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program (%d regs, %d instrs)\n", len(p.Regs), p.NumInstrs)
+	for _, e := range p.Externals {
+		fmt.Fprintf(&sb, "external %s: %s\n", e.Name, e.Kind)
+	}
+	printNodes(&sb, p.Body, 0)
+	return sb.String()
+}
+
+func printNodes(sb *strings.Builder, nodes []Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *InstrNode:
+			fmt.Fprintf(sb, "%s%s\n", indent, n.Instr)
+		case *LoopNode:
+			fmt.Fprintf(sb, "%sloop {\n", indent)
+			printNodes(sb, n.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case *IfNode:
+			fmt.Fprintf(sb, "%sif r%d {\n", indent, n.Cond)
+			printNodes(sb, n.Then, depth+1)
+			if len(n.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", indent)
+				printNodes(sb, n.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case *BreakNode:
+			fmt.Fprintf(sb, "%sbreak\n", indent)
+		}
+	}
+}
+
+// Walk calls fn for every instruction in the program in syntactic order.
+func (p *Program) Walk(fn func(*Instr)) {
+	walkNodes(p.Body, fn)
+}
+
+func walkNodes(nodes []Node, fn func(*Instr)) {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *InstrNode:
+			fn(n.Instr)
+		case *LoopNode:
+			walkNodes(n.Body, fn)
+		case *IfNode:
+			walkNodes(n.Then, fn)
+			walkNodes(n.Else, fn)
+		}
+	}
+}

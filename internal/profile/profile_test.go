@@ -1,0 +1,111 @@
+package profile
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndQuery(t *testing.T) {
+	p := New(3)
+	p.Record(0, 1024, 5000)
+	p.Record(0, 1024, 7000)
+	p.Record(2, 512, 100000)
+	if p.Calls(0) != 2 || p.Tuples(0) != 2048 || p.Nanos(0) != 12000 {
+		t.Fatalf("counters wrong: %d %d %d", p.Calls(0), p.Tuples(0), p.Nanos(0))
+	}
+	if got := p.NanosPerTuple(0); got != 12000.0/2048 {
+		t.Fatalf("ns/tuple = %v", got)
+	}
+	if p.NanosPerTuple(1) != 0 {
+		t.Fatal("unobserved instruction must report 0")
+	}
+	if p.TotalNanos() != 112000 {
+		t.Fatalf("total = %d", p.TotalNanos())
+	}
+	if p.Len() != 3 {
+		t.Fatal("len")
+	}
+}
+
+func TestHotRankOrdersByTime(t *testing.T) {
+	p := New(4)
+	p.Record(0, 1, 10)
+	p.Record(1, 1, 1000)
+	p.Record(3, 1, 100)
+	hot := p.HotRank()
+	if len(hot) != 3 || hot[0] != 1 || hot[1] != 3 || hot[2] != 0 {
+		t.Fatalf("hot rank = %v", hot)
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	p := New(1)
+	if p.Selectivity(0, 0.42) != 0.42 {
+		t.Fatal("default before observation")
+	}
+	p.RecordSel(0, 1000, 10)
+	if got := p.Selectivity(0, 1); got != 0.01 {
+		t.Fatalf("selectivity = %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(2)
+	p.Record(0, 10, 10)
+	p.RecordSel(1, 10, 5)
+	p.Reset()
+	if p.Calls(0) != 0 || p.Selectivity(1, -1) != -1 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := New(2)
+	p.Record(0, 100, 12345)
+	p.RecordSel(0, 100, 50)
+	s := p.String()
+	if !strings.Contains(s, "instr") || !strings.Contains(s, "sel=") {
+		t.Fatalf("render missing fields:\n%s", s)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	p := New(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Record(0, 1, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Calls(0) != 8000 || p.Nanos(0) != 8000 {
+		t.Fatalf("lost updates: calls=%d nanos=%d", p.Calls(0), p.Nanos(0))
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Seeded() || e.Value(3.14) != 3.14 {
+		t.Fatal("unseeded default")
+	}
+	e.Observe(10)
+	if e.Value(0) != 10 {
+		t.Fatal("first observation seeds")
+	}
+	e.Observe(0)
+	if e.Value(0) != 5 {
+		t.Fatalf("ewma = %v, want 5", e.Value(0))
+	}
+	// Converges toward a steady signal.
+	for i := 0; i < 20; i++ {
+		e.Observe(1)
+	}
+	if v := e.Value(0); v < 0.99 || v > 1.01 {
+		t.Fatalf("ewma did not converge: %v", v)
+	}
+}

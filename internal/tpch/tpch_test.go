@@ -1,0 +1,173 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/jit"
+)
+
+func TestGeneratorDistributions(t *testing.T) {
+	st := GenLineitem(0.002, 1)
+	n := st.Rows()
+	sf := 0.002
+	if n != int(sf*LineitemRows) {
+		t.Fatalf("rows = %d", n)
+	}
+	qty := st.Col(ColQuantity).I64()
+	ship := st.Col(ColShipdate).I64()
+	disc := st.Col(ColDiscount).F64()
+	var q1Pass int
+	for i := 0; i < n; i++ {
+		if qty[i] < 1 || qty[i] > 50 {
+			t.Fatalf("quantity out of range: %d", qty[i])
+		}
+		if disc[i] < 0 || disc[i] > 0.10 {
+			t.Fatalf("discount out of range: %v", disc[i])
+		}
+		if ship[i] <= Q1Cutoff {
+			q1Pass++
+		}
+	}
+	sel := float64(q1Pass) / float64(n)
+	if sel < 0.93 || sel > 0.99 {
+		t.Fatalf("Q1 predicate selectivity = %v, want ≈0.96", sel)
+	}
+}
+
+func TestQ1StrategiesAgree(t *testing.T) {
+	st := GenLineitem(0.002, 42)
+	hyper := Q1HyPer(st, Q1Cutoff)
+	if len(hyper) != 4 {
+		t.Fatalf("Q1 groups = %d, want 4", len(hyper))
+	}
+
+	vect, err := Q1Engine(st, Q1Cutoff, Q1Options{JIT: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hyper.Equal(vect, 1e-9); err != nil {
+		t.Fatalf("vectorized differs from tuple-at-a-time: %v", err)
+	}
+
+	adaptive, err := Q1Engine(st, Q1Cutoff, Q1Options{
+		JIT:    true,
+		JITOpt: jit.Options{CompileLatency: jit.NoCompileLatency},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hyper.Equal(adaptive, 1e-9); err != nil {
+		t.Fatalf("adaptive differs: %v", err)
+	}
+
+	compact := Q1Compact(Compact(st), Q1Cutoff)
+	if err := hyper.Equal(compact, 1e-9); err != nil {
+		t.Fatalf("compact differs: %v", err)
+	}
+}
+
+func TestQ1EngineFlavorCombinations(t *testing.T) {
+	st := GenLineitem(0.001, 7)
+	want := Q1HyPer(st, Q1Cutoff)
+	for _, mode := range []engine.EvalMode{engine.EvalFull, engine.EvalSelective, engine.EvalAdaptive} {
+		for _, pre := range []engine.PreAggMode{engine.PreAggOn, engine.PreAggOff, engine.PreAggAdaptive} {
+			got, err := Q1Engine(st, Q1Cutoff, Q1Options{Mode: mode, PreAgg: pre})
+			if err != nil {
+				t.Fatalf("mode=%v pre=%v: %v", mode, pre, err)
+			}
+			if err := want.Equal(got, 1e-9); err != nil {
+				t.Fatalf("mode=%v pre=%v: %v", mode, pre, err)
+			}
+		}
+	}
+}
+
+func TestQ6StrategiesAgree(t *testing.T) {
+	st := GenLineitem(0.002, 11)
+	p := DefaultQ6Params()
+	want := Q6HyPer(st, p.ShipLo, p.ShipHi, p.DiscLo, p.DiscHi, p.QtyMax)
+	if want == 0 {
+		t.Fatal("Q6 revenue must be non-zero on generated data")
+	}
+	got, err := Q6Engine(st, p, Q1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (got - want) / want
+	if rel < -1e-9 || rel > 1e-9 {
+		t.Fatalf("Q6 engine = %v, hyper = %v", got, want)
+	}
+	gotJIT, err := Q6Engine(st, p, Q1Options{JIT: true, JITOpt: jit.Options{CompileLatency: jit.NoCompileLatency}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel = (gotJIT - want) / want
+	if rel < -1e-9 || rel > 1e-9 {
+		t.Fatalf("Q6 adaptive = %v, hyper = %v", gotJIT, want)
+	}
+}
+
+func TestQ6SelectivityIsLow(t *testing.T) {
+	st := GenLineitem(0.002, 13)
+	p := DefaultQ6Params()
+	qty := st.Col(ColQuantity).I64()
+	disc := st.Col(ColDiscount).F64()
+	ship := st.Col(ColShipdate).I64()
+	pass := 0
+	for i := 0; i < st.Rows(); i++ {
+		if ship[i] >= p.ShipLo && ship[i] < p.ShipHi && disc[i] >= p.DiscLo && disc[i] <= p.DiscHi && qty[i] < p.QtyMax {
+			pass++
+		}
+	}
+	sel := float64(pass) / float64(st.Rows())
+	if sel < 0.005 || sel > 0.05 {
+		t.Fatalf("Q6 selectivity = %v, want ≈0.02", sel)
+	}
+}
+
+func TestCompactEncodingRoundTrip(t *testing.T) {
+	st := GenLineitem(0.001, 3)
+	cl := Compact(st)
+	if cl.N != st.Rows() {
+		t.Fatal("row count")
+	}
+	price := st.Col(ColExtendedprice).F64()
+	for i := 0; i < cl.N; i++ {
+		if float64(cl.PriceC[i])/100 != price[i] {
+			t.Fatalf("price not exact cents at %d: %v vs %v", i, float64(cl.PriceC[i])/100, price[i])
+		}
+	}
+}
+
+func TestGenOrdersJoinable(t *testing.T) {
+	li := GenLineitem(0.001, 5)
+	ord := GenOrders(0.001, 5)
+	if ord.Rows() == 0 {
+		t.Fatal("no orders")
+	}
+	probe, err := engine.NewScan(li, "l_orderkey", "l_quantity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, err := engine.NewScan(ord, "o_orderkey", "o_orderdate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := engine.NewHashJoin(probe, build, "l_orderkey", "o_orderkey", "o_orderdate")
+	out, err := engine.Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() == 0 {
+		t.Fatal("join produced nothing; keys incompatible")
+	}
+}
+
+func BenchmarkQ1Compact(b *testing.B) {
+	cl := Compact(GenLineitem(0.01, 42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Q1Compact(cl, Q1Cutoff)
+	}
+}

@@ -1,0 +1,423 @@
+// Package vm implements the paper's adaptive virtual machine (§III): the
+// Figure-1 state machine that starts out interpreting a normalized program,
+// collects profiling information to identify hot paths, greedily partitions
+// their dependency graphs into compilable fragments, JIT-compiles the
+// fragments into fused traces, injects them into the interpreter, and keeps
+// interpreting the partially optimized program.
+//
+// The VM is micro-adaptive in the sense of [24] generalized by the paper:
+// after injecting a trace it keeps comparing the trace's measured cost
+// against the interpreter's historical cost for the same instructions, and
+// reverts (deoptimizes) when compilation turned out to be a loss. Traces can
+// carry situation guards; guard failures execute the interpreted fallback
+// and are counted, and persistent guard failure triggers re-specialization.
+package vm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/depgraph"
+	"repro/internal/interp"
+	"repro/internal/jit"
+	"repro/internal/nir"
+	"repro/internal/vector"
+)
+
+// State is a Figure-1 state of the VM.
+type State int32
+
+// The four states of Figure 1.
+const (
+	StateInterpret State = iota
+	StateOptimize
+	StateGenerateCode
+	StateInjectFunctions
+)
+
+var stateNames = [...]string{"Interpret", "Optimize", "GenerateCode", "InjectFunctions"}
+
+func (s State) String() string { return stateNames[s] }
+
+// Transition is one recorded state-machine transition.
+type Transition struct {
+	From, To State
+	At       time.Duration // since VM creation
+	Segment  int           // affected segment, -1 when not applicable
+	Note     string
+}
+
+func (t Transition) String() string {
+	return fmt.Sprintf("%-12v → %-16v seg=%-3d %s", t.From, t.To, t.Segment, t.Note)
+}
+
+// Config tunes the VM's adaptive behaviour.
+type Config struct {
+	// HotCalls is the number of observed executions after which a segment
+	// is considered for optimization.
+	HotCalls int64
+	// HotNanos is the cumulative time after which a segment is considered
+	// hot regardless of call count.
+	HotNanos int64
+	// OptimizeInterval is how often the optimizer re-examines the profile.
+	OptimizeInterval time.Duration
+	// JIT configures trace compilation (tile size, compile-latency model).
+	JIT jit.Options
+	// Constraints configure the dependency-graph partitioner.
+	Constraints depgraph.Constraints
+	// Sync makes optimization synchronous: the VM checks for hot segments
+	// between program runs instead of using a background optimizer. Useful
+	// for deterministic tests and for benchmarks that charge compile time
+	// to the measured total.
+	Sync bool
+	// MicroAdaptive keeps comparing injected traces against the
+	// interpreter's historical cost and reverts losing traces.
+	MicroAdaptive bool
+	// RevertFactor: a trace is reverted when its per-call cost exceeds the
+	// interpreter's historical per-call cost for the same instructions by
+	// this factor (default 1.1).
+	RevertFactor float64
+}
+
+// DefaultConfig returns a production-shaped configuration.
+func DefaultConfig() Config {
+	return Config{
+		HotCalls:         8,
+		HotNanos:         int64(200 * time.Microsecond),
+		OptimizeInterval: time.Millisecond,
+		Constraints:      depgraph.DefaultConstraints(),
+		MicroAdaptive:    true,
+		RevertFactor:     1.1,
+	}
+}
+
+// segState tracks per-segment optimization status.
+type segState struct {
+	compiled     bool
+	reverted     bool // compilation tried and lost; do not recompile
+	traces       []*jit.Trace
+	interpNanos  float64 // historical interpreter cost per run of the segment
+	interpCalls  int64
+	fragmentIDs  [][]int
+	guardFactory func(segID int) func(*interp.Env) bool
+}
+
+// VM is the adaptive virtual machine for one normalized program. It may be
+// shared across many executions (Run calls); profiling and compiled traces
+// persist and keep improving subsequent runs.
+type VM struct {
+	Prog   *nir.Program
+	Interp *interp.Interpreter
+	cfg    Config
+
+	state       atomic.Int32
+	start       time.Time
+	mu          sync.Mutex
+	transitions []Transition
+	segs        []segState
+	running     atomic.Int32
+	stopCh      chan struct{}
+	optimizerWG sync.WaitGroup
+	guards      map[int]func(*interp.Env) bool // segment → situation guard
+}
+
+// New creates a VM for prog.
+func New(prog *nir.Program, cfg Config) *VM {
+	if cfg.RevertFactor == 0 {
+		cfg.RevertFactor = 1.1
+	}
+	if cfg.OptimizeInterval == 0 {
+		cfg.OptimizeInterval = time.Millisecond
+	}
+	it := interp.New(prog)
+	it.Profiling = true
+	vm := &VM{
+		Prog:   prog,
+		Interp: it,
+		cfg:    cfg,
+		start:  time.Now(),
+		segs:   make([]segState, len(it.Segments)),
+		guards: map[int]func(*interp.Env) bool{},
+	}
+	vm.state.Store(int32(StateInterpret))
+	return vm
+}
+
+// NewEnv binds external arrays for a program execution.
+func (vm *VM) NewEnv(ext map[string]*vector.Vector) (*interp.Env, error) {
+	return interp.NewEnv(vm.Prog, ext)
+}
+
+// State returns the current Figure-1 state.
+func (vm *VM) State() State { return State(vm.state.Load()) }
+
+// Transitions returns a copy of the recorded state-machine log.
+func (vm *VM) Transitions() []Transition {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return append([]Transition(nil), vm.transitions...)
+}
+
+func (vm *VM) transition(to State, seg int, note string) {
+	from := State(vm.state.Swap(int32(to)))
+	vm.mu.Lock()
+	vm.transitions = append(vm.transitions, Transition{
+		From: from, To: to, At: time.Since(vm.start), Segment: seg, Note: note,
+	})
+	vm.mu.Unlock()
+}
+
+// SetGuard installs a situation guard for every trace subsequently compiled
+// for the segment containing instruction instrID. Guard failure executes the
+// interpreted fallback (deoptimization).
+func (vm *VM) SetGuard(segID int, g func(*interp.Env) bool) {
+	vm.mu.Lock()
+	vm.guards[segID] = g
+	vm.mu.Unlock()
+}
+
+// Run executes the program once. With Sync=false a background optimizer
+// accompanies the execution; with Sync=true optimization happens between
+// runs (call MaybeOptimize explicitly or rely on Run's epilogue).
+func (vm *VM) Run(env *interp.Env) error {
+	if !vm.cfg.Sync && vm.running.Add(1) == 1 {
+		vm.stopCh = make(chan struct{})
+		vm.optimizerWG.Add(1)
+		go vm.optimizerLoop()
+	}
+	err := vm.Interp.Run(env)
+	if !vm.cfg.Sync && vm.running.Add(-1) == 0 {
+		close(vm.stopCh)
+		vm.optimizerWG.Wait()
+	}
+	if vm.cfg.Sync {
+		vm.MaybeOptimize()
+	}
+	return err
+}
+
+// optimizerLoop is the background incarnation of the Optimize→GenerateCode→
+// InjectFunctions cycle.
+func (vm *VM) optimizerLoop() {
+	defer vm.optimizerWG.Done()
+	ticker := time.NewTicker(vm.cfg.OptimizeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-vm.stopCh:
+			return
+		case <-ticker.C:
+			vm.MaybeOptimize()
+		}
+	}
+}
+
+// MaybeOptimize examines the profile, compiles hot segments that are not yet
+// compiled, and reverts regressing traces. It is safe to call concurrently
+// with Run.
+func (vm *VM) MaybeOptimize() {
+	for segID := range vm.Interp.Segments {
+		vm.maybeOptimizeSegment(segID)
+		if vm.cfg.MicroAdaptive {
+			vm.maybeRevertSegment(segID)
+		}
+	}
+}
+
+// segmentStats sums profile counters across a segment's instructions.
+func (vm *VM) segmentStats(segID int) (calls, nanos int64) {
+	seg := vm.Interp.Segments[segID]
+	prof := vm.Interp.Prof
+	for _, in := range seg.Instrs {
+		c := prof.Calls(in.ID)
+		if c > calls {
+			calls = c
+		}
+		nanos += prof.Nanos(in.ID)
+	}
+	return calls, nanos
+}
+
+func (vm *VM) maybeOptimizeSegment(segID int) {
+	vm.mu.Lock()
+	st := &vm.segs[segID]
+	if st.compiled || st.reverted {
+		vm.mu.Unlock()
+		return
+	}
+	vm.mu.Unlock()
+
+	calls, nanos := vm.segmentStats(segID)
+	if calls < vm.cfg.HotCalls && nanos < vm.cfg.HotNanos {
+		return
+	}
+
+	// Optimize: partition the dependency graph using observed costs.
+	vm.transition(StateOptimize, segID, fmt.Sprintf("hot: calls=%d nanos=%d", calls, nanos))
+	seg := vm.Interp.Segments[segID]
+	g := depgraph.Build(seg.Instrs, vm.Interp.Prof)
+	frags := depgraph.Partition(g, vm.cfg.Constraints)
+	if len(frags) == 0 {
+		vm.transition(StateInterpret, segID, "nothing to compile")
+		vm.mu.Lock()
+		vm.segs[segID].reverted = true // don't re-examine
+		vm.mu.Unlock()
+		return
+	}
+	units, err := depgraph.Schedule(g, frags)
+	if err != nil {
+		vm.transition(StateInterpret, segID, "schedule failed: "+err.Error())
+		vm.mu.Lock()
+		vm.segs[segID].reverted = true
+		vm.mu.Unlock()
+		return
+	}
+
+	// GenerateCode: compile each fragment (charges simulated latency).
+	vm.transition(StateGenerateCode, segID, fmt.Sprintf("%d fragments", len(frags)))
+	opts := vm.cfg.JIT
+	vm.mu.Lock()
+	if gd, ok := vm.guards[segID]; ok {
+		opts.Guard = gd
+	}
+	vm.mu.Unlock()
+	var steps []interp.Step
+	var traces []*jit.Trace
+	var fragIDs [][]int
+	for _, u := range units {
+		if u.Fragment == nil {
+			steps = append(steps, &interp.InstrStep{In: seg.Instrs[u.Node]})
+			continue
+		}
+		tr, err := jit.Compile(vm.Prog, g, u.Fragment, opts)
+		if err != nil {
+			vm.transition(StateInterpret, segID, "compile failed: "+err.Error())
+			vm.mu.Lock()
+			vm.segs[segID].reverted = true
+			vm.mu.Unlock()
+			return
+		}
+		steps = append(steps, tr)
+		traces = append(traces, tr)
+		fragIDs = append(fragIDs, u.Fragment.InstrIDs(g))
+	}
+
+	// InjectFunctions: install the partially compiled plan.
+	vm.transition(StateInjectFunctions, segID, describeSteps(steps))
+	// Record the interpreter's historical cost for the micro-adaptive
+	// comparison before the trace starts skewing the profile.
+	_, nanosBefore := vm.segmentStats(segID)
+	callsBefore, _ := vm.segmentStats(segID)
+	if err := vm.Interp.InstallPlan(segID, &interp.Plan{Steps: steps}); err != nil {
+		vm.transition(StateInterpret, segID, "inject failed: "+err.Error())
+		vm.mu.Lock()
+		vm.segs[segID].reverted = true
+		vm.mu.Unlock()
+		return
+	}
+	vm.mu.Lock()
+	st = &vm.segs[segID]
+	st.compiled = true
+	st.traces = traces
+	st.fragmentIDs = fragIDs
+	if callsBefore > 0 {
+		st.interpNanos = float64(nanosBefore) / float64(callsBefore)
+	}
+	st.interpCalls = callsBefore
+	vm.mu.Unlock()
+	vm.transition(StateInterpret, segID, "resume with partially optimized program")
+}
+
+// maybeRevertSegment reverts a compiled segment whose traces measure slower
+// than the interpreter did (micro-adaptivity), or whose guards keep failing.
+func (vm *VM) maybeRevertSegment(segID int) {
+	vm.mu.Lock()
+	st := &vm.segs[segID]
+	if !st.compiled {
+		vm.mu.Unlock()
+		return
+	}
+	traces := st.traces
+	interpNanos := st.interpNanos
+	vm.mu.Unlock()
+
+	var traceNanos float64
+	var enough bool
+	var guardFailures int64
+	for _, tr := range traces {
+		if tr.Calls() >= 4 {
+			enough = true
+		}
+		traceNanos += tr.NanosPerCall() * float64(len(traces)) / float64(len(traces))
+		guardFailures += tr.Deopts()
+	}
+	if !enough || interpNanos == 0 {
+		// Persistent guard failure with no successful calls: the situation
+		// changed for good; drop the stale specialization so the segment
+		// can be re-specialized later.
+		if guardFailures >= 16 {
+			vm.revert(segID, "persistent guard failure")
+		}
+		return
+	}
+	if traceNanos > interpNanos*vm.cfg.RevertFactor {
+		vm.revert(segID, fmt.Sprintf("trace %.0fns/call vs interp %.0fns/call", traceNanos, interpNanos))
+	}
+}
+
+func (vm *VM) revert(segID int, why string) {
+	vm.transition(StateInjectFunctions, segID, "revert: "+why)
+	seg := vm.Interp.Segments[segID]
+	if err := vm.Interp.InstallPlan(segID, seg.DefaultPlan()); err == nil {
+		vm.mu.Lock()
+		vm.segs[segID].compiled = false
+		vm.segs[segID].reverted = true
+		vm.segs[segID].traces = nil
+		vm.mu.Unlock()
+	}
+	vm.transition(StateInterpret, segID, "deoptimized")
+}
+
+// Recompile clears the reverted flag of every segment so the optimizer may
+// specialize again (used after a known workload shift, together with a
+// profile reset).
+func (vm *VM) Recompile() {
+	vm.mu.Lock()
+	for i := range vm.segs {
+		vm.segs[i].reverted = false
+	}
+	vm.mu.Unlock()
+}
+
+// CompiledSegments returns the IDs of segments currently running compiled
+// plans.
+func (vm *VM) CompiledSegments() []int {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	var out []int
+	for i := range vm.segs {
+		if vm.segs[i].compiled {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Traces returns the traces installed for a segment (nil when interpreted).
+func (vm *VM) Traces(segID int) []*jit.Trace {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.segs[segID].traces
+}
+
+func describeSteps(steps []interp.Step) string {
+	compiled := 0
+	for _, s := range steps {
+		if _, ok := s.(*jit.Trace); ok {
+			compiled++
+		}
+	}
+	return fmt.Sprintf("inject %d traces into %d-step plan", compiled, len(steps))
+}

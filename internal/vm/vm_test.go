@@ -1,0 +1,300 @@
+package vm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dsl"
+	"repro/internal/interp"
+	"repro/internal/jit"
+	"repro/internal/nir"
+	"repro/internal/vector"
+)
+
+// bigLoopSrc processes the whole input in chunks; it runs long enough for
+// the VM to go hot during a single execution.
+const bigLoopSrc = `
+mut i
+i := 0
+loop {
+  let xs = read i data
+  if len(xs) == 0 then break
+  let r = map (\x -> (x * 3 + 7) * (x - 1)) xs
+  write out i r
+  i := i + len(xs)
+}
+`
+
+func normalizeSrc(t *testing.T, src string, kinds map[string]vector.Kind) *nir.Program {
+	t.Helper()
+	prog, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := nir.Normalize(prog, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+func mkData(n int) map[string]*vector.Vector {
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i%1000 - 500)
+	}
+	return map[string]*vector.Vector{
+		"data": vector.FromI64(data),
+		"out":  vector.New(vector.I64, 0, n),
+	}
+}
+
+func wantOut(ext map[string]*vector.Vector) []int64 {
+	data := ext["data"].I64()
+	out := make([]int64, len(data))
+	for i, x := range data {
+		out[i] = (x*3 + 7) * (x - 1)
+	}
+	return out
+}
+
+// TestFigure1StateMachine drives the VM through the full Interpret →
+// Optimize → GenerateCode → InjectFunctions → Interpret cycle and checks
+// both the recorded transition sequence and result correctness.
+func TestFigure1StateMachine(t *testing.T) {
+	np := normalizeSrc(t, bigLoopSrc, map[string]vector.Kind{"data": vector.I64, "out": vector.I64})
+	cfg := DefaultConfig()
+	cfg.Sync = true
+	cfg.HotCalls = 2
+	cfg.HotNanos = 1 << 62
+	cfg.JIT.CompileLatency = jit.NoCompileLatency
+	v := New(np, cfg)
+
+	ext := mkData(1 << 16)
+	env, err := v.NewEnv(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First run interprets and (in the Sync epilogue) compiles.
+	if err := v.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.CompiledSegments()) == 0 {
+		t.Fatalf("hot loop body was not compiled; transitions: %v", v.Transitions())
+	}
+
+	// Transition log must contain the Figure-1 cycle in order.
+	var seq []State
+	for _, tr := range v.Transitions() {
+		seq = append(seq, tr.To)
+	}
+	wantCycle := []State{StateOptimize, StateGenerateCode, StateInjectFunctions, StateInterpret}
+	if !containsSubsequence(seq, wantCycle) {
+		t.Fatalf("transition log misses the Figure-1 cycle: %v", v.Transitions())
+	}
+
+	// Second run executes through the injected traces and must agree.
+	ext2 := mkData(1 << 16)
+	env2, err := v.NewEnv(ext2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(env2); err != nil {
+		t.Fatal(err)
+	}
+	want := wantOut(ext2)
+	got := ext2["out"].I64()
+	if len(got) != len(want) {
+		t.Fatalf("out len=%d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+	executed := false
+	for _, segID := range v.CompiledSegments() {
+		for _, tr := range v.Traces(segID) {
+			if tr.Calls() > 0 {
+				executed = true
+			}
+		}
+	}
+	if !executed {
+		t.Fatal("no trace executed on the second run")
+	}
+}
+
+func containsSubsequence(seq, sub []State) bool {
+	j := 0
+	for _, s := range seq {
+		if j < len(sub) && s == sub[j] {
+			j++
+		}
+	}
+	return j == len(sub)
+}
+
+// TestBackgroundOptimizerCompilesMidRun uses the async optimizer on a
+// long-running loop: compilation must happen while Run is still executing.
+func TestBackgroundOptimizerCompilesMidRun(t *testing.T) {
+	np := normalizeSrc(t, bigLoopSrc, map[string]vector.Kind{"data": vector.I64, "out": vector.I64})
+	cfg := DefaultConfig()
+	cfg.HotCalls = 2
+	cfg.OptimizeInterval = 200 * time.Microsecond
+	cfg.JIT.CompileLatency = jit.NoCompileLatency
+	v := New(np, cfg)
+
+	ext := mkData(1 << 21) // ~2M rows: thousands of chunks
+	env, err := v.NewEnv(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.CompiledSegments()) == 0 {
+		t.Fatal("background optimizer never compiled the hot loop")
+	}
+	trExecuted := int64(0)
+	for _, segID := range v.CompiledSegments() {
+		for _, tr := range v.Traces(segID) {
+			trExecuted += tr.Calls()
+		}
+	}
+	if trExecuted == 0 {
+		t.Fatal("compiled traces never ran during the same execution")
+	}
+	want := wantOut(ext)
+	got := ext["out"].I64()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d]=%d want %d (mid-run injection corrupted results)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMicroAdaptiveRevert: when the compiled trace is slower (simulated by a
+// pathological tile size making it do no fusion but more bookkeeping, plus a
+// forced cost), the VM must revert to interpretation.
+func TestMicroAdaptiveRevert(t *testing.T) {
+	np := normalizeSrc(t, bigLoopSrc, map[string]vector.Kind{"data": vector.I64, "out": vector.I64})
+	// Exercise the revert decision logic directly.
+	cfg2 := DefaultConfig()
+	cfg2.Sync = true
+	cfg2.HotCalls = 2
+	cfg2.HotNanos = 1 << 62
+	cfg2.JIT.CompileLatency = jit.NoCompileLatency
+	v2 := New(np, cfg2)
+	ext := mkData(1 << 16)
+	env, _ := v2.NewEnv(ext)
+	if err := v2.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	if len(v2.CompiledSegments()) == 0 {
+		t.Fatal("not compiled")
+	}
+	segID := v2.CompiledSegments()[0]
+	// Pretend the interpreter was much faster than the measured traces.
+	v2.mu.Lock()
+	v2.segs[segID].interpNanos = 0.0001
+	v2.mu.Unlock()
+	// Run again so traces accumulate ≥4 calls, then let the optimizer see
+	// the regression.
+	for i := 0; i < 4; i++ {
+		env2, _ := v2.NewEnv(mkData(1 << 16))
+		if err := v2.Run(env2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(v2.CompiledSegments()) != 0 {
+		t.Fatalf("regressing trace was not reverted; transitions: %v", v2.Transitions())
+	}
+	// Reverted segments must not be recompiled...
+	env3, _ := v2.NewEnv(mkData(1 << 16))
+	if err := v2.Run(env3); err != nil {
+		t.Fatal(err)
+	}
+	if len(v2.CompiledSegments()) != 0 {
+		t.Fatal("reverted segment was recompiled without Recompile()")
+	}
+	// ...until Recompile clears the block.
+	v2.Recompile()
+	env4, _ := v2.NewEnv(mkData(1 << 16))
+	if err := v2.Run(env4); err != nil {
+		t.Fatal(err)
+	}
+	if len(v2.CompiledSegments()) == 0 {
+		t.Fatal("Recompile did not re-enable optimization")
+	}
+}
+
+// TestGuardedTraceFallsBackOnSituationChange installs a guard keyed on an
+// external "situation" and verifies execution stays correct through guard
+// failures.
+func TestGuardedTraceFallsBackOnSituationChange(t *testing.T) {
+	np := normalizeSrc(t, bigLoopSrc, map[string]vector.Kind{"data": vector.I64, "out": vector.I64})
+	cfg := DefaultConfig()
+	cfg.Sync = true
+	cfg.HotCalls = 2
+	cfg.HotNanos = 1 << 62
+	cfg.JIT.CompileLatency = jit.NoCompileLatency
+	v := New(np, cfg)
+
+	situationOK := true
+	for segID := range v.Interp.Segments {
+		v.SetGuard(segID, func(*interp.Env) bool { return situationOK })
+	}
+
+	ext := mkData(1 << 15)
+	env, _ := v.NewEnv(ext)
+	if err := v.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.CompiledSegments()) == 0 {
+		t.Fatal("not compiled")
+	}
+
+	var traces []*jit.Trace
+	for _, segID := range v.CompiledSegments() {
+		traces = append(traces, v.Traces(segID)...)
+	}
+
+	// Situation changes: guards fail, VM must still produce correct output
+	// through the deopt path.
+	situationOK = false
+	ext2 := mkData(1 << 15)
+	env2, _ := v.NewEnv(ext2)
+	if err := v.Run(env2); err != nil {
+		t.Fatal(err)
+	}
+	want := wantOut(ext2)
+	got := ext2["out"].I64()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deopt path wrong at %d", i)
+		}
+	}
+	deopts := int64(0)
+	for _, tr := range traces {
+		deopts += tr.Deopts()
+	}
+	if deopts == 0 {
+		t.Fatal("guards never fired")
+	}
+	// Persistent guard failure must eventually drop the stale
+	// specialization so the VM can re-specialize for the new situation.
+	if len(v.CompiledSegments()) != 0 {
+		t.Fatal("stale specialization kept despite persistent guard failure")
+	}
+}
+
+func TestTransitionLogRendering(t *testing.T) {
+	tr := Transition{From: StateInterpret, To: StateOptimize, Segment: 3, Note: "hot"}
+	if s := tr.String(); s == "" {
+		t.Fatal("empty transition string")
+	}
+	if StateGenerateCode.String() != "GenerateCode" {
+		t.Fatal("state name wrong")
+	}
+}
