@@ -1,0 +1,281 @@
+// Package advm is the public embedding API of the adaptive virtual machine:
+// a session-based, context-aware surface over the paper's architecture
+// (ICDE'18, "Designing an Adaptive VM That Combines Vectorized and JIT
+// Execution on Heterogeneous Hardware").
+//
+// A Session is a reusable, concurrency-safe handle over one compiled
+// program (or over ad-hoc relational queries). Underneath it, the VM starts
+// out interpreting the normalized program with pre-compiled vectorized
+// kernels, profiles it, greedily partitions hot dependency graphs into
+// fragments, JIT-compiles them into fused traces, injects the traces into
+// the running interpreter, and micro-adaptively reverts traces that lose —
+// all while the embedder holds one stable handle:
+//
+//	sess, err := advm.Compile(src, map[string]advm.Kind{"data": advm.I64},
+//	        advm.WithHotThresholds(8, 200*time.Microsecond))
+//	...
+//	err = sess.Run(ctx, map[string]*advm.Vector{"data": advm.FromI64(xs)})
+//
+// Execution honors ctx at chunk boundaries, so cancellation and deadlines
+// cut a long run short within one chunk, reported as ErrCancelled.
+//
+// The relational layer is reached through Session.Query, which streams
+// results chunk-at-a-time behind a database/sql-style cursor:
+//
+//	rows, err := sess.Query(ctx, advm.Scan(table, "k", "v").
+//	        Filter(`(\k -> k < 10)`, "k").
+//	        Compute("v2", `(\v -> v * v)`, advm.I64, "v"))
+//	for rows.Next() {
+//	        var k, v2 int64
+//	        err = rows.Scan(&k, nil, &v2)
+//	}
+//	err = rows.Err()
+//
+// Session.Stats exposes the observability surface: the Figure-1 state
+// machine transition log, the per-instruction profile, injected and
+// reverted trace counts, and device placement decisions.
+package advm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/device"
+	"repro/internal/dsl"
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/nir"
+	"repro/internal/primitive"
+	"repro/internal/vm"
+)
+
+// Session is a handle over one adaptive VM (when compiled from a program)
+// and a factory for streaming relational queries. It is safe for concurrent
+// use: every Run gets a fresh environment, every Query gets fresh
+// operators, while profiling data and injected traces persist inside the
+// session and keep improving later executions.
+type Session struct {
+	opt  options
+	src  string
+	prog *nir.Program
+	vm   *vm.VM
+
+	cpu    *device.CPU
+	gpu    *gpu.Device
+	placer *device.Placer
+
+	runs    atomic.Int64
+	queries atomic.Int64
+
+	mu         sync.Mutex
+	placements []Placement
+}
+
+// NewSession creates a query-only session (no compiled program): Run errors
+// until a program is compiled, Query works immediately.
+func NewSession(opts ...Option) (*Session, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, tagged(ErrBind, err)
+		}
+	}
+	o.finalize()
+	return newSession(o), nil
+}
+
+func newSession(o options) *Session {
+	s := &Session{opt: o, cpu: device.NewCPU()}
+	if o.device != DeviceCPU {
+		s.gpu = gpu.New(gpu.DefaultConfig())
+		s.placer = device.NewPlacer(s.cpu, s.gpu)
+	}
+	return s
+}
+
+// Compile parses, checks and normalizes a DSL program and prepares an
+// adaptive VM for it. externals maps every external array name used by
+// read/write/gather/scatter to its element kind. Failures are classified
+// under ErrCompile.
+func Compile(src string, externals map[string]Kind, opts ...Option) (*Session, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, tagged(ErrBind, err)
+		}
+	}
+	o.finalize()
+	ast, err := dsl.Parse(src)
+	if err != nil {
+		return nil, tagged(ErrCompile, err)
+	}
+	ir, err := nir.Normalize(ast, externals)
+	if err != nil {
+		return nil, tagged(ErrCompile, err)
+	}
+	s := newSession(o)
+	s.src = src
+	s.prog = ir
+	s.vm = vm.New(ir, o.cfg)
+	return s, nil
+}
+
+// MustCompile is Compile for tests and examples; it panics on error.
+func MustCompile(src string, externals map[string]Kind, opts ...Option) *Session {
+	s, err := Compile(src, externals, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run executes the compiled program once against the given external arrays.
+// The context is honored at chunk boundaries: a cancelled or expired ctx
+// aborts the run within one chunk and Run returns an error matching
+// ErrCancelled. Binding problems (missing or wrongly-typed arrays) are
+// classified under ErrBind.
+//
+// Run may be called concurrently; profiling and compiled traces are shared
+// across calls.
+func (s *Session) Run(ctx context.Context, bindings map[string]*Vector) error {
+	if s.vm == nil {
+		return tagged(ErrBind, errors.New("session has no compiled program (use advm.Compile)"))
+	}
+	env, err := s.vm.NewEnv(bindings)
+	if err != nil {
+		return tagged(ErrBind, err)
+	}
+	if err := s.vm.RunContext(ctx, env); err != nil {
+		return classifyCtx(ctx, err)
+	}
+	// Record only completed executions, keeping Stats.Placements consistent
+	// with Stats.Runs.
+	s.recordPlacement(bindings)
+	s.runs.Add(1)
+	return nil
+}
+
+// classifyCtx tags errors caused by ctx as ErrCancelled and passes the rest
+// through.
+func classifyCtx(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+		return tagged(ErrCancelled, err)
+	}
+	return err
+}
+
+// Query instantiates the plan's operator pipeline and returns a streaming
+// cursor over its result. The pipeline executes lazily, chunk-at-a-time, as
+// the caller advances the cursor; nothing is materialized beyond what the
+// plan's own pipeline breakers (joins, aggregations) require. Expression
+// errors are classified under ErrCompile, wiring errors under ErrBind, and
+// a cancelled ctx — checked at every chunk — surfaces as ErrCancelled from
+// Rows.Err.
+//
+// The returned Rows must be used from a single goroutine; the Session
+// itself may serve many concurrent Query calls.
+func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
+	if plan == nil {
+		return nil, tagged(ErrBind, errors.New("nil plan"))
+	}
+	op, err := plan.build(s)
+	if err != nil {
+		return nil, tagged(ErrBind, err)
+	}
+	if err := op.Open(ctx); err != nil {
+		op.Close()
+		if errors.Is(err, engine.ErrExpr) {
+			return nil, tagged(ErrCompile, err)
+		}
+		if c := classifyCtx(ctx, err); c != err {
+			return nil, c
+		}
+		return nil, tagged(ErrBind, err)
+	}
+	s.queries.Add(1)
+	return &Rows{ctx: ctx, op: op, schema: op.Schema()}, nil
+}
+
+// IR renders the normalized intermediate representation of the compiled
+// program ("" when the session has none).
+func (s *Session) IR() string {
+	if s.prog == nil {
+		return ""
+	}
+	return s.prog.String()
+}
+
+// Source returns the DSL source the session was compiled from.
+func (s *Session) Source() string { return s.src }
+
+// PlanReport renders the current execution plan of every program segment,
+// showing which steps are interpreted and which run injected traces.
+func (s *Session) PlanReport() string {
+	if s.vm == nil {
+		return ""
+	}
+	out := ""
+	for _, seg := range s.vm.Interp.Segments {
+		out += fmt.Sprintf("segment %d:\n", seg.ID)
+		for _, step := range s.vm.Interp.Plan(seg.ID).Steps {
+			out += "  " + step.Describe() + "\n"
+		}
+	}
+	return out
+}
+
+// KernelCount reports the number of pre-compiled vectorized kernels
+// available to the interpreter ("generated and compiled during startup").
+func KernelCount() int { return primitive.Count() }
+
+// recordPlacement runs the device-placement model for one program execution
+// and records the decision (observable via Stats). With the default
+// DeviceCPU policy this is a no-op beyond bookkeeping.
+func (s *Session) recordPlacement(bindings map[string]*Vector) {
+	elems, bytes := 0, 0
+	names := make([]string, 0, len(bindings))
+	for name, v := range bindings {
+		if v == nil {
+			continue
+		}
+		if v.Len() > elems {
+			elems = v.Len()
+		}
+		bytes += v.Len() * v.Kind().Width()
+		names = append(names, name)
+	}
+	ops := 1
+	if s.prog != nil {
+		ops = s.prog.NumInstrs
+	}
+	k := device.Kernel{
+		Name: "session-run", Elems: elems,
+		BytesIn: bytes, BytesOut: bytes,
+		OpsPerElem: float64(ops), Inputs: names,
+	}
+	chosen := "cpu"
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.opt.device {
+	case DeviceGPU:
+		chosen = s.gpu.Name()
+	case DeviceAuto:
+		chosen = s.placer.Choose(k).Name()
+	}
+	s.placements = append(s.placements, Placement{
+		Elems: elems, Bytes: bytes, Device: chosen,
+	})
+	if len(s.placements) > maxPlacements {
+		s.placements = append(s.placements[:0], s.placements[len(s.placements)-maxPlacements:]...)
+	}
+}
+
+// maxPlacements bounds the placement log of a long-lived session; Stats
+// reports the most recent decisions.
+const maxPlacements = 256

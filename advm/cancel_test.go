@@ -1,0 +1,113 @@
+package advm_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/advm"
+)
+
+// TestRunCancelsMidExecution verifies the contract that a long Run aborts
+// within one chunk of its context being cancelled: cancellation fires while
+// the VM is deep in a multi-thousand-chunk loop, and the run must stop long
+// before it would have finished.
+func TestRunCancelsMidExecution(t *testing.T) {
+	sess := advm.MustCompile(chunkLoopSrc, chunkLoopKinds, advm.WithJIT(false))
+
+	// Calibrate: a full uncancelled run over n rows.
+	const n = 1 << 22 // ~4k chunks
+	ext, _ := chunkLoopBindings(n)
+	start := time.Now()
+	if err := sess.Run(context.Background(), ext); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(full / 10)
+		cancel()
+	}()
+	ext2, _ := chunkLoopBindings(n)
+	start = time.Now()
+	err := sess.Run(ctx, ext2)
+	aborted := time.Since(start)
+	if !errors.Is(err, advm.ErrCancelled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error chain lost the context cause: %v", err)
+	}
+	if aborted > full/2+50*time.Millisecond {
+		t.Fatalf("run took %v after cancellation at %v (full run %v): not aborting at chunk boundaries", aborted, full/10, full)
+	}
+}
+
+// TestRunHonorsDeadline exercises the deadline path: an already-expired
+// deadline aborts before the first chunk.
+func TestRunHonorsDeadline(t *testing.T) {
+	sess := advm.MustCompile(chunkLoopSrc, chunkLoopKinds, advm.WithJIT(false))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	ext, _ := chunkLoopBindings(1 << 12)
+	err := sess.Run(ctx, ext)
+	if !errors.Is(err, advm.ErrCancelled) {
+		t.Fatalf("expired deadline returned %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error chain lost DeadlineExceeded: %v", err)
+	}
+}
+
+// TestQueryCancelsMidStream cancels a streaming query between cursor
+// advances: the next fetch must fail with ErrCancelled and close the
+// pipeline.
+func TestQueryCancelsMidStream(t *testing.T) {
+	sess, err := advm.NewSession(advm.WithChunkLen(64), advm.WithJIT(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := queryTable(100_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := sess.Query(ctx, advm.Scan(table, "k", "v").Compute("v2", `(\v -> v + 1)`, advm.I64, "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+
+	seen := 0
+	for rows.Next() {
+		seen++
+		if seen == 100 {
+			cancel()
+		}
+	}
+	if err := rows.Err(); !errors.Is(err, advm.ErrCancelled) {
+		t.Fatalf("cancelled stream ended with %v after %d rows", err, seen)
+	}
+	// Within one chunk: the current chunk (64 rows) may drain, plus the one
+	// being fetched, but no unbounded run-on.
+	if seen > 100+2*64 {
+		t.Fatalf("stream produced %d rows after cancellation at row 100", seen)
+	}
+	if rows.Next() {
+		t.Fatal("Next returned true after error")
+	}
+}
+
+// TestQueryCancelledBeforeOpen: a dead context fails Query itself.
+func TestQueryCancelledBeforeOpen(t *testing.T) {
+	sess, err := advm.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sess.Query(ctx, advm.Scan(queryTable(10)))
+	if !errors.Is(err, advm.ErrCancelled) {
+		t.Fatalf("dead-context Query returned %v", err)
+	}
+}

@@ -1,0 +1,45 @@
+package advm
+
+import "errors"
+
+// The package classifies every failure into one of three sentinel
+// categories, testable with errors.Is. The underlying cause stays in the
+// chain, so errors.As and errors.Is against context errors keep working:
+//
+//	err := sess.Run(ctx, bindings)
+//	switch {
+//	case errors.Is(err, advm.ErrCancelled): // ctx cancelled or deadline hit
+//	case errors.Is(err, advm.ErrBind):      // bad external bindings
+//	case errors.Is(err, advm.ErrCompile):   // bad program or expression
+//	}
+var (
+	// ErrCompile marks failures to parse, check or normalize a DSL program
+	// or a query expression lambda.
+	ErrCompile = errors.New("advm: compile failed")
+	// ErrBind marks invalid external bindings or plan wiring: missing or
+	// wrongly-typed arrays, unknown columns, schema mismatches.
+	ErrBind = errors.New("advm: bind failed")
+	// ErrCancelled marks an execution cut short by its context. The chain
+	// also wraps the context's own error, so errors.Is(err,
+	// context.Canceled) and errors.Is(err, context.DeadlineExceeded) keep
+	// distinguishing the two causes.
+	ErrCancelled = errors.New("advm: execution cancelled")
+)
+
+// taggedError attaches a sentinel category to an underlying cause; both stay
+// visible to errors.Is/As through multi-error unwrapping.
+type taggedError struct {
+	tag, cause error
+}
+
+func (e *taggedError) Error() string { return e.tag.Error() + ": " + e.cause.Error() }
+
+func (e *taggedError) Unwrap() []error { return []error{e.tag, e.cause} }
+
+// tagged wraps cause with the sentinel tag; nil stays nil.
+func tagged(tag, cause error) error {
+	if cause == nil {
+		return nil
+	}
+	return &taggedError{tag: tag, cause: cause}
+}

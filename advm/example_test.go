@@ -1,0 +1,103 @@
+package advm_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/advm"
+)
+
+// ExampleSession_Run compiles a small data-parallel program and runs it to
+// a deterministic result. Synchronous optimization keeps the demo
+// reproducible: the loop goes hot on the first run and later runs execute
+// injected traces.
+func ExampleSession_Run() {
+	src := `
+mut i
+i := 0
+loop {
+  let xs = read i data
+  if len(xs) == 0 then break
+  let r = map (\x -> x * 2) xs
+  write out i r
+  i := i + len(xs)
+}
+`
+	sess := advm.MustCompile(src,
+		map[string]advm.Kind{"data": advm.I64, "out": advm.I64},
+		advm.WithSyncOptimizer(true),
+		advm.WithHotThresholds(1, 0),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}),
+	)
+
+	data := []int64{1, 2, 3, 4}
+	for run := 1; run <= 2; run++ {
+		out := advm.NewVector(advm.I64, 0, len(data))
+		if err := sess.Run(context.Background(), map[string]*advm.Vector{
+			"data": advm.FromI64(data), "out": out,
+		}); err != nil {
+			fmt.Println("run failed:", err)
+			return
+		}
+		fmt.Printf("run %d: %v\n", run, out.I64())
+	}
+	fmt.Println("segments compiled:", len(sess.Stats().CompiledSegments) > 0)
+	// Output:
+	// run 1: [2 4 6 8]
+	// run 2: [2 4 6 8]
+	// segments compiled: true
+}
+
+// ExampleSession_Query streams a relational pipeline's result through the
+// database/sql-style cursor.
+func ExampleSession_Query() {
+	table := advm.NewTable(advm.NewSchema("k", advm.I64, "v", advm.I64))
+	for i := int64(0); i < 8; i++ {
+		table.AppendRow(advm.I64Value(i), advm.I64Value(10*i))
+	}
+
+	sess, _ := advm.NewSession()
+	rows, err := sess.Query(context.Background(),
+		advm.Scan(table, "k", "v").
+			Filter(`(\k -> k % 2 == 0)`, "k").
+			Compute("vv", `(\v -> v + 1)`, advm.I64, "v"))
+	if err != nil {
+		fmt.Println("query failed:", err)
+		return
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var k, vv int64
+		if err := rows.Scan(&k, nil, &vv); err != nil {
+			fmt.Println("scan failed:", err)
+			return
+		}
+		fmt.Println(k, vv)
+	}
+	if err := rows.Err(); err != nil {
+		fmt.Println("stream failed:", err)
+	}
+	// Output:
+	// 0 1
+	// 2 21
+	// 4 41
+	// 6 61
+}
+
+// ExampleErrCancelled shows the typed-error taxonomy: context failures
+// surface as ErrCancelled while keeping the context cause in the chain.
+func ExampleErrCancelled() {
+	sess := advm.MustCompile(`let xs = read 0 data
+let r = map (\x -> x + 1) xs
+write out 0 r`,
+		map[string]advm.Kind{"data": advm.I64, "out": advm.I64})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead
+	err := sess.Run(ctx, map[string]*advm.Vector{
+		"data": advm.FromI64([]int64{1}), "out": advm.NewVector(advm.I64, 0, 1),
+	})
+	fmt.Println(errors.Is(err, advm.ErrCancelled), errors.Is(err, context.Canceled))
+	// Output: true true
+}

@@ -1,0 +1,198 @@
+package advm
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/jit"
+	"repro/internal/vm"
+)
+
+// Option configures a Session at creation time. Options replace the internal
+// configuration structs (vm.Config, jit.Options, depgraph.Constraints) that
+// the old internal/core facade leaked: the adaptive machinery can evolve
+// underneath without breaking embedders.
+type Option func(*options) error
+
+// options is the resolved configuration of one Session.
+type options struct {
+	cfg        vm.Config
+	jitEnabled bool // trace compilation in query expression VMs
+	chunkLen   int  // scan chunk length for queries (0 = DefaultChunkLen)
+	device     DeviceKind
+}
+
+func defaultOptions() options {
+	return options{cfg: vm.DefaultConfig(), jitEnabled: true, device: DeviceCPU}
+}
+
+// finalize resolves interactions after every option has applied, so the
+// result does not depend on option order.
+func (o *options) finalize() {
+	if !o.jitEnabled {
+		o.cfg.HotCalls = neverHot
+		o.cfg.HotNanos = neverHot
+	}
+}
+
+// neverHot disables a hotness trigger.
+const neverHot = math.MaxInt64
+
+// WithHotThresholds sets when a program segment counts as hot and becomes a
+// compilation candidate: after calls observed executions, or once its
+// cumulative interpreted time reaches cumulative — whichever comes first. A
+// non-positive value disables that trigger.
+func WithHotThresholds(calls int64, cumulative time.Duration) Option {
+	return func(o *options) error {
+		o.cfg.HotCalls = calls
+		o.cfg.HotNanos = int64(cumulative)
+		if calls <= 0 {
+			o.cfg.HotCalls = neverHot
+		}
+		if cumulative <= 0 {
+			o.cfg.HotNanos = neverHot
+		}
+		return nil
+	}
+}
+
+// WithSyncOptimizer selects synchronous optimization: the VM examines the
+// profile between runs (and chunk batches) instead of using the concurrent
+// background optimizer. Deterministic — useful for tests, and for
+// benchmarks that must charge compile time to the measured total.
+func WithSyncOptimizer(sync bool) Option {
+	return func(o *options) error { o.cfg.Sync = sync; return nil }
+}
+
+// WithMicroAdaptive toggles micro-adaptive revert: the VM keeps comparing
+// injected traces against the interpreter's historical cost and deoptimizes
+// traces that turn out to be a loss. On by default.
+func WithMicroAdaptive(on bool) Option {
+	return func(o *options) error { o.cfg.MicroAdaptive = on; return nil }
+}
+
+// WithOptimizeInterval sets how often the asynchronous optimizer re-examines
+// the profile.
+func WithOptimizeInterval(d time.Duration) Option {
+	return func(o *options) error {
+		if d <= 0 {
+			return fmt.Errorf("optimize interval must be positive, got %v", d)
+		}
+		o.cfg.OptimizeInterval = d
+		return nil
+	}
+}
+
+// JITOptions tunes trace compilation without exposing the internal compiler
+// configuration.
+type JITOptions struct {
+	// TileSize is the register-blocking window of fused element-wise runs
+	// (0 = default).
+	TileSize int
+	// CompileLatency models code-generation cost for a fragment of n
+	// operations; compilation stalls that long before a trace is injected.
+	// Nil selects the calibrated default model; NoCompileLatency disables
+	// the model entirely.
+	CompileLatency func(n int) time.Duration
+}
+
+// NoCompileLatency disables the modeled code-generation cost.
+func NoCompileLatency(int) time.Duration { return 0 }
+
+// DefaultCompileLatency is the calibrated code-generation cost model for a
+// fragment of n operations.
+func DefaultCompileLatency(n int) time.Duration { return jit.DefaultCompileLatency(n) }
+
+// WithJITOptions tunes trace compilation.
+func WithJITOptions(jo JITOptions) Option {
+	return func(o *options) error {
+		if jo.TileSize < 0 {
+			return fmt.Errorf("JIT tile size must be non-negative, got %d", jo.TileSize)
+		}
+		o.cfg.JIT.TileSize = jo.TileSize
+		o.cfg.JIT.CompileLatency = jo.CompileLatency
+		return nil
+	}
+}
+
+// WithJIT enables or disables trace compilation altogether. With false the
+// session is a purely vectorized interpreter (the MonetDB/X100-style
+// baseline): hotness triggers are disabled — regardless of option order,
+// including a WithHotThresholds in the same list — and query expressions
+// never compile.
+func WithJIT(on bool) Option {
+	return func(o *options) error {
+		o.jitEnabled = on
+		return nil
+	}
+}
+
+// WithPartitionBudget bounds the greedy dependency-graph partitioner's
+// fragments: maxInputs distinct arrays and inflowing registers per compiled
+// fragment (the paper's TLB-derived budget) and maxNodes operations per
+// fragment. A non-positive value keeps the default for that bound.
+func WithPartitionBudget(maxInputs, maxNodes int) Option {
+	return func(o *options) error {
+		if maxInputs > 0 {
+			o.cfg.Constraints.MaxInputs = maxInputs
+		}
+		if maxNodes > 0 {
+			o.cfg.Constraints.MaxNodes = maxNodes
+		}
+		return nil
+	}
+}
+
+// WithChunkLen sets the number of rows per chunk pulled by query table
+// scans (default DefaultChunkLen). Smaller chunks tighten cancellation
+// latency and cache footprint; larger chunks amortize interpretation
+// overhead.
+func WithChunkLen(n int) Option {
+	return func(o *options) error {
+		if n <= 0 {
+			return fmt.Errorf("chunk length must be positive, got %d", n)
+		}
+		o.chunkLen = n
+		return nil
+	}
+}
+
+// DeviceKind selects the execution-device placement policy of a session.
+type DeviceKind int
+
+// Device policies.
+const (
+	// DeviceCPU places all work on the host CPU (default).
+	DeviceCPU DeviceKind = iota
+	// DeviceGPU places eligible work on the modeled GPU coprocessor.
+	DeviceGPU
+	// DeviceAuto chooses per run between CPU and GPU by modeled cost
+	// (compute rate vs. transfer over the interconnect), the paper's §IV
+	// heterogeneous-hardware target.
+	DeviceAuto
+)
+
+var deviceNames = [...]string{DeviceCPU: "cpu", DeviceGPU: "gpu", DeviceAuto: "auto"}
+
+func (d DeviceKind) String() string {
+	if d >= 0 && int(d) < len(deviceNames) {
+		return deviceNames[d]
+	}
+	return fmt.Sprintf("DeviceKind(%d)", int(d))
+}
+
+// WithDevice selects the placement policy. The GPU backend is the modeled
+// coprocessor of the reproduction: placement decisions (and their modeled
+// costs) are real and observable through Stats, execution itself runs on the
+// host.
+func WithDevice(d DeviceKind) Option {
+	return func(o *options) error {
+		switch d {
+		case DeviceCPU, DeviceGPU, DeviceAuto:
+			o.device = d
+			return nil
+		}
+		return fmt.Errorf("unknown device policy %v", d)
+	}
+}

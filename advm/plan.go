@@ -1,0 +1,127 @@
+package advm
+
+import (
+	"repro/internal/engine"
+)
+
+// EvalMode fixes how filters and computes treat incoming selection vectors
+// (§III-C selectivity specialization).
+type EvalMode = engine.EvalMode
+
+// Evaluation flavors.
+const (
+	// EvalAdaptive chooses per chunk from observed selectivity (default).
+	EvalAdaptive = engine.EvalAdaptive
+	// EvalFull computes over all rows, keeping the selection vector.
+	EvalFull = engine.EvalFull
+	// EvalSelective condenses the selected rows first.
+	EvalSelective = engine.EvalSelective
+)
+
+// Agg describes one aggregate of an Aggregate plan node.
+type Agg = engine.Aggregate
+
+// AggFunc is an aggregation function.
+type AggFunc = engine.AggFunc
+
+// Aggregation functions.
+const (
+	AggSum   = engine.AggSum
+	AggCount = engine.AggCount
+	AggMin   = engine.AggMin
+	AggMax   = engine.AggMax
+	AggAvg   = engine.AggAvg
+)
+
+// Plan is a deferred description of a relational operator pipeline. Plans
+// are cheap immutable builders: each method returns a new node, and nothing
+// executes until Session.Query instantiates the pipeline — so one Plan can
+// back many concurrent queries, each with its own operator state.
+//
+// Scalar expressions and predicates are DSL lambdas; they are lowered
+// through the normalizer and run on per-operator adaptive VMs, so hot
+// expressions JIT-compile into fused traces exactly as compiled programs
+// do (subject to the session's WithJIT/WithJITOptions settings).
+type Plan struct {
+	build func(s *Session) (engine.Operator, error)
+}
+
+// Scan starts a plan reading the named columns of a table (all columns when
+// none are given).
+func Scan(t *Table, columns ...string) *Plan {
+	return &Plan{build: func(s *Session) (engine.Operator, error) {
+		sc, err := engine.NewScan(t, columns...)
+		if err != nil {
+			return nil, err
+		}
+		if s.opt.chunkLen > 0 {
+			sc.SetChunkLen(s.opt.chunkLen)
+		}
+		return sc, nil
+	}}
+}
+
+// Filter keeps the rows for which the DSL predicate lambda over col holds.
+func (p *Plan) Filter(lambda, col string) *Plan {
+	return p.FilterMode(EvalAdaptive, lambda, col)
+}
+
+// FilterMode is Filter with a fixed evaluation flavor.
+func (p *Plan) FilterMode(mode EvalMode, lambda, col string) *Plan {
+	return &Plan{build: func(s *Session) (engine.Operator, error) {
+		child, err := p.build(s)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewFilter(child, lambda, col).
+			SetMode(mode).SetJIT(s.opt.jitEnabled, s.opt.cfg.JIT), nil
+	}}
+}
+
+// Compute appends column out derived by the DSL lambda over the input
+// columns; kind must be the lambda's result kind.
+func (p *Plan) Compute(out, lambda string, kind Kind, cols ...string) *Plan {
+	return p.ComputeMode(EvalAdaptive, out, lambda, kind, cols...)
+}
+
+// ComputeMode is Compute with a fixed evaluation flavor.
+func (p *Plan) ComputeMode(mode EvalMode, out, lambda string, kind Kind, cols ...string) *Plan {
+	return &Plan{build: func(s *Session) (engine.Operator, error) {
+		child, err := p.build(s)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewCompute(child, out, lambda, kind, cols...).
+			SetMode(mode).SetJIT(s.opt.jitEnabled, s.opt.cfg.JIT), nil
+	}}
+}
+
+// Aggregate groups by the key columns (nil for a single global group) and
+// computes the given aggregates.
+func (p *Plan) Aggregate(keys []string, aggs ...Agg) *Plan {
+	return &Plan{build: func(s *Session) (engine.Operator, error) {
+		child, err := p.build(s)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewHashAgg(child, keys, aggs), nil
+	}}
+}
+
+// Join hash-joins the plan (probe side) against build on probeKey =
+// buildKey, carrying the named build-side payload columns. The build side
+// is materialized and hashed when the query opens; selective probes
+// adaptively keep a Bloom filter in front of the hash table.
+func (p *Plan) Join(build *Plan, probeKey, buildKey string, payload ...string) *Plan {
+	return &Plan{build: func(s *Session) (engine.Operator, error) {
+		probe, err := p.build(s)
+		if err != nil {
+			return nil, err
+		}
+		b, err := build.build(s)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewHashJoin(probe, b, probeKey, buildKey, payload...), nil
+	}}
+}

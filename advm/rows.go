@@ -1,0 +1,226 @@
+package advm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/vector"
+)
+
+// Rows is a streaming cursor over a query's result, in the spirit of
+// database/sql: the pipeline produces chunks lazily as the cursor advances,
+// so callers consume arbitrarily large results incrementally instead of
+// materializing them.
+//
+//	rows, err := sess.Query(ctx, plan)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	        var k int64
+//	        if err := rows.Scan(&k); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Rows is not safe for concurrent use.
+type Rows struct {
+	ctx    context.Context
+	op     engine.Operator
+	schema []engine.ColInfo
+
+	chunk *vector.Chunk
+	cols  []*vector.Vector // chunk columns resolved in schema order
+	sel   vector.Sel       // current chunk's selection (nil = all rows)
+	idx   int              // next row ordinal within the chunk
+	row   int              // current physical row, valid after Next
+	done  bool
+	err   error
+}
+
+// Columns returns the result column names in schema order.
+func (r *Rows) Columns() []string {
+	names := make([]string, len(r.schema))
+	for i, ci := range r.schema {
+		names[i] = ci.Name
+	}
+	return names
+}
+
+// Next advances to the next result row, fetching the next chunk from the
+// pipeline when the current one is exhausted. It returns false at the end
+// of the stream or on error; consult Err to distinguish.
+func (r *Rows) Next() bool {
+	if r.done || r.err != nil {
+		return false
+	}
+	for {
+		if r.chunk != nil {
+			if r.sel != nil {
+				if r.idx < len(r.sel) {
+					r.row = int(r.sel[r.idx])
+					r.idx++
+					return true
+				}
+			} else if r.idx < r.chunk.Len() {
+				r.row = r.idx
+				r.idx++
+				return true
+			}
+			r.chunk = nil
+		}
+		chunk, err := r.op.Next(r.ctx)
+		if err != nil {
+			r.err = classifyCtx(r.ctx, err)
+			r.close()
+			return false
+		}
+		if chunk == nil {
+			r.close()
+			return false
+		}
+		r.setChunk(chunk)
+	}
+}
+
+func (r *Rows) setChunk(c *vector.Chunk) {
+	r.chunk = c
+	r.sel = c.Sel()
+	r.idx = 0
+	r.cols = r.cols[:0]
+	for _, ci := range r.schema {
+		r.cols = append(r.cols, c.MustColumn(ci.Name))
+	}
+}
+
+// Scan copies the current row into dest, one destination per result column
+// in schema order. Supported destinations: *bool, *int, *int64, *float64,
+// *string, *Value, *any; nil skips a column. Integer columns of any width
+// scan into *int64/*int; every kind scans into *any and *Value.
+func (r *Rows) Scan(dest ...any) error {
+	if r.chunk == nil {
+		return errors.New("advm: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.schema) {
+		return fmt.Errorf("advm: Scan got %d destinations for %d columns", len(dest), len(r.schema))
+	}
+	for i, d := range dest {
+		if d == nil {
+			continue
+		}
+		v := r.cols[i].Get(r.row)
+		if err := assign(d, v, r.schema[i].Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func assign(dest any, v Value, col string) error {
+	switch d := dest.(type) {
+	case *Value:
+		*d = v
+	case *any:
+		switch v.Kind {
+		case vector.Bool:
+			*d = v.B
+		case vector.F64:
+			*d = v.F
+		case vector.Str:
+			*d = v.S
+		default:
+			*d = v.I
+		}
+	case *bool:
+		if v.Kind != vector.Bool {
+			return convErr(col, v, "bool")
+		}
+		*d = v.B
+	case *int64:
+		if !v.Kind.IsInteger() {
+			return convErr(col, v, "int64")
+		}
+		*d = v.I
+	case *int:
+		if !v.Kind.IsInteger() {
+			return convErr(col, v, "int")
+		}
+		if int64(int(v.I)) != v.I {
+			return fmt.Errorf("advm: column %q value %d overflows int on this platform", col, v.I)
+		}
+		*d = int(v.I)
+	case *float64:
+		switch {
+		case v.Kind == vector.F64:
+			*d = v.F
+		case v.Kind.IsInteger():
+			*d = float64(v.I)
+		default:
+			return convErr(col, v, "float64")
+		}
+	case *string:
+		if v.Kind != vector.Str {
+			return convErr(col, v, "string")
+		}
+		*d = v.S
+	default:
+		return fmt.Errorf("advm: unsupported Scan destination %T for column %q", dest, col)
+	}
+	return nil
+}
+
+func convErr(col string, v Value, want string) error {
+	return fmt.Errorf("advm: column %q holds %v, not scannable into *%s", col, v.Kind, want)
+}
+
+// Count drains the stream from the cursor's current position and returns
+// the number of remaining result rows, counting chunk-at-a-time without
+// per-row cursor work — use it instead of a Next loop when only the
+// cardinality matters. The cursor is closed afterwards.
+func (r *Rows) Count() (int64, error) {
+	if r.done || r.err != nil {
+		return 0, r.err
+	}
+	var n int64
+	if r.chunk != nil {
+		if r.sel != nil {
+			n += int64(len(r.sel) - r.idx)
+		} else {
+			n += int64(r.chunk.Len() - r.idx)
+		}
+		r.chunk = nil
+	}
+	for {
+		chunk, err := r.op.Next(r.ctx)
+		if err != nil {
+			r.err = classifyCtx(r.ctx, err)
+			r.close()
+			return n, r.err
+		}
+		if chunk == nil {
+			r.close()
+			return n, nil
+		}
+		n += int64(chunk.SelectedLen())
+	}
+}
+
+// Err returns the error, if any, that ended iteration. A cancelled context
+// surfaces here as ErrCancelled.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the pipeline's resources. It is idempotent and implied by
+// exhausting Next.
+func (r *Rows) Close() error {
+	r.close()
+	return nil
+}
+
+func (r *Rows) close() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.chunk = nil
+	r.op.Close()
+}

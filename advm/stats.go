@@ -1,0 +1,113 @@
+package advm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/vm"
+)
+
+// Transition is one recorded step of the VM's Figure-1 state machine
+// (Interpret → Optimize → GenerateCode → InjectFunctions → Interpret).
+type Transition struct {
+	From, To string
+	// At is the offset since session creation.
+	At time.Duration
+	// Segment is the affected program segment, -1 when not applicable.
+	Segment int
+	// Note is a human-readable annotation ("hot: calls=…", "revert: …").
+	Note string
+}
+
+func (t Transition) String() string {
+	return fmt.Sprintf("%-12s → %-16s seg=%-3d %s", t.From, t.To, t.Segment, t.Note)
+}
+
+// InstrStat is the live profile of one program instruction.
+type InstrStat struct {
+	ID     int
+	Instr  string
+	Calls  int64
+	Tuples int64
+	Nanos  int64
+}
+
+// Placement is one device-placement decision of the session's policy.
+type Placement struct {
+	Elems  int
+	Bytes  int
+	Device string
+}
+
+// Stats is a point-in-time snapshot of the session's observability surface.
+type Stats struct {
+	// Runs and Queries count completed Session.Run calls and started
+	// Session.Query streams.
+	Runs, Queries int64
+	// Kernels is the number of pre-compiled vectorized kernels available.
+	Kernels int
+	// State is the VM's current Figure-1 state ("" without a program).
+	State string
+	// Transitions is the state machine log.
+	Transitions []Transition
+	// CompiledSegments lists segments currently running injected traces.
+	CompiledSegments []int
+	// InjectedTraces and RevertedTraces count optimizer injections and
+	// micro-adaptive deoptimizations over the session's lifetime.
+	InjectedTraces, RevertedTraces int
+	// GuardFailures counts trace guard misses (situation changes executed
+	// through the interpreted fallback) across currently installed traces.
+	GuardFailures int64
+	// Instructions is the per-instruction interpreter profile.
+	Instructions []InstrStat
+	// Placements records device decisions, newest last.
+	Placements []Placement
+}
+
+// Stats snapshots the session's counters, state machine log,
+// per-instruction profile and placement decisions. It is safe to call
+// concurrently with Run and Query.
+func (s *Session) Stats() Stats {
+	st := Stats{
+		Runs:    s.runs.Load(),
+		Queries: s.queries.Load(),
+		Kernels: KernelCount(),
+	}
+	s.mu.Lock()
+	st.Placements = append([]Placement(nil), s.placements...)
+	s.mu.Unlock()
+	if s.vm == nil {
+		return st
+	}
+	st.State = s.vm.State().String()
+	for _, tr := range s.vm.Transitions() {
+		st.Transitions = append(st.Transitions, Transition{
+			From: tr.From.String(), To: tr.To.String(),
+			At: tr.At, Segment: tr.Segment, Note: tr.Note,
+		})
+		if tr.To == vm.StateInjectFunctions {
+			if strings.HasPrefix(tr.Note, "revert:") {
+				st.RevertedTraces++
+			} else {
+				st.InjectedTraces++
+			}
+		}
+	}
+	st.CompiledSegments = s.vm.CompiledSegments()
+	prof := s.vm.Interp.Prof
+	for _, seg := range s.vm.Interp.Segments {
+		for _, tr := range s.vm.Traces(seg.ID) {
+			st.GuardFailures += tr.Deopts()
+		}
+		for _, in := range seg.Instrs {
+			st.Instructions = append(st.Instructions, InstrStat{
+				ID: in.ID, Instr: in.String(),
+				Calls:  prof.Calls(in.ID),
+				Tuples: prof.Tuples(in.ID),
+				Nanos:  prof.Nanos(in.ID),
+			})
+		}
+	}
+	return st
+}

@@ -7,9 +7,10 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
+	"repro/advm"
 	"repro/internal/compress"
-	"repro/internal/core"
 	"repro/internal/depgraph"
 	"repro/internal/device"
 	"repro/internal/dsl"
@@ -21,7 +22,6 @@ import (
 	"repro/internal/nir"
 	"repro/internal/tpch"
 	"repro/internal/vector"
-	"repro/internal/vm"
 )
 
 // ---------------------------------------------------------------------------
@@ -151,14 +151,11 @@ func BenchmarkExpF1_F2_Figure2(b *testing.B) {
 	kinds := map[string]vector.Kind{"some_data": vector.I64, "v": vector.I64, "w": vector.I64}
 
 	b.Run("interpret", func(b *testing.B) {
-		cfg := core.DefaultConfig()
-		cfg.Sync = true
-		cfg.HotCalls = 1 << 62
-		cfg.HotNanos = 1 << 62
-		p := core.MustCompile(dsl.Figure2Source, kinds, cfg)
+		p := advm.MustCompile(dsl.Figure2Source, kinds,
+			advm.WithSyncOptimizer(true), advm.WithJIT(false))
 		e := ext()
 		for i := 0; i < b.N; i++ {
-			if err := p.Run(e); err != nil {
+			if err := p.Run(b.Context(), e); err != nil {
 				b.Fatal(err)
 			}
 			e["v"].SetLen(0)
@@ -166,26 +163,25 @@ func BenchmarkExpF1_F2_Figure2(b *testing.B) {
 		}
 	})
 	b.Run("adaptive_steady", func(b *testing.B) {
-		cfg := core.DefaultConfig()
-		cfg.Sync = true
-		cfg.HotCalls = 2
-		cfg.JIT.CompileLatency = jit.NoCompileLatency
-		p := core.MustCompile(dsl.Figure2Source, kinds, cfg)
+		p := advm.MustCompile(dsl.Figure2Source, kinds,
+			advm.WithSyncOptimizer(true),
+			advm.WithHotThresholds(2, 200*time.Microsecond),
+			advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
 		e := ext()
 		// Warm to steady state (traces injected).
 		for i := 0; i < 4; i++ {
-			if err := p.Run(e); err != nil {
+			if err := p.Run(b.Context(), e); err != nil {
 				b.Fatal(err)
 			}
 			e["v"].SetLen(0)
 			e["w"].SetLen(0)
 		}
-		if len(p.CompiledSegments()) == 0 {
+		if len(p.Stats().CompiledSegments) == 0 {
 			b.Fatal("not compiled")
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := p.Run(e); err != nil {
+			if err := p.Run(b.Context(), e); err != nil {
 				b.Fatal(err)
 			}
 			e["v"].SetLen(0)
@@ -195,15 +191,14 @@ func BenchmarkExpF1_F2_Figure2(b *testing.B) {
 	b.Run("full_cycle", func(b *testing.B) {
 		// Cost of one complete Figure-1 cycle including (modeled) codegen.
 		for i := 0; i < b.N; i++ {
-			cfg := core.DefaultConfig()
-			cfg.Sync = true
-			cfg.HotCalls = 1
-			p := core.MustCompile(dsl.Figure2Source, kinds, cfg)
+			p := advm.MustCompile(dsl.Figure2Source, kinds,
+				advm.WithSyncOptimizer(true),
+				advm.WithHotThresholds(1, 200*time.Microsecond))
 			e := ext()
-			if err := p.Run(e); err != nil { // interpret + optimize epilogue
+			if err := p.Run(b.Context(), e); err != nil { // interpret + optimize epilogue
 				b.Fatal(err)
 			}
-			if len(p.CompiledSegments()) == 0 {
+			if len(p.Stats().CompiledSegments) == 0 {
 				b.Fatal("cycle did not compile")
 			}
 		}
@@ -250,7 +245,7 @@ func BenchmarkExpE1_Q1(b *testing.B) {
 	})
 	b.Run("vectorized_interpreted", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := tpch.Q1Engine(st, tpch.Q1Cutoff, tpch.Q1Options{JIT: false, PreAgg: engine.PreAggOff}); err != nil {
+			if _, err := tpch.Q1Engine(b.Context(), st, tpch.Q1Cutoff, tpch.Q1Options{JIT: false, PreAgg: engine.PreAggOff}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -262,7 +257,7 @@ func BenchmarkExpE1_Q1(b *testing.B) {
 	})
 	b.Run("adaptive_vm", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := tpch.Q1Engine(st, tpch.Q1Cutoff, tpch.Q1Options{
+			if _, err := tpch.Q1Engine(b.Context(), st, tpch.Q1Cutoff, tpch.Q1Options{
 				JIT: true, JITOpt: jit.Options{CompileLatency: jit.NoCompileLatency},
 			}); err != nil {
 				b.Fatal(err)
@@ -291,16 +286,15 @@ loop {
 				kinds := map[string]vector.Kind{"d": vector.I64, "o": vector.I64}
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
-					cfg := vm.DefaultConfig()
-					cfg.Sync = true
+					opts := []advm.Option{advm.WithSyncOptimizer(true)}
 					if mode == "interpret" {
-						cfg.HotCalls = 1 << 62
-						cfg.HotNanos = 1 << 62
+						opts = append(opts, advm.WithJIT(false))
 					} else {
-						cfg.HotCalls = 4
-						cfg.JIT.CompileLatency = jit.DefaultCompileLatency
+						opts = append(opts,
+							advm.WithHotThresholds(4, 200*time.Microsecond),
+							advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.DefaultCompileLatency}))
 					}
-					p := core.MustCompile(src, kinds, cfg)
+					p := advm.MustCompile(src, kinds, opts...)
 					ext := map[string]*vector.Vector{
 						"d": i64Data(rows, func(i int) int64 { return int64(i) }),
 						"o": vector.New(vector.I64, 0, rows),
@@ -309,7 +303,7 @@ loop {
 					// Fresh VM each iteration: total time includes any
 					// compilation the VM decides to do.
 					for r := 0; r < 4; r++ {
-						if err := p.Run(ext); err != nil {
+						if err := p.Run(b.Context(), ext); err != nil {
 							b.Fatal(err)
 						}
 						ext["o"].SetLen(0)
@@ -337,7 +331,7 @@ func BenchmarkExpE3_Selectivity(b *testing.B) {
 					scan, _ := engine.NewScan(st, "key", "val")
 					f := engine.NewFilter(scan, fmt.Sprintf(`(\k -> k < %d)`, sel), "key").SetMode(engine.EvalFull)
 					c := engine.NewCompute(f, "out", `(\v -> (v * 3 + 7) * (v - 1))`, vector.I64, "val").SetMode(mode)
-					if _, err := engine.CountRows(c); err != nil {
+					if _, err := engine.CountRows(b.Context(), c); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -366,7 +360,7 @@ func BenchmarkExpE4_Reorder(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			scan, _ := engine.NewScan(st, "a", "b")
 			ch := engine.NewAdaptiveChain(scan, false, stages()...)
-			if _, err := engine.CountRows(ch); err != nil {
+			if _, err := engine.CountRows(b.Context(), ch); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -375,7 +369,7 @@ func BenchmarkExpE4_Reorder(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			scan, _ := engine.NewScan(st, "a", "b")
 			ch := engine.NewAdaptiveChain(scan, true, stages()...)
-			if _, err := engine.CountRows(ch); err != nil {
+			if _, err := engine.CountRows(b.Context(), ch); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -547,30 +541,30 @@ loop {
 		}
 	}
 	run := func(b *testing.B, compiled bool) {
-		cfg := vm.DefaultConfig()
-		cfg.Sync = true
-		cfg.JIT.CompileLatency = jit.NoCompileLatency
-		if compiled {
-			cfg.HotCalls = 2
-		} else {
-			cfg.HotCalls = 1 << 62
-			cfg.HotNanos = 1 << 62
+		opts := []advm.Option{
+			advm.WithSyncOptimizer(true),
+			advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}),
 		}
-		p := core.MustCompile(src, kinds, cfg)
+		if compiled {
+			opts = append(opts, advm.WithHotThresholds(2, 200*time.Microsecond))
+		} else {
+			opts = append(opts, advm.WithJIT(false))
+		}
+		p := advm.MustCompile(src, kinds, opts...)
 		ext := mk()
 		for r := 0; r < 4; r++ { // warm + (maybe) compile
-			if err := p.Run(ext); err != nil {
+			if err := p.Run(b.Context(), ext); err != nil {
 				b.Fatal(err)
 			}
 			ext["o"].SetLen(0)
 		}
-		if compiled && len(p.CompiledSegments()) == 0 {
+		if compiled && len(p.Stats().CompiledSegments) == 0 {
 			b.Fatal("not compiled")
 		}
 		b.SetBytes(int64(8 * n))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := p.Run(ext); err != nil {
+			if err := p.Run(b.Context(), ext); err != nil {
 				b.Fatal(err)
 			}
 			ext["o"].SetLen(0)
@@ -733,7 +727,7 @@ func BenchmarkExpE12_Bloom(b *testing.B) {
 				probe, _ := engine.NewScan(c.fact, "fk")
 				build, _ := engine.NewScan(dim, "k")
 				j := engine.NewHashJoin(probe, build, "fk", "k").SetBloom(c.mode)
-				if _, err := engine.CountRows(j); err != nil {
+				if _, err := engine.CountRows(b.Context(), j); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -773,7 +767,7 @@ func BenchmarkExpE13_PreAgg(b *testing.B) {
 				agg := engine.NewHashAgg(scan, []string{"k"}, []engine.Aggregate{
 					{Func: engine.AggSum, Col: "v", As: "s"},
 				}).SetPreAgg(c.mode)
-				if _, err := engine.Collect(agg); err != nil {
+				if _, err := engine.Collect(b.Context(), agg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -820,15 +814,13 @@ loop {
 		{"budget=32_unconstrained", 32},
 	} {
 		b.Run(c.name, func(b *testing.B) {
-			cfg := vm.DefaultConfig()
-			cfg.Sync = true
-			cfg.HotCalls = 2
-			cfg.JIT.CompileLatency = jit.NoCompileLatency
-			cfg.Constraints.MaxInputs = c.maxInputs
-			cfg.Constraints.MaxNodes = 32
-			p := core.MustCompile(src, kinds, cfg)
+			p := advm.MustCompile(src, kinds,
+				advm.WithSyncOptimizer(true),
+				advm.WithHotThresholds(2, 200*time.Microsecond),
+				advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}),
+				advm.WithPartitionBudget(c.maxInputs, 32))
 			for r := 0; r < 4; r++ {
-				if err := p.Run(ext); err != nil {
+				if err := p.Run(b.Context(), ext); err != nil {
 					b.Fatal(err)
 				}
 				ext["o"].SetLen(0)
@@ -836,7 +828,7 @@ loop {
 			b.SetBytes(int64(6 * 8 * (1 << 18)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := p.Run(ext); err != nil {
+				if err := p.Run(b.Context(), ext); err != nil {
 					b.Fatal(err)
 				}
 				ext["o"].SetLen(0)

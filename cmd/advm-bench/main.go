@@ -17,14 +17,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"time"
 
+	"repro/advm"
 	"repro/internal/compress"
-	"repro/internal/core"
 	"repro/internal/depgraph"
 	"repro/internal/device"
 	"repro/internal/dsl"
@@ -100,7 +101,7 @@ func expT1() {
 	for _, r := range rows {
 		fmt.Printf("  %-10s %s\n", r[0], r[1])
 	}
-	fmt.Printf("\npre-compiled vectorized kernels backing them: %d\n", core.KernelCount())
+	fmt.Printf("\npre-compiled vectorized kernels backing them: %d\n", advm.KernelCount())
 }
 
 // expF1F2 runs Figure 2 and prints the Figure-1 transition log.
@@ -108,22 +109,22 @@ func expF1F2() {
 	header("F2 — Figure 2 program")
 	fmt.Print(dsl.Figure2Source)
 
-	cfg := core.DefaultConfig()
-	cfg.Sync = true
-	cfg.HotCalls = 2
-	prog := core.MustCompile(dsl.Figure2Source, map[string]vector.Kind{
-		"some_data": vector.I64, "v": vector.I64, "w": vector.I64,
-	}, cfg)
+	sess := advm.MustCompile(dsl.Figure2Source, map[string]advm.Kind{
+		"some_data": advm.I64, "v": advm.I64, "w": advm.I64,
+	},
+		advm.WithSyncOptimizer(true),
+		advm.WithHotThresholds(2, 200*time.Microsecond),
+	)
 
 	data := make([]int64, 4096)
 	for i := range data {
 		data[i] = int64(i%7 - 3)
 	}
 	for r := 0; r < 3; r++ {
-		v := vector.New(vector.I64, 0, 4096)
-		w := vector.New(vector.I64, 0, 4096)
-		if err := prog.Run(map[string]*vector.Vector{
-			"some_data": vector.FromI64(data), "v": v, "w": w,
+		v := advm.NewVector(advm.I64, 0, 4096)
+		w := advm.NewVector(advm.I64, 0, 4096)
+		if err := sess.Run(context.Background(), map[string]*advm.Vector{
+			"some_data": advm.FromI64(data), "v": v, "w": w,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -134,11 +135,11 @@ func expF1F2() {
 	}
 
 	header("F1 — Figure 1 state machine transitions")
-	for _, tr := range prog.Transitions() {
+	for _, tr := range sess.Stats().Transitions {
 		fmt.Printf("  %v\n", tr)
 	}
 	fmt.Println("\nfinal plan:")
-	fmt.Print(prog.PlanReport())
+	fmt.Print(sess.PlanReport())
 }
 
 // expF3 prints the Figure-3 dependency graph and greedy partition.
@@ -192,7 +193,7 @@ func expE1(sf float64) {
 		return nil
 	})
 	measure("vectorized interpreted (X100-style)", func() error {
-		_, err := tpch.Q1Engine(st, tpch.Q1Cutoff, tpch.Q1Options{PreAgg: engine.PreAggOff})
+		_, err := tpch.Q1Engine(context.Background(), st, tpch.Q1Cutoff, tpch.Q1Options{PreAgg: engine.PreAggOff})
 		return err
 	})
 	measure("vectorized + compact types + pre-agg [12]", func() error {
@@ -200,7 +201,7 @@ func expE1(sf float64) {
 		return nil
 	})
 	measure("adaptive VM (JIT traces, modeled latency)", func() error {
-		_, err := tpch.Q1Engine(st, tpch.Q1Cutoff, tpch.Q1Options{
+		_, err := tpch.Q1Engine(context.Background(), st, tpch.Q1Cutoff, tpch.Q1Options{
 			JIT: true, JITOpt: jit.Options{CompileLatency: jit.DefaultCompileLatency},
 		})
 		return err
@@ -213,19 +214,29 @@ func expE3() {
 	header("E3 — selectivity specialization (full vs selective vs adaptive)")
 	n := 1 << 19
 	rng := rand.New(rand.NewSource(3))
-	st := vector.NewDSMStore(vector.NewSchema("key", vector.I64, "val", vector.I64))
+	st := advm.NewTable(advm.NewSchema("key", advm.I64, "val", advm.I64))
 	for i := 0; i < n; i++ {
-		st.AppendRow(vector.I64Value(rng.Int63n(1000)), vector.I64Value(rng.Int63n(1000)))
+		st.AppendRow(advm.I64Value(rng.Int63n(1000)), advm.I64Value(rng.Int63n(1000)))
+	}
+	sess, err := advm.NewSession()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	fmt.Printf("  %-12s %12s %12s %12s\n", "selectivity", "full", "selective", "adaptive")
 	for _, sel := range []int64{10, 100, 300, 500, 700, 900, 990} {
 		var times [3]time.Duration
-		for i, mode := range []engine.EvalMode{engine.EvalFull, engine.EvalSelective, engine.EvalAdaptive} {
-			scan, _ := engine.NewScan(st, "key", "val")
-			f := engine.NewFilter(scan, fmt.Sprintf(`(\k -> k < %d)`, sel), "key").SetMode(engine.EvalFull)
-			c := engine.NewCompute(f, "out", `(\v -> (v * 3 + 7) * (v - 1))`, vector.I64, "val").SetMode(mode)
+		for i, mode := range []advm.EvalMode{advm.EvalFull, advm.EvalSelective, advm.EvalAdaptive} {
+			plan := advm.Scan(st, "key", "val").
+				FilterMode(advm.EvalFull, fmt.Sprintf(`(\k -> k < %d)`, sel), "key").
+				ComputeMode(mode, "out", `(\v -> (v * 3 + 7) * (v - 1))`, advm.I64, "val")
 			start := time.Now()
-			if _, err := engine.CountRows(c); err != nil {
+			rows, err := sess.Query(context.Background(), plan)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if _, err := rows.Count(); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/advm"
+)
+
+// ParseInBinding parses an input binding spec of the form
+//
+//	name=kind:v1,v2,v3    explicit values
+//	name=kind:zeros(N)    N zeroed elements
+//	name=kind:iota(N)     0,1,…,N-1
+//
+// and returns the array name and the bound vector.
+func ParseInBinding(spec string) (string, *advm.Vector, error) {
+	eq := strings.IndexByte(spec, '=')
+	colon := strings.IndexByte(spec, ':')
+	if eq < 0 || colon < eq {
+		return "", nil, fmt.Errorf("bad -in %q (want name=kind:values)", spec)
+	}
+	name := spec[:eq]
+	if name == "" {
+		return "", nil, fmt.Errorf("bad -in %q (empty name)", spec)
+	}
+	kind, err := advm.ParseKind(spec[eq+1 : colon])
+	if err != nil {
+		return "", nil, err
+	}
+	v, err := parseValues(kind, spec[colon+1:])
+	if err != nil {
+		return "", nil, fmt.Errorf("bad -in %q: %w", spec, err)
+	}
+	return name, v, nil
+}
+
+// ParseOutBinding parses an output binding spec "name=kind" and returns the
+// name and an empty growable vector of that kind.
+func ParseOutBinding(spec string) (string, *advm.Vector, error) {
+	parts := strings.SplitN(spec, "=", 2)
+	if len(parts) != 2 || parts[0] == "" {
+		return "", nil, fmt.Errorf("bad -out %q (want name=kind)", spec)
+	}
+	kind, err := advm.ParseKind(parts[1])
+	if err != nil {
+		return "", nil, err
+	}
+	return parts[0], advm.NewVector(kind, 0, 0), nil
+}
+
+func parseValues(kind advm.Kind, valSpec string) (*advm.Vector, error) {
+	if n, ok := parseCount(valSpec, "zeros"); ok {
+		if n < 0 {
+			return nil, fmt.Errorf("negative length %d", n)
+		}
+		return advm.NewVectorLen(kind, n), nil
+	}
+	if n, ok := parseCount(valSpec, "iota"); ok {
+		if n < 0 {
+			return nil, fmt.Errorf("negative length %d", n)
+		}
+		v := advm.NewVectorLen(kind, n)
+		switch {
+		case kind.IsInteger():
+			// Largest generated value is n-1; compare without computing
+			// max+1, which would overflow for 64-bit kinds.
+			if max := intMax(kind); int64(n)-1 > max {
+				return nil, fmt.Errorf("iota(%d) overflows %v (max %d)", n, kind, max)
+			}
+			for i := 0; i < n; i++ {
+				v.Set(i, advm.IntValue(kind, int64(i)))
+			}
+		case kind == advm.F64:
+			for i := 0; i < n; i++ {
+				v.Set(i, advm.F64Value(float64(i)))
+			}
+		default:
+			return nil, fmt.Errorf("iota is not defined for kind %v", kind)
+		}
+		return v, nil
+	}
+	var vals []string
+	if valSpec != "" {
+		vals = strings.Split(valSpec, ",")
+	}
+	v := advm.NewVector(kind, 0, len(vals))
+	for _, s := range vals {
+		s = strings.TrimSpace(s)
+		switch kind {
+		case advm.F64:
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, err
+			}
+			v.AppendValue(advm.F64Value(f))
+		case advm.Bool:
+			b, err := strconv.ParseBool(s)
+			if err != nil {
+				return nil, err
+			}
+			v.AppendValue(advm.BoolValue(b))
+		case advm.Str:
+			v.AppendValue(advm.StrValue(s))
+		default:
+			// Parse at the kind's width so out-of-range values error
+			// instead of silently truncating (i8:300 must not become 44).
+			i, err := strconv.ParseInt(s, 10, 8*kind.Width())
+			if err != nil {
+				return nil, err
+			}
+			v.AppendValue(advm.IntValue(kind, i))
+		}
+	}
+	return v, nil
+}
+
+// intMax returns the largest value representable by an integer kind.
+func intMax(kind advm.Kind) int64 {
+	if !kind.IsInteger() {
+		return 0
+	}
+	return 1<<(8*kind.Width()-1) - 1
+}
+
+// parseCount matches "fn(N)" and returns N.
+func parseCount(spec, fn string) (int, bool) {
+	if !strings.HasPrefix(spec, fn+"(") || !strings.HasSuffix(spec, ")") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(spec[len(fn)+1 : len(spec)-1])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

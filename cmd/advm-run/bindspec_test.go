@@ -1,0 +1,157 @@
+package main
+
+import (
+	"testing"
+
+	"repro/advm"
+)
+
+func TestParseInBindingValues(t *testing.T) {
+	name, v, err := ParseInBinding("xs=i64:1,2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "xs" || v.Kind() != advm.I64 {
+		t.Fatalf("name=%q kind=%v", name, v.Kind())
+	}
+	got := v.I64()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("values = %v", got)
+	}
+
+	_, f, err := ParseInBinding("fs=f64: 1.5 ,2.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv := f.F64(); fv[0] != 1.5 || fv[1] != 2.25 {
+		t.Fatalf("f64 values = %v", fv)
+	}
+
+	_, b, err := ParseInBinding("bs=bool:true,false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv := b.Bool(); !bv[0] || bv[1] {
+		t.Fatalf("bool values = %v", bv)
+	}
+
+	_, s, err := ParseInBinding("ss=str:a,b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv := s.Str(); sv[0] != "a" || sv[1] != "b" {
+		t.Fatalf("str values = %v", sv)
+	}
+
+	_, e, err := ParseInBinding("empty=i64:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("empty binding has %d values", e.Len())
+	}
+}
+
+func TestParseInBindingZerosIota(t *testing.T) {
+	_, v, err := ParseInBinding("xs=i64:zeros(5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 5 {
+		t.Fatalf("zeros len = %d", v.Len())
+	}
+	for _, x := range v.I64() {
+		if x != 0 {
+			t.Fatalf("zeros produced %v", v.I64())
+		}
+	}
+
+	_, v, err = ParseInBinding("xs=i32:iota(4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != advm.I32 || v.Len() != 4 {
+		t.Fatalf("iota kind=%v len=%d", v.Kind(), v.Len())
+	}
+	for i, x := range v.I32() {
+		if int(x) != i {
+			t.Fatalf("iota produced %v", v.I32())
+		}
+	}
+}
+
+func TestParseInBindingMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"",                 // nothing
+		"xs",               // no =
+		"xs=i64",           // no :
+		"=i64:1",           // empty name
+		"xs:i64=1",         // colon before =
+		"xs=nope:1",        // unknown kind
+		"xs=i64:1,x,3",     // non-integer value
+		"xs=f64:1.5,oops",  // non-float value
+		"xs=bool:yes",      // ParseBool rejects "yes"
+		"xs=i64:zeros(-3)", // negative length
+		"xs=i64:iota(-1)",  // negative length
+		"xs=i64:zeros(x)",  // non-numeric length falls through and fails
+		"xs=i8:300",        // out of range for i8 (must not truncate to 44)
+		"xs=i16:70000",     // out of range for i16
+		"xs=i8:iota(129)",  // iota values would overflow i8
+	} {
+		if _, _, err := ParseInBinding(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseInBindingWidthLimits(t *testing.T) {
+	// Boundary values of narrow kinds parse exactly.
+	_, v, err := ParseInBinding("xs=i8:-128,127")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.I8(); got[0] != -128 || got[1] != 127 {
+		t.Fatalf("i8 bounds = %v", got)
+	}
+	// iota up to the kind's full range is fine.
+	if _, _, err := ParseInBinding("xs=i8:iota(128)"); err != nil {
+		t.Fatal(err)
+	}
+	// 64-bit kinds must not false-positive on the overflow check
+	// (regression: max+1 wrapped negative and rejected every i64 iota).
+	if _, _, err := ParseInBinding("xs=i64:iota(4096)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ParseInBinding("xs=i64:iota(0)"); err != nil {
+		t.Fatal(err)
+	}
+	// f64 iota produces real values (regression: IntValue left them zero).
+	_, f, err := ParseInBinding("xs=f64:iota(4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.F64(); got[1] != 1 || got[3] != 3 {
+		t.Fatalf("f64 iota = %v", got)
+	}
+	// iota has no meaning for non-numeric kinds.
+	for _, spec := range []string{"xs=str:iota(3)", "xs=bool:iota(3)"} {
+		if _, _, err := ParseInBinding(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseOutBinding(t *testing.T) {
+	name, v, err := ParseOutBinding("w=i64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "w" || v.Kind() != advm.I64 || v.Len() != 0 {
+		t.Fatalf("name=%q kind=%v len=%d", name, v.Kind(), v.Len())
+	}
+	for _, spec := range []string{"", "w", "=i64", "w=nope"} {
+		if _, _, err := ParseOutBinding(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

@@ -1,11 +1,16 @@
-// Command advm-run executes a DSL program file on the adaptive VM.
+// Command advm-run executes a DSL program file on the adaptive VM through
+// the public advm API.
 //
 // External arrays are declared on the command line:
 //
 //	-in  name=kind:v1,v2,v3   bind an input array with values
 //	-in  name=kind:zeros(N)   bind N zeroed values
+//	-in  name=kind:iota(N)    bind 0,1,…,N-1
 //	-out name=kind            bind an (initially empty) output array,
 //	                          printed after the run
+//
+// Runs honor -timeout and Ctrl-C: cancellation stops the VM at the next
+// chunk boundary.
 //
 // Example — the paper's Figure 2 program:
 //
@@ -14,14 +19,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
 
-	"repro/internal/core"
-	"repro/internal/vector"
+	"repro/advm"
 )
 
 type bindFlag struct {
@@ -39,6 +44,9 @@ func main() {
 	flag.Var(bindFlag{&ins}, "in", "input binding name=kind:values")
 	flag.Var(bindFlag{&outs}, "out", "output binding name=kind")
 	runs := flag.Int("runs", 1, "number of executions (later runs exercise compiled traces)")
+	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = none)")
+	sync := flag.Bool("sync", true, "optimize synchronously between runs (deterministic)")
+	hotCalls := flag.Int64("hot-calls", 2, "executions after which a segment counts as hot (0 disables compilation)")
 	showTransitions := flag.Bool("transitions", false, "print the VM state-machine log")
 	showPlan := flag.Bool("plan", false, "print the final execution plan")
 	showProfile := flag.Bool("profile", false, "print per-instruction profile")
@@ -55,10 +63,10 @@ func main() {
 		fatal(err)
 	}
 
-	ext := map[string]*vector.Vector{}
-	kinds := map[string]vector.Kind{}
+	ext := map[string]*advm.Vector{}
+	kinds := map[string]advm.Kind{}
 	for _, spec := range ins {
-		name, v, err := parseBinding(spec)
+		name, v, err := ParseInBinding(spec)
 		if err != nil {
 			fatal(err)
 		}
@@ -67,114 +75,72 @@ func main() {
 	}
 	var outNames []string
 	for _, spec := range outs {
-		parts := strings.SplitN(spec, "=", 2)
-		if len(parts) != 2 {
-			fatal(fmt.Errorf("bad -out %q (want name=kind)", spec))
-		}
-		kind, err := vector.ParseKind(parts[1])
+		name, v, err := ParseOutBinding(spec)
 		if err != nil {
 			fatal(err)
 		}
-		ext[parts[0]] = vector.New(kind, 0, 0)
-		kinds[parts[0]] = kind
-		outNames = append(outNames, parts[0])
+		ext[name] = v
+		kinds[name] = v.Kind()
+		outNames = append(outNames, name)
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.Sync = true
-	cfg.HotCalls = 2
-	prog, err := core.Compile(string(src), kinds, cfg)
+	opts := []advm.Option{advm.WithSyncOptimizer(*sync)}
+	if *hotCalls > 0 {
+		// Only the call-count trigger: the flag alone decides hotness.
+		opts = append(opts, advm.WithHotThresholds(*hotCalls, 0))
+	} else {
+		opts = append(opts, advm.WithJIT(false))
+	}
+	sess, err := advm.Compile(string(src), kinds, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	if *showIR {
-		fmt.Print(prog.IR.String())
+		fmt.Print(sess.IR())
 		return
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	for r := 0; r < *runs; r++ {
 		for _, name := range outNames {
 			ext[name].SetLen(0)
 		}
-		if err := prog.Run(ext); err != nil {
+		if err := sess.Run(ctx, ext); err != nil {
+			if errors.Is(err, advm.ErrCancelled) {
+				fmt.Fprintf(os.Stderr, "advm-run: cancelled during run %d: %v\n", r+1, err)
+				os.Exit(130)
+			}
 			fatal(err)
 		}
 	}
 	for _, name := range outNames {
 		fmt.Printf("%s = %s\n", name, ext[name])
 	}
+	st := sess.Stats()
 	if *showTransitions {
 		fmt.Println("\nstate machine transitions:")
-		for _, tr := range prog.Transitions() {
+		for _, tr := range st.Transitions {
 			fmt.Printf("  %v\n", tr)
 		}
 	}
 	if *showPlan {
 		fmt.Println("\nexecution plan:")
-		fmt.Print(prog.PlanReport())
+		fmt.Print(sess.PlanReport())
 	}
 	if *showProfile {
-		fmt.Println()
-		fmt.Print(prog.Profile().String())
-	}
-}
-
-func parseBinding(spec string) (string, *vector.Vector, error) {
-	eq := strings.IndexByte(spec, '=')
-	colon := strings.IndexByte(spec, ':')
-	if eq < 0 || colon < eq {
-		return "", nil, fmt.Errorf("bad -in %q (want name=kind:values)", spec)
-	}
-	name := spec[:eq]
-	kind, err := vector.ParseKind(spec[eq+1 : colon])
-	if err != nil {
-		return "", nil, err
-	}
-	valSpec := spec[colon+1:]
-	if strings.HasPrefix(valSpec, "zeros(") && strings.HasSuffix(valSpec, ")") {
-		n, err := strconv.Atoi(valSpec[6 : len(valSpec)-1])
-		if err != nil {
-			return "", nil, err
-		}
-		return name, vector.NewLen(kind, n), nil
-	}
-	if strings.HasPrefix(valSpec, "iota(") && strings.HasSuffix(valSpec, ")") {
-		n, err := strconv.Atoi(valSpec[5 : len(valSpec)-1])
-		if err != nil {
-			return "", nil, err
-		}
-		v := vector.NewLen(kind, n)
-		for i := 0; i < n; i++ {
-			v.Set(i, vector.IntValue(kind, int64(i)))
-		}
-		return name, v, nil
-	}
-	var vals []string
-	if valSpec != "" {
-		vals = strings.Split(valSpec, ",")
-	}
-	v := vector.New(kind, 0, len(vals))
-	for _, s := range vals {
-		s = strings.TrimSpace(s)
-		switch kind {
-		case vector.F64:
-			f, err := strconv.ParseFloat(s, 64)
-			if err != nil {
-				return "", nil, err
-			}
-			v.AppendValue(vector.F64Value(f))
-		case vector.Bool:
-			v.AppendValue(vector.BoolValue(s == "true"))
-		case vector.Str:
-			v.AppendValue(vector.StrValue(s))
-		default:
-			i, err := strconv.ParseInt(s, 10, 64)
-			if err != nil {
-				return "", nil, err
-			}
-			v.AppendValue(vector.IntValue(kind, i))
+		fmt.Println("\nper-instruction profile:")
+		for _, in := range st.Instructions {
+			fmt.Printf("  %3d  calls=%-8d tuples=%-10d nanos=%-10d  %s\n",
+				in.ID, in.Calls, in.Tuples, in.Nanos, in.Instr)
 		}
 	}
-	return name, v, nil
 }
 
 func fatal(err error) {

@@ -2,7 +2,9 @@
 // compression scheme changes block to block is scanned three ways —
 // decompress-then-process, always-specialized compressed execution, and the
 // adaptive scanner that (like the VM) falls back to decompression on a new
-// scheme and re-specializes.
+// scheme and re-specializes. This example exercises the compression layer
+// directly; programs and queries embed through the public repro/advm
+// package (see examples/quickstart and examples/tpchq1).
 //
 // Run: go run ./examples/compressed
 package main

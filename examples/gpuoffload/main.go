@@ -1,13 +1,19 @@
 // Adaptive CPU/GPU placement (§IV target 3): sweep kernel sizes and show
 // the placer routing small/cold kernels to the CPU and large/resident ones
-// to the simulated GPU, with modeled costs for both.
+// to the simulated GPU, with modeled costs for both. The second half drives
+// the same policy through the public advm API: a session opened with
+// advm.WithDevice(advm.DeviceAuto) records a placement decision per run,
+// observable via Stats.
 //
 // Run: go run ./examples/gpuoffload
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
+	"repro/advm"
 	"repro/internal/device"
 	"repro/internal/gpu"
 )
@@ -40,4 +46,41 @@ func main() {
 	fmt.Printf("\ndecisions: %v\n", placer.Decisions)
 	fmt.Println("expected shape: cpu wins small/cold kernels; gpu wins large resident ones;")
 	fmt.Println("the crossover moves later when data must cross PCIe.")
+
+	sessionDemo()
+}
+
+// sessionDemo drives the same placement policy through the public API: the
+// session runs a small program over growing inputs and records where the
+// modeled-cost policy would place each run.
+func sessionDemo() {
+	fmt.Println("\n=== advm session with WithDevice(DeviceAuto) ===")
+	src := `
+mut i
+i := 0
+loop {
+  let xs = read i data
+  if len(xs) == 0 then break
+  let r = map (\x -> (x * 3 + 7) * (x - 1)) xs
+  write out i r
+  i := i + len(xs)
+}
+`
+	sess, err := advm.Compile(src, map[string]advm.Kind{"data": advm.I64, "out": advm.I64},
+		advm.WithDevice(advm.DeviceAuto))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, elems := range []int{1 << 8, 1 << 14, 1 << 20} {
+		data := make([]int64, elems)
+		if err := sess.Run(context.Background(), map[string]*advm.Vector{
+			"data": advm.FromI64(data), "out": advm.NewVector(advm.I64, 0, elems),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%-12s %-12s %s\n", "elems", "bytes", "placed on")
+	for _, p := range sess.Stats().Placements {
+		fmt.Printf("%-12d %-12d %s\n", p.Elems, p.Bytes, p.Device)
+	}
 }

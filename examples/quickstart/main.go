@@ -1,34 +1,36 @@
-// Quickstart: run the paper's Figure 2 program on the adaptive VM.
+// Quickstart: run the paper's Figure 2 program on the adaptive VM through
+// the public advm API.
 //
 // The program reads some_data, doubles every value into v, and writes the
 // positive doubles consecutively into w. The VM starts interpreting,
 // profiles the loop body, greedily partitions its dependency graph
 // (Figure 3), JIT-compiles the two fragments and injects them — all visible
-// in the printed transition log and plan report.
+// in the session's Stats and plan report.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"repro/internal/core"
+	"repro/advm"
 	"repro/internal/dsl"
-	"repro/internal/vector"
 )
 
 func main() {
-	fmt.Printf("pre-compiled vectorized kernels available at startup: %d\n\n", core.KernelCount())
+	fmt.Printf("pre-compiled vectorized kernels available at startup: %d\n\n", advm.KernelCount())
 	fmt.Println("Figure 2 program:")
 	fmt.Print(dsl.Figure2Source)
 
-	cfg := core.DefaultConfig()
-	cfg.Sync = true // optimize between runs for a deterministic demo
-	cfg.HotCalls = 2
-	prog, err := core.Compile(dsl.Figure2Source, map[string]vector.Kind{
-		"some_data": vector.I64, "v": vector.I64, "w": vector.I64,
-	}, cfg)
+	sess, err := advm.Compile(dsl.Figure2Source, map[string]advm.Kind{
+		"some_data": advm.I64, "v": advm.I64, "w": advm.I64,
+	},
+		advm.WithSyncOptimizer(true), // optimize between runs for a deterministic demo
+		advm.WithHotThresholds(2, 200*time.Microsecond),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,11 +40,12 @@ func main() {
 		data[i] = int64(i%7 - 3)
 	}
 
+	ctx := context.Background()
 	run := func(label string) {
-		v := vector.New(vector.I64, 0, 4096)
-		w := vector.New(vector.I64, 0, 4096)
-		if err := prog.Run(map[string]*vector.Vector{
-			"some_data": vector.FromI64(data), "v": v, "w": w,
+		v := advm.NewVector(advm.I64, 0, 4096)
+		w := advm.NewVector(advm.I64, 0, 4096)
+		if err := sess.Run(ctx, map[string]*advm.Vector{
+			"some_data": advm.FromI64(data), "v": v, "w": w,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -52,10 +55,13 @@ func main() {
 	run("run 1 (interpreted)")
 	run("run 2 (hot: compiled traces injected)")
 
+	st := sess.Stats()
 	fmt.Println("\nVM state machine (Figure 1) transitions:")
-	for _, tr := range prog.Transitions() {
+	for _, tr := range st.Transitions {
 		fmt.Printf("  %v\n", tr)
 	}
 	fmt.Println("\ncurrent plan:")
-	fmt.Print(prog.PlanReport())
+	fmt.Print(sess.PlanReport())
+	fmt.Printf("\nruns=%d injected traces=%d reverted=%d compiled segments=%v\n",
+		st.Runs, st.InjectedTraces, st.RevertedTraces, st.CompiledSegments)
 }

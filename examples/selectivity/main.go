@@ -1,51 +1,58 @@
 // Selectivity specialization (§III-C): sweep a filter's selectivity and
 // watch the engine's adaptive flavor choice (full/bitmap evaluation vs
 // selection-vector evaluation) hug the better static strategy at every
-// point — micro-adaptivity in action.
+// point — micro-adaptivity in action, driven through the public advm
+// streaming query API.
 //
 // Run: go run ./examples/selectivity
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
-	"repro/internal/engine"
-	"repro/internal/vector"
+	"repro/advm"
 )
 
-func buildTable(n int) *vector.DSMStore {
+func buildTable(n int) *advm.Table {
 	rng := rand.New(rand.NewSource(17))
-	st := vector.NewDSMStore(vector.NewSchema("key", vector.I64, "val", vector.I64))
+	st := advm.NewTable(advm.NewSchema("key", advm.I64, "val", advm.I64))
 	for i := 0; i < n; i++ {
-		st.AppendRow(vector.I64Value(rng.Int63n(1000)), vector.I64Value(rng.Int63n(1000)))
+		st.AppendRow(advm.I64Value(rng.Int63n(1000)), advm.I64Value(rng.Int63n(1000)))
 	}
 	return st
 }
 
-func runPipeline(st *vector.DSMStore, threshold int64, mode engine.EvalMode) (time.Duration, int64, error) {
-	scan, err := engine.NewScan(st, "key", "val")
+func runPipeline(sess *advm.Session, st *advm.Table, threshold int64, mode advm.EvalMode) (time.Duration, int64, error) {
+	// First filter sets the selectivity; the downstream compute feels it.
+	plan := advm.Scan(st, "key", "val").
+		FilterMode(advm.EvalFull, fmt.Sprintf(`(\k -> k < %d)`, threshold), "key").
+		ComputeMode(mode, "out", `(\v -> (v * 3 + 7) * (v - 1))`, advm.I64, "val")
+	start := time.Now()
+	rows, err := sess.Query(context.Background(), plan)
 	if err != nil {
 		return 0, 0, err
 	}
-	// First filter sets the selectivity; the downstream compute feels it.
-	f := engine.NewFilter(scan, fmt.Sprintf(`(\k -> k < %d)`, threshold), "key").SetMode(engine.EvalFull)
-	c := engine.NewCompute(f, "out", `(\v -> (v * 3 + 7) * (v - 1))`, vector.I64, "val").SetMode(mode)
-	start := time.Now()
-	rows, err := engine.CountRows(c)
-	return time.Since(start), rows, err
+	defer rows.Close()
+	n, err := rows.Count()
+	return time.Since(start), n, err
 }
 
 func main() {
 	st := buildTable(1 << 20)
+	sess, err := advm.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%-12s %12s %12s %12s   winner vs adaptive\n", "selectivity", "full", "selective", "adaptive")
 	for _, threshold := range []int64{1, 10, 50, 100, 300, 500, 700, 900, 990, 999} {
 		var ts [3]time.Duration
 		var rows [3]int64
-		for i, mode := range []engine.EvalMode{engine.EvalFull, engine.EvalSelective, engine.EvalAdaptive} {
-			t, r, err := runPipeline(st, threshold, mode)
+		for i, mode := range []advm.EvalMode{advm.EvalFull, advm.EvalSelective, advm.EvalAdaptive} {
+			t, r, err := runPipeline(sess, st, threshold, mode)
 			if err != nil {
 				log.Fatal(err)
 			}

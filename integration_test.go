@@ -1,33 +1,35 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
-	"repro/internal/core"
+	"repro/advm"
 	"repro/internal/dsl"
 	"repro/internal/engine"
 	"repro/internal/jit"
 	"repro/internal/tpch"
-	"repro/internal/vector"
 )
 
 // TestEndToEndFigure2AllExecutionModes is the repo-level integration test:
 // the paper's example program must produce identical results interpreted,
-// compiled synchronously, and compiled by the background optimizer mid-run.
+// compiled synchronously, and compiled by the background optimizer mid-run —
+// all driven through the public advm API.
 func TestEndToEndFigure2AllExecutionModes(t *testing.T) {
-	kinds := map[string]vector.Kind{"some_data": vector.I64, "v": vector.I64, "w": vector.I64}
+	kinds := map[string]advm.Kind{"some_data": advm.I64, "v": advm.I64, "w": advm.I64}
 	data := make([]int64, 4096)
 	for i := range data {
 		data[i] = int64(i%13 - 6)
 	}
-	run := func(cfg core.Config, runs int) (*vector.Vector, *vector.Vector) {
-		p := core.MustCompile(dsl.Figure2Source, kinds, cfg)
-		var v, w *vector.Vector
+	run := func(runs int, opts ...advm.Option) (*advm.Vector, *advm.Vector) {
+		sess := advm.MustCompile(dsl.Figure2Source, kinds, opts...)
+		var v, w *advm.Vector
 		for r := 0; r < runs; r++ {
-			v = vector.New(vector.I64, 0, 4096)
-			w = vector.New(vector.I64, 0, 4096)
-			if err := p.Run(map[string]*vector.Vector{
-				"some_data": vector.FromI64(data), "v": v, "w": w,
+			v = advm.NewVector(advm.I64, 0, 4096)
+			w = advm.NewVector(advm.I64, 0, 4096)
+			if err := sess.Run(t.Context(), map[string]*advm.Vector{
+				"some_data": advm.FromI64(data), "v": v, "w": w,
 			}); err != nil {
 				t.Fatal(err)
 			}
@@ -35,22 +37,16 @@ func TestEndToEndFigure2AllExecutionModes(t *testing.T) {
 		return v, w
 	}
 
-	interpCfg := core.DefaultConfig()
-	interpCfg.Sync = true
-	interpCfg.HotCalls = 1 << 62
-	interpCfg.HotNanos = 1 << 62
-	vI, wI := run(interpCfg, 1)
+	vI, wI := run(1, advm.WithSyncOptimizer(true), advm.WithJIT(false))
 
-	syncCfg := core.DefaultConfig()
-	syncCfg.Sync = true
-	syncCfg.HotCalls = 2
-	syncCfg.JIT.CompileLatency = jit.NoCompileLatency
-	vS, wS := run(syncCfg, 3)
+	vS, wS := run(3,
+		advm.WithSyncOptimizer(true),
+		advm.WithHotThresholds(2, 200*time.Microsecond),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
 
-	asyncCfg := core.DefaultConfig()
-	asyncCfg.HotCalls = 2
-	asyncCfg.JIT.CompileLatency = jit.NoCompileLatency
-	vA, wA := run(asyncCfg, 5)
+	vA, wA := run(5,
+		advm.WithHotThresholds(2, 200*time.Microsecond),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
 
 	if !vI.Equal(vS) || !wI.Equal(wS) {
 		t.Fatal("sync-compiled output differs from interpreted")
@@ -86,7 +82,7 @@ func TestEndToEndQ6AllStrategies(t *testing.T) {
 	want := tpch.Q6HyPer(st, p.ShipLo, p.ShipHi, p.DiscLo, p.DiscHi, p.QtyMax)
 	for _, mode := range []engine.EvalMode{engine.EvalFull, engine.EvalSelective, engine.EvalAdaptive} {
 		for _, useJIT := range []bool{false, true} {
-			got, err := tpch.Q6Engine(st, p, tpch.Q1Options{
+			got, err := tpch.Q6Engine(t.Context(), st, p, tpch.Q1Options{
 				JIT: useJIT, JITOpt: jit.Options{CompileLatency: jit.NoCompileLatency}, Mode: mode,
 			})
 			if err != nil {
@@ -97,5 +93,52 @@ func TestEndToEndQ6AllStrategies(t *testing.T) {
 				t.Fatalf("mode=%v jit=%v: %v vs %v", mode, useJIT, got, want)
 			}
 		}
+	}
+}
+
+// TestEndToEndQueryStreaming exercises the public streaming path over a
+// generated TPC-H table: the cursor-consumed Q1 aggregate must agree with
+// the hand-compiled reference.
+func TestEndToEndQueryStreaming(t *testing.T) {
+	st := tpch.GenLineitem(0.002, 7)
+	want := tpch.Q1HyPer(st, tpch.Q1Cutoff)
+
+	sess, err := advm.NewSession(advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sess.Query(t.Context(), advm.Scan(st,
+		"l_returnflag", "l_linestatus", "l_quantity",
+		"l_extendedprice", "l_discount", "l_tax", "l_shipdate").
+		Filter(fmt.Sprintf(`(\d -> d <= %d)`, tpch.Q1Cutoff), "l_shipdate").
+		Compute("disc_price", `(\p d -> p * (1.0 - d))`, advm.F64, "l_extendedprice", "l_discount").
+		Compute("charge", `(\dp t -> dp * (1.0 + t))`, advm.F64, "disc_price", "l_tax").
+		Aggregate([]string{"l_returnflag", "l_linestatus"},
+			advm.Agg{Func: advm.AggSum, Col: "l_quantity", As: "sum_qty"},
+			advm.Agg{Func: advm.AggSum, Col: "l_extendedprice", As: "sum_base_price"},
+			advm.Agg{Func: advm.AggSum, Col: "disc_price", As: "sum_disc_price"},
+			advm.Agg{Func: advm.AggSum, Col: "charge", As: "sum_charge"},
+			advm.Agg{Func: advm.AggAvg, Col: "l_quantity", As: "avg_qty"},
+			advm.Agg{Func: advm.AggAvg, Col: "l_extendedprice", As: "avg_price"},
+			advm.Agg{Func: advm.AggAvg, Col: "l_discount", As: "avg_disc"},
+			advm.Agg{Func: advm.AggCount, As: "count_order"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got tpch.Q1Result
+	for rows.Next() {
+		var g tpch.Q1Group
+		if err := rows.Scan(&g.Returnflag, &g.Linestatus, &g.SumQty, &g.SumBasePrice,
+			&g.SumDiscPrice, &g.SumCharge, &g.AvgQty, &g.AvgPrice, &g.AvgDisc, &g.CountOrder); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, g)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Equal(tpch.SortQ1(got), 1e-9); err != nil {
+		t.Fatal(err)
 	}
 }

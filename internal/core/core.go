@@ -1,19 +1,14 @@
-// Package core is the public face of the adaptive VM framework: it wires
-// the DSL front-end (parse → check → normalize) to the adaptive virtual
-// machine (vectorized interpretation + profiling + greedy partitioning +
-// trace JIT + micro-adaptive fallback) behind a small API that examples and
-// host applications use.
+// Package core was the original facade of the adaptive VM framework.
 //
-// The three layers correspond to the paper's architecture:
-//
-//	dsl (§II)   — the data-parallel skeleton language of Table I/Figure 2
-//	nir (§III-A) — normalized single-operation IR served by pre-compiled
-//	              vectorized kernels (package primitive)
-//	vm  (§III)  — the Figure-1 state machine over interpretation and
-//	              partial compilation (packages interp, depgraph, jit)
+// Deprecated: embed through the public package repro/advm instead. advm
+// provides sessions configured via functional options (no raw vm.Config),
+// context-aware execution with typed errors, a streaming query API and an
+// observability surface. This shim remains only so existing internal
+// callers keep compiling; it adds nothing over advm and will be removed.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dsl"
@@ -25,9 +20,9 @@ import (
 	"repro/internal/vm"
 )
 
-// Program is a compiled DSL program bound to an adaptive VM. It is reusable:
-// every Run executes against fresh external bindings while profiling data
-// and injected traces persist and keep improving later runs.
+// Program is a compiled DSL program bound to an adaptive VM.
+//
+// Deprecated: use advm.Session.
 type Program struct {
 	Source string
 	AST    *dsl.Program
@@ -36,15 +31,20 @@ type Program struct {
 }
 
 // Config re-exports the VM configuration.
+//
+// Deprecated: configure an advm.Session with functional options
+// (advm.WithHotThresholds, advm.WithSyncOptimizer, …) instead of raw
+// configuration structs.
 type Config = vm.Config
 
-// DefaultConfig returns the production-shaped VM configuration (background
-// optimizer, micro-adaptive revert, modeled compile latency).
+// DefaultConfig returns the production-shaped VM configuration.
+//
+// Deprecated: advm sessions default to this configuration already.
 func DefaultConfig() Config { return vm.DefaultConfig() }
 
 // Compile parses, checks and normalizes src, and prepares an adaptive VM.
-// externals maps every external array name used by read/write/gather/scatter
-// to its element kind.
+//
+// Deprecated: use advm.Compile.
 func Compile(src string, externals map[string]vector.Kind, cfg Config) (*Program, error) {
 	ast, err := dsl.Parse(src)
 	if err != nil {
@@ -58,6 +58,8 @@ func Compile(src string, externals map[string]vector.Kind, cfg Config) (*Program
 }
 
 // MustCompile is Compile for tests and examples; it panics on error.
+//
+// Deprecated: use advm.MustCompile.
 func MustCompile(src string, externals map[string]vector.Kind, cfg Config) *Program {
 	p, err := Compile(src, externals, cfg)
 	if err != nil {
@@ -67,25 +69,41 @@ func MustCompile(src string, externals map[string]vector.Kind, cfg Config) *Prog
 }
 
 // Run executes the program once against the given external arrays.
+//
+// Deprecated: use advm.Session.Run, which also takes a context.
 func (p *Program) Run(ext map[string]*vector.Vector) error {
+	return p.RunContext(context.Background(), ext)
+}
+
+// RunContext executes the program once, honoring ctx at chunk boundaries.
+//
+// Deprecated: use advm.Session.Run.
+func (p *Program) RunContext(ctx context.Context, ext map[string]*vector.Vector) error {
 	env, err := p.VM.NewEnv(ext)
 	if err != nil {
 		return err
 	}
-	return p.VM.Run(env)
+	return p.VM.RunContext(ctx, env)
 }
 
 // Profile returns the VM's live profiling counters.
+//
+// Deprecated: use advm.Session.Stats.
 func (p *Program) Profile() *profile.Profile { return p.VM.Interp.Prof }
 
 // Transitions returns the VM's Figure-1 state-machine log.
+//
+// Deprecated: use advm.Session.Stats.
 func (p *Program) Transitions() []vm.Transition { return p.VM.Transitions() }
 
 // CompiledSegments returns the segments currently running compiled plans.
+//
+// Deprecated: use advm.Session.Stats.
 func (p *Program) CompiledSegments() []int { return p.VM.CompiledSegments() }
 
-// PlanReport renders the current execution plan of every segment, showing
-// which steps are interpreted and which run compiled traces.
+// PlanReport renders the current execution plan of every segment.
+//
+// Deprecated: use advm.Session.PlanReport.
 func (p *Program) PlanReport() string {
 	out := ""
 	for _, seg := range p.VM.Interp.Segments {
@@ -97,12 +115,15 @@ func (p *Program) PlanReport() string {
 	return out
 }
 
-// KernelCount reports the number of pre-compiled vectorized kernels
-// available to the interpreter ("generated and compiled during startup").
+// KernelCount reports the number of pre-compiled vectorized kernels.
+//
+// Deprecated: use advm.KernelCount.
 func KernelCount() int { return primitive.Count() }
 
 // NewEnv exposes environment construction for callers that manage
-// environments directly (e.g. to reuse buffers across runs).
+// environments directly.
+//
+// Deprecated: use advm.Session.
 func (p *Program) NewEnv(ext map[string]*vector.Vector) (*interp.Env, error) {
 	return p.VM.NewEnv(ext)
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/profile"
@@ -133,12 +134,12 @@ func (ac *AdaptiveChain) Order() []int {
 func (ac *AdaptiveChain) Schema() []ColInfo { return ac.child.Schema() }
 
 // Open implements Operator.
-func (ac *AdaptiveChain) Open() error { return ac.child.Open() }
+func (ac *AdaptiveChain) Open(ctx context.Context) error { return ac.child.Open(ctx) }
 
 // Next implements Operator.
-func (ac *AdaptiveChain) Next() (*vector.Chunk, error) {
+func (ac *AdaptiveChain) Next(ctx context.Context) (*vector.Chunk, error) {
 	for {
-		chunk, err := ac.child.Next()
+		chunk, err := ac.child.Next(ctx)
 		if err != nil || chunk == nil {
 			return chunk, err
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -123,8 +124,8 @@ func (h *HashAgg) colKind(name string) (vector.Kind, error) {
 }
 
 // Open implements Operator.
-func (h *HashAgg) Open() error {
-	if err := h.child.Open(); err != nil {
+func (h *HashAgg) Open(ctx context.Context) error {
+	if err := h.child.Open(ctx); err != nil {
 		return err
 	}
 	if len(h.keys) > 2 {
@@ -243,8 +244,10 @@ func (h *HashAgg) global(key groupKey) *aggState {
 	return st
 }
 
-// Next implements Operator.
-func (h *HashAgg) Next() (*vector.Chunk, error) {
+// Next implements Operator. The aggregation is a pipeline breaker: the
+// first call drains the child (checking ctx chunk-by-chunk through the
+// child's own Next) and emits the grouped result.
+func (h *HashAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 	if h.emitted {
 		return nil, nil
 	}
@@ -267,7 +270,7 @@ func (h *HashAgg) Next() (*vector.Chunk, error) {
 	}
 
 	for {
-		chunk, err := h.child.Next()
+		chunk, err := h.child.Next(ctx)
 		if err != nil {
 			return nil, err
 		}

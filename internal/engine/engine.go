@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/vector"
@@ -22,14 +23,17 @@ type ColInfo struct {
 }
 
 // Operator is a chunk-at-a-time relational operator (Volcano-style but
-// vectorized: Next returns a chunk, not a tuple).
+// vectorized: Next returns a chunk, not a tuple). Open and Next carry a
+// context so long-running pipelines honor cancellation and deadlines at
+// chunk granularity: leaf operators check ctx on every chunk they produce,
+// and pipeline breakers (joins, aggregations) check it while materializing.
 type Operator interface {
 	// Schema returns the operator's output columns.
 	Schema() []ColInfo
 	// Open prepares execution (builds hash tables etc.).
-	Open() error
+	Open(ctx context.Context) error
 	// Next returns the next chunk, or nil at end of stream.
-	Next() (*vector.Chunk, error)
+	Next(ctx context.Context) (*vector.Chunk, error)
 	// Close releases resources.
 	Close() error
 }
@@ -62,21 +66,35 @@ func NewScan(store vector.Store, columns ...string) (*Scan, error) {
 	return s, nil
 }
 
+// SetChunkLen overrides the scan's chunk length (default
+// vector.DefaultChunkLen). Effective on the next Open.
+func (s *Scan) SetChunkLen(n int) *Scan {
+	if n > 0 {
+		s.chunkLen = n
+	}
+	return s
+}
+
 // Schema implements Operator.
 func (s *Scan) Schema() []ColInfo { return s.schema }
 
 // Open implements Operator.
-func (s *Scan) Open() error {
+func (s *Scan) Open(ctx context.Context) error {
 	s.pos = 0
 	s.bufs = make([]*vector.Vector, len(s.cols))
 	for i, ci := range s.cols {
 		s.bufs[i] = vector.NewLen(s.store.Schema().Kinds[ci], s.chunkLen)
 	}
-	return nil
+	return ctx.Err()
 }
 
-// Next implements Operator.
-func (s *Scan) Next() (*vector.Chunk, error) {
+// Next implements Operator. As the pipeline's leaf it checks ctx once per
+// chunk, which bounds how far past a cancellation any downstream operator
+// can run.
+func (s *Scan) Next(ctx context.Context) (*vector.Chunk, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := s.store.Scan(s.pos, s.chunkLen, s.cols, s.bufs)
 	if n == 0 {
 		return nil, nil
@@ -93,13 +111,13 @@ func (s *Scan) Next() (*vector.Chunk, error) {
 func (s *Scan) Close() error { return nil }
 
 // Drain pulls every chunk of op through fn.
-func Drain(op Operator, fn func(*vector.Chunk) error) error {
-	if err := op.Open(); err != nil {
+func Drain(ctx context.Context, op Operator, fn func(*vector.Chunk) error) error {
+	if err := op.Open(ctx); err != nil {
 		return err
 	}
 	defer op.Close()
 	for {
-		c, err := op.Next()
+		c, err := op.Next(ctx)
 		if err != nil {
 			return err
 		}
@@ -115,11 +133,16 @@ func Drain(op Operator, fn func(*vector.Chunk) error) error {
 // Collect materializes an operator's full output into a DSM store. The
 // schema is read after Open, since pipeline breakers (joins, aggregations)
 // resolve their output schema there.
-func Collect(op Operator) (*vector.DSMStore, error) {
-	if err := op.Open(); err != nil {
+func Collect(ctx context.Context, op Operator) (*vector.DSMStore, error) {
+	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
 	defer op.Close()
+	return collectOpen(ctx, op)
+}
+
+// collectOpen materializes the remaining output of an already-open operator.
+func collectOpen(ctx context.Context, op Operator) (*vector.DSMStore, error) {
 	sch := vector.Schema{}
 	for _, ci := range op.Schema() {
 		sch.Names = append(sch.Names, ci.Name)
@@ -127,7 +150,7 @@ func Collect(op Operator) (*vector.DSMStore, error) {
 	}
 	out := vector.NewDSMStore(sch)
 	for {
-		c, err := op.Next()
+		c, err := op.Next(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -148,9 +171,9 @@ func projectTo(c *vector.Chunk, names []string) *vector.Chunk {
 }
 
 // CountRows counts the (selected) rows an operator produces.
-func CountRows(op Operator) (int64, error) {
+func CountRows(ctx context.Context, op Operator) (int64, error) {
 	var n int64
-	err := Drain(op, func(c *vector.Chunk) error {
+	err := Drain(ctx, op, func(c *vector.Chunk) error {
 		n += int64(c.SelectedLen())
 		return nil
 	})

@@ -31,7 +31,7 @@ func TestScanRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := CountRows(scan)
+	rows, err := CountRows(t.Context(), scan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestComputeDerivedColumn(t *testing.T) {
 	st := testTable(3000, 2)
 	scan, _ := NewScan(st, "val", "price")
 	comp := NewCompute(scan, "scaled", `(\v p -> p * 2.0 + v)`, vector.F64, "val", "price")
-	out, err := Collect(comp)
+	out, err := Collect(t.Context(), comp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestFilterSelectivityAndCorrectness(t *testing.T) {
 	st := testTable(5000, 3)
 	scan, _ := NewScan(st, "id", "val")
 	f := NewFilter(scan, `(\v -> v < 50)`, "val")
-	out, err := Collect(f)
+	out, err := Collect(t.Context(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestFilterFlavorsAgree(t *testing.T) {
 		scan, _ := NewScan(st, "id", "val")
 		f1 := NewFilter(scan, `(\v -> v < 30)`, "val").SetMode(EvalFull)
 		f2 := NewFilter(f1, `(\v -> v % 2 == 0)`, "val").SetMode(mode)
-		out, err := Collect(f2)
+		out, err := Collect(t.Context(), f2)
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -127,7 +127,7 @@ func TestComputeFlavorsAgree(t *testing.T) {
 		scan, _ := NewScan(st, "id", "val")
 		f := NewFilter(scan, `(\v -> v < 10)`, "val") // ~10% selectivity
 		c := NewCompute(f, "sq", `(\v -> v * v)`, vector.I64, "val").SetMode(mode)
-		out, err := Collect(c)
+		out, err := Collect(t.Context(), c)
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -149,7 +149,7 @@ func TestAdaptiveComputePicksSelectiveAtLowSelectivity(t *testing.T) {
 	scan, _ := NewScan(st, "id", "val")
 	f := NewFilter(scan, `(\v -> v < 2)`, "val")                 // ~2% selectivity
 	c := NewCompute(f, "sq", `(\v -> v * v)`, vector.I64, "val") // adaptive
-	if _, err := Collect(c); err != nil {
+	if _, err := Collect(t.Context(), c); err != nil {
 		t.Fatal(err)
 	}
 	if c.SelectiveEvals == 0 {
@@ -171,7 +171,7 @@ func TestHashJoinInner(t *testing.T) {
 	probe, _ := NewScan(fact, "fk", "x")
 	build, _ := NewScan(dim, "k", "name")
 	j := NewHashJoin(probe, build, "fk", "k", "name")
-	out, err := Collect(j)
+	out, err := Collect(t.Context(), j)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestHashJoinDuplicateBuildKeys(t *testing.T) {
 	probe, _ := NewScan(fact, "fk")
 	build, _ := NewScan(dim, "k", "p")
 	j := NewHashJoin(probe, build, "fk", "k", "p")
-	out, err := Collect(j)
+	out, err := Collect(t.Context(), j)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestBloomAdaptiveToggle(t *testing.T) {
 	probe, _ := NewScan(fact, "fk")
 	build, _ := NewScan(dim, "k")
 	j := NewHashJoin(probe, build, "fk", "k")
-	if _, err := Collect(j); err != nil {
+	if _, err := Collect(t.Context(), j); err != nil {
 		t.Fatal(err)
 	}
 	if !j.BloomEnabled() {
@@ -237,7 +237,7 @@ func TestBloomAdaptiveToggle(t *testing.T) {
 	probe2, _ := NewScan(fact2, "fk")
 	build2, _ := NewScan(dim, "k")
 	j2 := NewHashJoin(probe2, build2, "fk", "k")
-	if _, err := Collect(j2); err != nil {
+	if _, err := Collect(t.Context(), j2); err != nil {
 		t.Fatal(err)
 	}
 	if j2.BloomEnabled() {
@@ -276,7 +276,7 @@ func TestHashAggSumCountMinMaxAvg(t *testing.T) {
 		{Func: AggMax, Col: "val", As: "max_val"},
 		{Func: AggAvg, Col: "price", As: "avg_price"},
 	})
-	out, err := Collect(agg)
+	out, err := Collect(t.Context(), agg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +347,7 @@ func TestHashAggPreAggFlavorsAgree(t *testing.T) {
 			{Func: AggSum, Col: "val", As: "s"},
 			{Func: AggCount, As: "c"},
 		}).SetPreAgg(mode)
-		out, err := Collect(agg)
+		out, err := Collect(t.Context(), agg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -375,7 +375,7 @@ func TestPreAggAdaptiveDisablesOnHighCardinality(t *testing.T) {
 	}
 	scan, _ := NewScan(st, "k", "v")
 	agg := NewHashAgg(scan, []string{"k"}, []Aggregate{{Func: AggSum, Col: "v", As: "s"}})
-	out, err := Collect(agg)
+	out, err := Collect(t.Context(), agg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,13 +404,13 @@ func TestAdaptiveChainReordersByObservedSelectivity(t *testing.T) {
 	}
 	scanS, _ := NewScan(st, "a", "b")
 	static := NewAdaptiveChain(scanS, false, mkStages()...)
-	staticRows, err := CountRows(static)
+	staticRows, err := CountRows(t.Context(), static)
 	if err != nil {
 		t.Fatal(err)
 	}
 	scanA, _ := NewScan(st, "a", "b")
 	adaptive := NewAdaptiveChain(scanA, true, mkStages()...)
-	adaptiveRows, err := CountRows(adaptive)
+	adaptiveRows, err := CountRows(t.Context(), adaptive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,7 +444,7 @@ func TestAdaptiveChainTracksDrift(t *testing.T) {
 		&CmpSelector{Label: "A", Col: "a", Threshold: 2, Greater: false},
 		&CmpSelector{Label: "B", Col: "b", Threshold: 2, Greater: false},
 	)
-	if _, err := CountRows(chain); err != nil {
+	if _, err := CountRows(t.Context(), chain); err != nil {
 		t.Fatal(err)
 	}
 	if chain.Reorders == 0 {

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -12,6 +14,11 @@ import (
 	"repro/internal/vector"
 	"repro/internal/vm"
 )
+
+// ErrExpr marks DSL expression lowering failures (parse, check or
+// normalization of a lambda), as opposed to schema or binding problems.
+// Callers use errors.Is(err, ErrExpr) to classify operator Open errors.
+var ErrExpr = errors.New("engine: expression error")
 
 // exprVM wraps a per-operator adaptive VM for a DSL lambda applied to input
 // columns. The generated program is the front-end lowering the paper's §II
@@ -52,7 +59,7 @@ func newExprVM(lambda string, inCols []string, inKinds []vector.Kind, outKind ve
 
 	prog, err := dsl.Parse(sb.String())
 	if err != nil {
-		return nil, fmt.Errorf("engine: lowering expression: %w", err)
+		return nil, fmt.Errorf("%w: lowering %q: %v", ErrExpr, lambda, err)
 	}
 	kinds := map[string]vector.Kind{"out": outKind}
 	for i, col := range inCols {
@@ -60,7 +67,7 @@ func newExprVM(lambda string, inCols []string, inKinds []vector.Kind, outKind ve
 	}
 	np, err := nir.Normalize(prog, kinds)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: normalizing %q: %v", ErrExpr, lambda, err)
 	}
 	cfg := vmConfigForExpr(enableJIT)
 	cfg.JIT = jitOpt
@@ -76,8 +83,9 @@ func newExprVM(lambda string, inCols []string, inKinds []vector.Kind, outKind ve
 
 // eval applies the expression to the given input vectors (all the same
 // length, no selection) and returns the result vector (valid until the next
-// call).
-func (e *exprVM) eval(inputs []*vector.Vector) (*vector.Vector, error) {
+// call). ctx flows into the expression VM, whose interpreter checks it at
+// segment boundaries.
+func (e *exprVM) eval(ctx context.Context, inputs []*vector.Vector) (*vector.Vector, error) {
 	for i, col := range e.inCols {
 		e.ext[col] = inputs[i]
 	}
@@ -92,7 +100,7 @@ func (e *exprVM) eval(inputs []*vector.Vector) (*vector.Vector, error) {
 		}
 		e.env = env
 	}
-	if err := e.vm.Run(e.env); err != nil {
+	if err := e.vm.RunContext(ctx, e.env); err != nil {
 		return nil, err
 	}
 	return e.ext["out"], nil
@@ -169,8 +177,8 @@ func (c *Compute) Schema() []ColInfo {
 }
 
 // Open implements Operator.
-func (c *Compute) Open() error {
-	if err := c.child.Open(); err != nil {
+func (c *Compute) Open(ctx context.Context) error {
+	if err := c.child.Open(ctx); err != nil {
 		return err
 	}
 	var kinds []vector.Kind
@@ -195,8 +203,8 @@ func (c *Compute) Open() error {
 }
 
 // Next implements Operator.
-func (c *Compute) Next() (*vector.Chunk, error) {
-	chunk, err := c.child.Next()
+func (c *Compute) Next(ctx context.Context) (*vector.Chunk, error) {
+	chunk, err := c.child.Next(ctx)
 	if err != nil || chunk == nil {
 		return chunk, err
 	}
@@ -221,7 +229,7 @@ func (c *Compute) Next() (*vector.Chunk, error) {
 		for i, col := range c.cols {
 			inputs[i] = chunk.MustColumn(col)
 		}
-		out, err := c.evm.eval(inputs)
+		out, err := c.evm.eval(ctx, inputs)
 		if err != nil {
 			return nil, err
 		}
@@ -241,7 +249,7 @@ func (c *Compute) Next() (*vector.Chunk, error) {
 	for i, col := range c.cols {
 		inputs[i] = cc.MustColumn(col)
 	}
-	out, err := c.evm.eval(inputs)
+	out, err := c.evm.eval(ctx, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -303,8 +311,8 @@ func (f *Filter) Selectivity() float64 {
 func (f *Filter) Schema() []ColInfo { return f.child.Schema() }
 
 // Open implements Operator.
-func (f *Filter) Open() error {
-	if err := f.child.Open(); err != nil {
+func (f *Filter) Open(ctx context.Context) error {
+	if err := f.child.Open(ctx); err != nil {
 		return err
 	}
 	var kind vector.Kind
@@ -326,9 +334,9 @@ func (f *Filter) Open() error {
 }
 
 // Next implements Operator.
-func (f *Filter) Next() (*vector.Chunk, error) {
+func (f *Filter) Next(ctx context.Context) (*vector.Chunk, error) {
 	for {
-		chunk, err := f.child.Next()
+		chunk, err := f.child.Next(ctx)
 		if err != nil || chunk == nil {
 			return chunk, err
 		}
@@ -352,7 +360,7 @@ func (f *Filter) Next() (*vector.Chunk, error) {
 		var out *vector.Chunk
 		if full {
 			f.MaskEvals++
-			mask, err := f.evm.eval([]*vector.Vector{chunk.MustColumn(f.col)})
+			mask, err := f.evm.eval(ctx, []*vector.Vector{chunk.MustColumn(f.col)})
 			if err != nil {
 				return nil, err
 			}
@@ -362,7 +370,7 @@ func (f *Filter) Next() (*vector.Chunk, error) {
 		} else {
 			f.SelEvals++
 			cc := chunk.Condense()
-			mask, err := f.evm.eval([]*vector.Vector{cc.MustColumn(f.col)})
+			mask, err := f.evm.eval(ctx, []*vector.Vector{cc.MustColumn(f.col)})
 			if err != nil {
 				return nil, err
 			}

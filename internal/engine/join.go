@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/profile"
@@ -122,12 +123,13 @@ func (j *HashJoin) BloomEnabled() bool {
 // Schema implements Operator.
 func (j *HashJoin) Schema() []ColInfo { return j.schema }
 
-// Open implements Operator: materializes and hashes the build side.
-func (j *HashJoin) Open() error {
-	if err := j.probe.Open(); err != nil {
+// Open implements Operator: materializes and hashes the build side,
+// honoring ctx while draining it.
+func (j *HashJoin) Open(ctx context.Context) error {
+	if err := j.probe.Open(ctx); err != nil {
 		return err
 	}
-	rows, err := Collect(j.build)
+	rows, err := Collect(ctx, j.build)
 	if err != nil {
 		return err
 	}
@@ -178,9 +180,9 @@ func (j *HashJoin) Open() error {
 }
 
 // Next implements Operator.
-func (j *HashJoin) Next() (*vector.Chunk, error) {
+func (j *HashJoin) Next(ctx context.Context) (*vector.Chunk, error) {
 	for {
-		chunk, err := j.probe.Next()
+		chunk, err := j.probe.Next(ctx)
 		if err != nil || chunk == nil {
 			return chunk, err
 		}

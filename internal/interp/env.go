@@ -7,6 +7,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/nir"
@@ -48,7 +49,20 @@ type Env struct {
 	Prog *nir.Program
 	Regs []Slot
 	Ext  map[string]*vector.Vector
+
+	// ctx, when non-nil, is checked at segment boundaries so long-running
+	// executions honor cancellation and deadlines. It is installed for the
+	// duration of one RunContext call.
+	ctx context.Context
+	// poll, when non-nil, runs at the same boundaries. The VM uses it as a
+	// cooperative optimization hook so adaptivity does not depend on a
+	// background goroutine winning the scheduler (GOMAXPROCS=1).
+	poll func()
 }
+
+// SetPoll installs a function invoked at segment boundaries while the
+// environment executes. The VM uses it for cooperative optimization.
+func (e *Env) SetPoll(poll func()) { e.poll = poll }
 
 // NewEnv creates an environment for prog with the given external bindings.
 // Every external declared by the program must be bound; missing or

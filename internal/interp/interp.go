@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -196,6 +197,17 @@ func (it *Interpreter) ResetPlans() {
 
 // Run executes the whole program against env.
 func (it *Interpreter) Run(env *Env) error {
+	return it.RunContext(context.Background(), env)
+}
+
+// RunContext executes the whole program against env, honoring ctx:
+// cancellation and deadlines are checked at segment boundaries — i.e. once
+// per chunk of a chunk-at-a-time loop — so long runs abort promptly without
+// per-element overhead. The returned error wraps ctx.Err() when the run was
+// cut short.
+func (it *Interpreter) RunContext(ctx context.Context, env *Env) error {
+	env.ctx = ctx
+	defer func() { env.ctx = nil }()
 	err := it.runNodes(it.tree, env)
 	if errors.Is(err, errBreak) {
 		return fmt.Errorf("interp: break outside loop at runtime")
@@ -207,6 +219,14 @@ func (it *Interpreter) runNodes(nodes []execNode, env *Env) error {
 	for _, n := range nodes {
 		switch n := n.(type) {
 		case *segNode:
+			if env.ctx != nil {
+				if err := env.ctx.Err(); err != nil {
+					return fmt.Errorf("interp: run cancelled: %w", err)
+				}
+			}
+			if env.poll != nil {
+				env.poll()
+			}
 			plan := it.plans[n.seg].Load()
 			prof := it.Prof
 			if !it.Profiling {

@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
@@ -26,7 +27,7 @@ type Q1Options struct {
 // with every expression lowered through the DSL into the adaptive VM. With
 // opts.JIT=false this is the MonetDB/X100-style purely vectorized plan; with
 // JIT on it is the paper's adaptive VM executing the same program.
-func Q1Engine(st *vector.DSMStore, cutoff int64, opts Q1Options) (Q1Result, error) {
+func Q1Engine(ctx context.Context, st *vector.DSMStore, cutoff int64, opts Q1Options) (Q1Result, error) {
 	scan, err := engine.NewScan(st,
 		"l_returnflag", "l_linestatus", "l_quantity",
 		"l_extendedprice", "l_discount", "l_tax", "l_shipdate")
@@ -54,7 +55,7 @@ func Q1Engine(st *vector.DSMStore, cutoff int64, opts Q1Options) (Q1Result, erro
 			{Func: engine.AggCount, As: "count_order"},
 		}).SetPreAgg(opts.PreAgg)
 
-	out, err := engine.Collect(agg)
+	out, err := engine.Collect(ctx, agg)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +180,7 @@ func Q1Compact(cl *CompactLineitem, cutoff int64) Q1Result {
 
 // Q6Engine answers Q6 through the engine with DSL predicates: three filters
 // then Σ ep·disc.
-func Q6Engine(st *vector.DSMStore, p Q6Params, opts Q1Options) (float64, error) {
+func Q6Engine(ctx context.Context, st *vector.DSMStore, p Q6Params, opts Q1Options) (float64, error) {
 	scan, err := engine.NewScan(st, "l_quantity", "l_extendedprice", "l_discount", "l_shipdate")
 	if err != nil {
 		return 0, err
@@ -195,7 +196,7 @@ func Q6Engine(st *vector.DSMStore, p Q6Params, opts Q1Options) (float64, error) 
 	agg := engine.NewHashAgg(rev, nil, []engine.Aggregate{
 		{Func: engine.AggSum, Col: "revenue", As: "revenue"},
 	})
-	out, err := engine.Collect(agg)
+	out, err := engine.Collect(ctx, agg)
 	if err != nil {
 		return 0, err
 	}

@@ -132,6 +132,11 @@ type Q1Group struct {
 // Q1Result is the Q1 answer ordered by (returnflag, linestatus).
 type Q1Result []Q1Group
 
+// SortQ1 orders groups canonically (by returnflag, then linestatus), the
+// ordering Equal expects. Exposed for callers assembling a Q1Result from a
+// streamed aggregation.
+func SortQ1(rs Q1Result) Q1Result { return sortQ1(rs) }
+
 // sortQ1 orders groups canonically.
 func sortQ1(rs Q1Result) Q1Result {
 	sort.Slice(rs, func(a, b int) bool {

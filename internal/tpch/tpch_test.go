@@ -42,7 +42,7 @@ func TestQ1StrategiesAgree(t *testing.T) {
 		t.Fatalf("Q1 groups = %d, want 4", len(hyper))
 	}
 
-	vect, err := Q1Engine(st, Q1Cutoff, Q1Options{JIT: false})
+	vect, err := Q1Engine(t.Context(), st, Q1Cutoff, Q1Options{JIT: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestQ1StrategiesAgree(t *testing.T) {
 		t.Fatalf("vectorized differs from tuple-at-a-time: %v", err)
 	}
 
-	adaptive, err := Q1Engine(st, Q1Cutoff, Q1Options{
+	adaptive, err := Q1Engine(t.Context(), st, Q1Cutoff, Q1Options{
 		JIT:    true,
 		JITOpt: jit.Options{CompileLatency: jit.NoCompileLatency},
 	})
@@ -72,7 +72,7 @@ func TestQ1EngineFlavorCombinations(t *testing.T) {
 	want := Q1HyPer(st, Q1Cutoff)
 	for _, mode := range []engine.EvalMode{engine.EvalFull, engine.EvalSelective, engine.EvalAdaptive} {
 		for _, pre := range []engine.PreAggMode{engine.PreAggOn, engine.PreAggOff, engine.PreAggAdaptive} {
-			got, err := Q1Engine(st, Q1Cutoff, Q1Options{Mode: mode, PreAgg: pre})
+			got, err := Q1Engine(t.Context(), st, Q1Cutoff, Q1Options{Mode: mode, PreAgg: pre})
 			if err != nil {
 				t.Fatalf("mode=%v pre=%v: %v", mode, pre, err)
 			}
@@ -90,7 +90,7 @@ func TestQ6StrategiesAgree(t *testing.T) {
 	if want == 0 {
 		t.Fatal("Q6 revenue must be non-zero on generated data")
 	}
-	got, err := Q6Engine(st, p, Q1Options{})
+	got, err := Q6Engine(t.Context(), st, p, Q1Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestQ6StrategiesAgree(t *testing.T) {
 	if rel < -1e-9 || rel > 1e-9 {
 		t.Fatalf("Q6 engine = %v, hyper = %v", got, want)
 	}
-	gotJIT, err := Q6Engine(st, p, Q1Options{JIT: true, JITOpt: jit.Options{CompileLatency: jit.NoCompileLatency}})
+	gotJIT, err := Q6Engine(t.Context(), st, p, Q1Options{JIT: true, JITOpt: jit.Options{CompileLatency: jit.NoCompileLatency}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestGenOrdersJoinable(t *testing.T) {
 		t.Fatal(err)
 	}
 	j := engine.NewHashJoin(probe, build, "l_orderkey", "o_orderkey", "o_orderdate")
-	out, err := engine.Collect(j)
+	out, err := engine.Collect(t.Context(), j)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -112,15 +113,26 @@ type VM struct {
 	Interp *interp.Interpreter
 	cfg    Config
 
-	state       atomic.Int32
-	start       time.Time
-	mu          sync.Mutex
-	transitions []Transition
-	segs        []segState
-	running     atomic.Int32
-	stopCh      chan struct{}
-	optimizerWG sync.WaitGroup
-	guards      map[int]func(*interp.Env) bool // segment → situation guard
+	state        atomic.Int32
+	start        time.Time
+	mu           sync.Mutex
+	transitions  []Transition
+	segs         []segState
+	activeRuns   int                            // concurrent RunContext calls (under mu)
+	optimizer    *optimizerHandle               // live background optimizer (under mu)
+	guards       map[int]func(*interp.Env) bool // segment → situation guard
+	optimizing   atomic.Bool
+	pollCount    atomic.Int64
+	lastOptimize atomic.Int64 // time of the last optimizer pass, ns since start
+}
+
+// optimizerHandle is the lifecycle of one background optimizer goroutine.
+// Each goroutine owns a distinct handle, so overlapping run generations
+// (last run of one burst still shutting the optimizer down while the first
+// run of the next burst starts a new one) never share channels.
+type optimizerHandle struct {
+	stop chan struct{}
+	done chan struct{}
 }
 
 // New creates a VM for prog.
@@ -182,31 +194,101 @@ func (vm *VM) SetGuard(segID int, g func(*interp.Env) bool) {
 // accompanies the execution; with Sync=true optimization happens between
 // runs (call MaybeOptimize explicitly or rely on Run's epilogue).
 func (vm *VM) Run(env *interp.Env) error {
-	if !vm.cfg.Sync && vm.running.Add(1) == 1 {
-		vm.stopCh = make(chan struct{})
-		vm.optimizerWG.Add(1)
-		go vm.optimizerLoop()
-	}
-	err := vm.Interp.Run(env)
-	if !vm.cfg.Sync && vm.running.Add(-1) == 0 {
-		close(vm.stopCh)
-		vm.optimizerWG.Wait()
-	}
-	if vm.cfg.Sync {
-		vm.MaybeOptimize()
-	}
-	return err
+	return vm.RunContext(context.Background(), env)
 }
+
+// RunContext executes the program once, honoring ctx: cancellation and
+// deadlines are checked between chunks (segment boundaries), so a long run
+// aborts within one chunk of the cancellation and the returned error wraps
+// ctx.Err().
+//
+// With Sync=false the asynchronous Optimize→GenerateCode→InjectFunctions
+// cycle accompanies the run twice over: a background goroutine ticks every
+// OptimizeInterval, and the interpreter additionally polls the optimizer
+// cooperatively at segment boundaries when the background goroutine is
+// starved (e.g. GOMAXPROCS=1), so mid-run compilation does not depend on
+// scheduler luck.
+func (vm *VM) RunContext(ctx context.Context, env *interp.Env) error {
+	if vm.cfg.Sync {
+		err := vm.Interp.RunContext(ctx, env)
+		if err == nil {
+			// No optimization epilogue for a failed or cancelled run: the
+			// modeled compile latency would delay the error's return and
+			// spend JIT work on an execution that was aborted.
+			vm.MaybeOptimize()
+		}
+		return err
+	}
+	vm.startOptimizer()
+	env.SetPoll(vm.cooperativePoll)
+	// Deferred so a panic out of the interpreter (propagated to an embedder
+	// that recovers) still shuts the optimizer down and keeps the
+	// activeRuns accounting correct.
+	defer func() {
+		env.SetPoll(nil)
+		vm.stopOptimizer()
+	}()
+	return vm.Interp.RunContext(ctx, env)
+}
+
+// startOptimizer accounts one active run and launches the background
+// optimizer when it is the first.
+func (vm *VM) startOptimizer() {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.activeRuns++
+	if vm.activeRuns == 1 {
+		h := &optimizerHandle{stop: make(chan struct{}), done: make(chan struct{})}
+		vm.optimizer = h
+		go vm.optimizerLoop(h)
+	}
+}
+
+// stopOptimizer retires one active run and, when it was the last, shuts the
+// background optimizer down and waits for it to exit.
+func (vm *VM) stopOptimizer() {
+	vm.mu.Lock()
+	var h *optimizerHandle
+	vm.activeRuns--
+	if vm.activeRuns == 0 {
+		h, vm.optimizer = vm.optimizer, nil
+	}
+	vm.mu.Unlock()
+	if h != nil {
+		close(h.stop)
+		<-h.done
+	}
+}
+
+// cooperativePoll runs at segment boundaries of an asynchronous run. It
+// invokes the optimizer inline when no optimization pass has happened for
+// several OptimizeIntervals — the background ticker goroutine never gets
+// scheduled on a fully loaded single-core machine, and adaptivity must not
+// depend on it.
+func (vm *VM) cooperativePoll() {
+	if vm.pollCount.Add(1)%pollStride != 0 {
+		return
+	}
+	last := time.Duration(vm.lastOptimize.Load())
+	if time.Since(vm.start)-last < 4*vm.cfg.OptimizeInterval {
+		return
+	}
+	vm.MaybeOptimize()
+}
+
+// pollStride amortizes the time.Since call in cooperativePoll across segment
+// executions.
+const pollStride = 16
 
 // optimizerLoop is the background incarnation of the Optimize→GenerateCode→
 // InjectFunctions cycle.
-func (vm *VM) optimizerLoop() {
-	defer vm.optimizerWG.Done()
+func (vm *VM) optimizerLoop(h *optimizerHandle) {
+	defer close(h.done)
 	ticker := time.NewTicker(vm.cfg.OptimizeInterval)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-vm.stopCh:
+		case <-h.stop:
 			return
 		case <-ticker.C:
 			vm.MaybeOptimize()
@@ -216,8 +298,13 @@ func (vm *VM) optimizerLoop() {
 
 // MaybeOptimize examines the profile, compiles hot segments that are not yet
 // compiled, and reverts regressing traces. It is safe to call concurrently
-// with Run.
+// with Run and with itself (concurrent callers coalesce into one pass).
 func (vm *VM) MaybeOptimize() {
+	if !vm.optimizing.CompareAndSwap(false, true) {
+		return // another caller is already optimizing
+	}
+	defer vm.optimizing.Store(false)
+	vm.lastOptimize.Store(int64(time.Since(vm.start)))
 	for segID := range vm.Interp.Segments {
 		vm.maybeOptimizeSegment(segID)
 		if vm.cfg.MicroAdaptive {

@@ -68,6 +68,10 @@ func TestFigure1StateMachine(t *testing.T) {
 	cfg.HotCalls = 2
 	cfg.HotNanos = 1 << 62
 	cfg.JIT.CompileLatency = jit.NoCompileLatency
+	// This test observes the compile cycle; micro-adaptive revert under a
+	// loaded machine could legitimately deoptimize the trace between runs
+	// and empty CompiledSegments (revert has its own test).
+	cfg.MicroAdaptive = false
 	v := New(np, cfg)
 
 	ext := mkData(1 << 16)
@@ -195,7 +199,9 @@ func TestMicroAdaptiveRevert(t *testing.T) {
 		t.Fatal("not compiled")
 	}
 	segID := v2.CompiledSegments()[0]
-	// Pretend the interpreter was much faster than the measured traces.
+	// Pretend the interpreter was much faster than the measured traces. Only
+	// this segment is doctored; other segments' traces may legitimately stay
+	// compiled, so every check below targets segID.
 	v2.mu.Lock()
 	v2.segs[segID].interpNanos = 0.0001
 	v2.mu.Unlock()
@@ -207,7 +213,7 @@ func TestMicroAdaptiveRevert(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(v2.CompiledSegments()) != 0 {
+	if containsInt(v2.CompiledSegments(), segID) {
 		t.Fatalf("regressing trace was not reverted; transitions: %v", v2.Transitions())
 	}
 	// Reverted segments must not be recompiled...
@@ -215,7 +221,7 @@ func TestMicroAdaptiveRevert(t *testing.T) {
 	if err := v2.Run(env3); err != nil {
 		t.Fatal(err)
 	}
-	if len(v2.CompiledSegments()) != 0 {
+	if containsInt(v2.CompiledSegments(), segID) {
 		t.Fatal("reverted segment was recompiled without Recompile()")
 	}
 	// ...until Recompile clears the block.
@@ -224,9 +230,18 @@ func TestMicroAdaptiveRevert(t *testing.T) {
 	if err := v2.Run(env4); err != nil {
 		t.Fatal(err)
 	}
-	if len(v2.CompiledSegments()) == 0 {
+	if !containsInt(v2.CompiledSegments(), segID) {
 		t.Fatal("Recompile did not re-enable optimization")
 	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // TestGuardedTraceFallsBackOnSituationChange installs a guard keyed on an
