@@ -1,23 +1,37 @@
 // Package advm is the public embedding API of the adaptive virtual machine:
-// a session-based, context-aware surface over the paper's architecture
-// (ICDE'18, "Designing an Adaptive VM That Combines Vectorized and JIT
-// Execution on Heterogeneous Hardware").
+// an engine/session surface over the paper's architecture (ICDE'18,
+// "Designing an Adaptive VM That Combines Vectorized and JIT Execution on
+// Heterogeneous Hardware").
 //
-// A Session is a reusable, concurrency-safe handle over one compiled
-// program (or over ad-hoc relational queries). Underneath it, the VM starts
-// out interpreting the normalized program with pre-compiled vectorized
-// kernels, profiles it, greedily partitions hot dependency graphs into
-// fragments, JIT-compiles them into fused traces, injects the traces into
-// the running interpreter, and micro-adaptively reverts traces that lose —
-// all while the embedder holds one stable handle:
+// An Engine is the process-wide backend: it owns the worker pool for
+// morsel-parallel query execution, the device placer, and the
+// prepared-statement cache through which concurrent sessions share one
+// adaptive VM per distinct program — and therefore share its profile,
+// injected JIT traces and micro-adaptive decisions:
+//
+//	eng, err := advm.NewEngine(advm.WithParallelism(8))
+//	defer eng.Close()
+//	prep, err := eng.Prepare(src, map[string]advm.Kind{"data": advm.I64})
+//	sess, err := eng.Session()
+//	err = sess.RunPrepared(ctx, prep, map[string]*advm.Vector{"data": advm.FromI64(xs)})
+//
+// A Session is a lightweight, concurrency-safe handle: every Run gets a
+// fresh environment, every Query gets fresh operators. Standalone sessions
+// (Compile, NewSession) wrap a private engine, so small embedders never see
+// the Engine type:
 //
 //	sess, err := advm.Compile(src, map[string]advm.Kind{"data": advm.I64},
 //	        advm.WithHotThresholds(8, 200*time.Microsecond))
 //	...
 //	err = sess.Run(ctx, map[string]*advm.Vector{"data": advm.FromI64(xs)})
 //
-// Execution honors ctx at chunk boundaries, so cancellation and deadlines
-// cut a long run short within one chunk, reported as ErrCancelled.
+// Underneath either surface, the VM starts out interpreting the normalized
+// program with pre-compiled vectorized kernels, profiles it, greedily
+// partitions hot dependency graphs into fragments, JIT-compiles them into
+// fused traces, injects the traces into the running interpreter, and
+// micro-adaptively reverts traces that lose. Execution honors ctx at chunk
+// boundaries, so cancellation and deadlines cut a long run short within one
+// chunk, reported as ErrCancelled.
 //
 // The relational layer is reached through Session.Query, which streams
 // results chunk-at-a-time behind a database/sql-style cursor:
@@ -31,9 +45,15 @@
 //	}
 //	err = rows.Err()
 //
-// Session.Stats exposes the observability surface: the Figure-1 state
-// machine transition log, the per-instruction profile, injected and
-// reverted trace counts, and device placement decisions.
+// With WithParallelism(n), eligible scan→filter/compute pipelines execute
+// across n workers over dynamically dispatched morsels; results are merged
+// back in table order, so query output is byte-identical to serial
+// execution.
+//
+// Session.Stats and Engine.Stats expose the observability surface: the
+// Figure-1 state machine transition log, the per-instruction profile,
+// injected and reverted trace counts, device placement decisions, and the
+// prepared-statement cache and worker pool counters.
 package advm
 
 import (
@@ -46,7 +66,6 @@ import (
 	"repro/internal/device"
 	"repro/internal/dsl"
 	"repro/internal/engine"
-	"repro/internal/gpu"
 	"repro/internal/nir"
 	"repro/internal/primitive"
 	"repro/internal/vm"
@@ -57,57 +76,52 @@ import (
 // use: every Run gets a fresh environment, every Query gets fresh
 // operators, while profiling data and injected traces persist inside the
 // session and keep improving later executions.
+//
+// Sessions created by Engine.Session share that engine's worker pool,
+// prepared-statement cache and device placer; sessions created by Compile
+// or NewSession own a private engine (closed with the session).
 type Session struct {
-	opt  options
+	eng   *Engine
+	owned bool // Close also closes the (private) engine
+	opt   options
+
 	src  string
 	prog *nir.Program
 	vm   *vm.VM
 
-	cpu    *device.CPU
-	gpu    *gpu.Device
-	placer *device.Placer
-
 	runs    atomic.Int64
 	queries atomic.Int64
+	closed  atomic.Bool
 
 	mu         sync.Mutex
 	placements []Placement
 }
 
-// NewSession creates a query-only session (no compiled program): Run errors
-// until a program is compiled, Query works immediately.
+// NewSession creates a standalone query-only session (no compiled program):
+// Run errors until a program is compiled, Query works immediately. The
+// session wraps a private engine configured by opts.
 func NewSession(opts ...Option) (*Session, error) {
-	o := defaultOptions()
-	for _, opt := range opts {
-		if err := opt(&o); err != nil {
-			return nil, tagged(ErrBind, err)
-		}
+	eng, err := NewEngine(opts...)
+	if err != nil {
+		return nil, err
 	}
-	o.finalize()
-	return newSession(o), nil
-}
-
-func newSession(o options) *Session {
-	s := &Session{opt: o, cpu: device.NewCPU()}
-	if o.device != DeviceCPU {
-		s.gpu = gpu.New(gpu.DefaultConfig())
-		s.placer = device.NewPlacer(s.cpu, s.gpu)
-	}
-	return s
+	eng.sessions.Add(1)
+	return &Session{eng: eng, owned: true, opt: eng.opt}, nil
 }
 
 // Compile parses, checks and normalizes a DSL program and prepares an
-// adaptive VM for it. externals maps every external array name used by
-// read/write/gather/scatter to its element kind. Failures are classified
-// under ErrCompile.
+// adaptive VM for it, owned by a standalone session. externals maps every
+// external array name used by read/write/gather/scatter to its element
+// kind. Failures are classified under ErrCompile.
+//
+// The VM is private to the session: repeated Compile calls with the same
+// source get independent VMs. To share one VM (and its adaptivity) across
+// sessions, use Engine.Prepare.
 func Compile(src string, externals map[string]Kind, opts ...Option) (*Session, error) {
-	o := defaultOptions()
-	for _, opt := range opts {
-		if err := opt(&o); err != nil {
-			return nil, tagged(ErrBind, err)
-		}
+	eng, err := NewEngine(opts...)
+	if err != nil {
+		return nil, err
 	}
-	o.finalize()
 	ast, err := dsl.Parse(src)
 	if err != nil {
 		return nil, tagged(ErrCompile, err)
@@ -116,11 +130,11 @@ func Compile(src string, externals map[string]Kind, opts ...Option) (*Session, e
 	if err != nil {
 		return nil, tagged(ErrCompile, err)
 	}
-	s := newSession(o)
-	s.src = src
-	s.prog = ir
-	s.vm = vm.New(ir, o.cfg)
-	return s, nil
+	eng.sessions.Add(1)
+	return &Session{
+		eng: eng, owned: true, opt: eng.opt,
+		src: src, prog: ir, vm: vm.New(ir, eng.opt.cfg),
+	}, nil
 }
 
 // MustCompile is Compile for tests and examples; it panics on error.
@@ -132,6 +146,45 @@ func MustCompile(src string, externals map[string]Kind, opts ...Option) *Session
 	return s
 }
 
+// Engine returns the engine backing the session.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// checkOpen classifies calls on closed sessions/engines under ErrClosed.
+func (s *Session) checkOpen() error {
+	if s.closed.Load() {
+		return errClosed("session")
+	}
+	if s.eng.closed.Load() {
+		return errClosed("engine")
+	}
+	return nil
+}
+
+// Close releases the session: subsequent Run, RunPrepared and Query calls
+// return an error matching ErrClosed. Closing a standalone session
+// (Compile, NewSession) also closes its private engine and thereby its
+// worker pool; sessions handed out by Engine.Session leave the shared
+// engine open. Close is idempotent and does not interrupt executions
+// already in flight.
+func (s *Session) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if s.owned {
+		return s.eng.Close()
+	}
+	return nil
+}
+
+// Prepare compiles src through the session's engine, sharing the
+// engine-wide prepared-statement cache (see Engine.Prepare).
+func (s *Session) Prepare(src string, externals map[string]Kind) (*Prepared, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	return s.eng.Prepare(src, externals)
+}
+
 // Run executes the compiled program once against the given external arrays.
 // The context is honored at chunk boundaries: a cancelled or expired ctx
 // aborts the run within one chunk and Run returns an error matching
@@ -141,8 +194,11 @@ func MustCompile(src string, externals map[string]Kind, opts ...Option) *Session
 // Run may be called concurrently; profiling and compiled traces are shared
 // across calls.
 func (s *Session) Run(ctx context.Context, bindings map[string]*Vector) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if s.vm == nil {
-		return tagged(ErrBind, errors.New("session has no compiled program (use advm.Compile)"))
+		return tagged(ErrBind, errors.New("session has no compiled program (use advm.Compile or Engine.Prepare)"))
 	}
 	env, err := s.vm.NewEnv(bindings)
 	if err != nil {
@@ -153,7 +209,25 @@ func (s *Session) Run(ctx context.Context, bindings map[string]*Vector) error {
 	}
 	// Record only completed executions, keeping Stats.Placements consistent
 	// with Stats.Runs.
-	s.recordPlacement(bindings)
+	s.recordPlacement(s.prog, bindings)
+	s.runs.Add(1)
+	return nil
+}
+
+// RunPrepared executes a prepared program within the session: semantics
+// match Prepared.Run, plus the execution is counted in the session's Stats
+// and placed by the session's device policy.
+func (s *Session) RunPrepared(ctx context.Context, p *Prepared, bindings map[string]*Vector) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	if p == nil {
+		return tagged(ErrBind, errors.New("nil prepared program"))
+	}
+	if err := p.Run(ctx, bindings); err != nil {
+		return err
+	}
+	s.recordPlacement(p.entry.prog, bindings)
 	s.runs.Add(1)
 	return nil
 }
@@ -178,15 +252,35 @@ func classifyCtx(ctx context.Context, err error) error {
 // a cancelled ctx — checked at every chunk — surfaces as ErrCancelled from
 // Rows.Err.
 //
+// With WithParallelism(n) > 1, eligible scan→filter/compute chains of the
+// plan execute across up to n workers drawn from the engine's pool (fewer
+// when the pool is contended), merged back in table order: results are
+// byte-identical to serial execution. The workers are released when the
+// cursor is closed or exhausted.
+//
 // The returned Rows must be used from a single goroutine; the Session
 // itself may serve many concurrent Query calls.
 func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
 	if plan == nil {
 		return nil, tagged(ErrBind, errors.New("nil plan"))
 	}
-	op, err := plan.build(s)
+	workers := s.eng.pool.acquire(s.opt.parallelism)
+	b := &builder{s: s, workers: workers}
+	op, err := plan.build(b)
 	if err != nil {
+		s.eng.pool.release(workers)
 		return nil, tagged(ErrBind, err)
+	}
+	if workers > 1 && b.exchanges > 0 {
+		// The cursor owns the granted workers until closed.
+		op = &releaseOp{Operator: op, pool: s.eng.pool, n: workers}
+		s.eng.parallelQueries.Add(1)
+	} else {
+		// Nothing in the plan could fan out; return the permits immediately.
+		s.eng.pool.release(workers)
 	}
 	if err := op.Open(ctx); err != nil {
 		op.Close()
@@ -200,6 +294,20 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 	}
 	s.queries.Add(1)
 	return &Rows{ctx: ctx, op: op, schema: op.Schema()}, nil
+}
+
+// releaseOp returns pooled workers when the pipeline closes.
+type releaseOp struct {
+	engine.Operator
+	pool *workerPool
+	n    int
+	once sync.Once
+}
+
+func (r *releaseOp) Close() error {
+	err := r.Operator.Close()
+	r.once.Do(func() { r.pool.release(r.n) })
+	return err
 }
 
 // IR renders the normalized intermediate representation of the compiled
@@ -216,14 +324,16 @@ func (s *Session) Source() string { return s.src }
 
 // PlanReport renders the current execution plan of every program segment,
 // showing which steps are interpreted and which run injected traces.
-func (s *Session) PlanReport() string {
-	if s.vm == nil {
+func (s *Session) PlanReport() string { return planReport(s.vm) }
+
+func planReport(v *vm.VM) string {
+	if v == nil {
 		return ""
 	}
 	out := ""
-	for _, seg := range s.vm.Interp.Segments {
+	for _, seg := range v.Interp.Segments {
 		out += fmt.Sprintf("segment %d:\n", seg.ID)
-		for _, step := range s.vm.Interp.Plan(seg.ID).Steps {
+		for _, step := range v.Interp.Plan(seg.ID).Steps {
 			out += "  " + step.Describe() + "\n"
 		}
 	}
@@ -237,7 +347,7 @@ func KernelCount() int { return primitive.Count() }
 // recordPlacement runs the device-placement model for one program execution
 // and records the decision (observable via Stats). With the default
 // DeviceCPU policy this is a no-op beyond bookkeeping.
-func (s *Session) recordPlacement(bindings map[string]*Vector) {
+func (s *Session) recordPlacement(prog *nir.Program, bindings map[string]*Vector) {
 	elems, bytes := 0, 0
 	names := make([]string, 0, len(bindings))
 	for name, v := range bindings {
@@ -251,23 +361,17 @@ func (s *Session) recordPlacement(bindings map[string]*Vector) {
 		names = append(names, name)
 	}
 	ops := 1
-	if s.prog != nil {
-		ops = s.prog.NumInstrs
+	if prog != nil {
+		ops = prog.NumInstrs
 	}
 	k := device.Kernel{
 		Name: "session-run", Elems: elems,
 		BytesIn: bytes, BytesOut: bytes,
 		OpsPerElem: float64(ops), Inputs: names,
 	}
-	chosen := "cpu"
+	chosen := s.eng.choosePlacement(s.opt.device, k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	switch s.opt.device {
-	case DeviceGPU:
-		chosen = s.gpu.Name()
-	case DeviceAuto:
-		chosen = s.placer.Choose(k).Name()
-	}
 	s.placements = append(s.placements, Placement{
 		Elems: elems, Bytes: bytes, Device: chosen,
 	})

@@ -2,7 +2,7 @@ package advm
 
 import "errors"
 
-// The package classifies every failure into one of three sentinel
+// The package classifies every failure into one of four sentinel
 // categories, testable with errors.Is. The underlying cause stays in the
 // chain, so errors.As and errors.Is against context errors keep working:
 //
@@ -11,6 +11,7 @@ import "errors"
 //	case errors.Is(err, advm.ErrCancelled): // ctx cancelled or deadline hit
 //	case errors.Is(err, advm.ErrBind):      // bad external bindings
 //	case errors.Is(err, advm.ErrCompile):   // bad program or expression
+//	case errors.Is(err, advm.ErrClosed):    // session or engine closed
 //	}
 var (
 	// ErrCompile marks failures to parse, check or normalize a DSL program
@@ -24,6 +25,10 @@ var (
 	// context.Canceled) and errors.Is(err, context.DeadlineExceeded) keep
 	// distinguishing the two causes.
 	ErrCancelled = errors.New("advm: execution cancelled")
+	// ErrClosed marks calls on a Session or Engine after Close: closed
+	// handles reject new work (Run, RunPrepared, Query, Prepare, Session)
+	// while executions already in flight finish normally.
+	ErrClosed = errors.New("advm: closed")
 )
 
 // taggedError attaches a sentinel category to an underlying cause; both stay

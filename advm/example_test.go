@@ -85,6 +85,99 @@ func ExampleSession_Query() {
 	// 6 61
 }
 
+// ExampleEngine_Prepare shows the scale surface: one process-wide Engine,
+// prepared programs cached by the fingerprint of their normalized IR, and
+// lightweight sessions sharing the prepared VM — so its profile and
+// injected traces improve with everyone's traffic instead of being
+// re-learned per connection.
+func ExampleEngine_Prepare() {
+	eng, _ := advm.NewEngine(
+		advm.WithSyncOptimizer(true),
+		advm.WithHotThresholds(1, 0),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}),
+	)
+	defer eng.Close()
+
+	prep, _ := eng.Prepare(`
+mut i
+i := 0
+loop {
+  let xs = read i data
+  if len(xs) == 0 then break
+  write out i (map (\x -> x * x) xs)
+  i := i + len(xs)
+}
+`, map[string]advm.Kind{"data": advm.I64, "out": advm.I64})
+
+	// A respelled but equivalent program normalizes to the same IR and hits
+	// the cache: both handles drive one shared VM.
+	again, _ := eng.Prepare(`
+mut cursor
+cursor := 0
+loop {
+  let batch = read cursor data
+  if len(batch) == 0 then break
+  write out cursor (map (\y -> y * y) batch)
+  cursor := cursor + len(batch)
+}
+`, map[string]advm.Kind{"data": advm.I64, "out": advm.I64})
+	fmt.Println("same program:", prep.Fingerprint() == again.Fingerprint())
+
+	sess, _ := eng.Session()
+	out := advm.NewVector(advm.I64, 0, 4)
+	if err := sess.RunPrepared(context.Background(), prep, map[string]*advm.Vector{
+		"data": advm.FromI64([]int64{1, 2, 3, 4}), "out": out,
+	}); err != nil {
+		fmt.Println("run failed:", err)
+		return
+	}
+	fmt.Println("out:", out.I64())
+
+	st := eng.Stats()
+	fmt.Printf("prepares=%d cache_hits=%d distinct_programs=%d\n",
+		st.Prepares, st.CacheHits, st.PreparedPrograms)
+	fmt.Println("shared runs:", again.Stats().Runs)
+	// Output:
+	// same program: true
+	// out: [1 4 9 16]
+	// prepares=2 cache_hits=1 distinct_programs=1
+	// shared runs: 1
+}
+
+// ExampleWithParallelism fans a query out across the engine's worker pool.
+// Results are merged back in table order, so the output — floating-point
+// aggregates included — is byte-identical to serial execution.
+func ExampleWithParallelism() {
+	table := advm.NewTable(advm.NewSchema("k", advm.I64, "v", advm.I64))
+	for i := int64(0); i < 100_000; i++ {
+		table.AppendRow(advm.I64Value(i), advm.I64Value(i%7))
+	}
+
+	sess, _ := advm.NewSession(advm.WithParallelism(4))
+	defer sess.Close()
+	rows, err := sess.Query(context.Background(),
+		advm.Scan(table, "k", "v").
+			Filter(`(\k -> k % 3 == 0)`, "k").
+			Compute("v2", `(\v -> v * v)`, advm.I64, "v").
+			Aggregate(nil,
+				advm.Agg{Func: advm.AggSum, Col: "v2", As: "sum_v2"},
+				advm.Agg{Func: advm.AggCount, As: "n"}))
+	if err != nil {
+		fmt.Println("query failed:", err)
+		return
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var sum, n int64
+		if err := rows.Scan(&sum, &n); err != nil {
+			fmt.Println("scan failed:", err)
+			return
+		}
+		fmt.Println(sum, n)
+	}
+	// Output: 433342 33334
+}
+
 // ExampleErrCancelled shows the typed-error taxonomy: context failures
 // surface as ErrCancelled while keeping the context cause in the chain.
 func ExampleErrCancelled() {

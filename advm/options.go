@@ -15,16 +15,17 @@ import (
 // underneath without breaking embedders.
 type Option func(*options) error
 
-// options is the resolved configuration of one Session.
+// options is the resolved configuration of one Engine or Session.
 type options struct {
-	cfg        vm.Config
-	jitEnabled bool // trace compilation in query expression VMs
-	chunkLen   int  // scan chunk length for queries (0 = DefaultChunkLen)
-	device     DeviceKind
+	cfg         vm.Config
+	jitEnabled  bool // trace compilation in query expression VMs
+	chunkLen    int  // scan chunk length for queries (0 = DefaultChunkLen)
+	parallelism int  // workers per query (≤1 = serial)
+	device      DeviceKind
 }
 
 func defaultOptions() options {
-	return options{cfg: vm.DefaultConfig(), jitEnabled: true, device: DeviceCPU}
+	return options{cfg: vm.DefaultConfig(), jitEnabled: true, parallelism: 1, device: DeviceCPU}
 }
 
 // finalize resolves interactions after every option has applied, so the
@@ -140,6 +141,27 @@ func WithPartitionBudget(maxInputs, maxNodes int) Option {
 		if maxNodes > 0 {
 			o.cfg.Constraints.MaxNodes = maxNodes
 		}
+		return nil
+	}
+}
+
+// WithParallelism sets how many workers a query may fan out across
+// (default 1 = serial). Eligible scan→filter/compute pipelines then execute
+// morsel-parallel: the table's row space is dispatched dynamically to n
+// worker copies of the pipeline and the results are merged back in table
+// order, so query output stays byte-identical to serial execution.
+//
+// On an Engine, the option both sets the default for its sessions and sizes
+// the shared worker pool (capacity = max(n, GOMAXPROCS)); on a session it
+// sets how many workers that session requests per query. A contended pool
+// grants fewer workers, degrading toward serial execution rather than
+// oversubscribing the host.
+func WithParallelism(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("parallelism must be ≥ 1, got %d", n)
+		}
+		o.parallelism = n
 		return nil
 	}
 }

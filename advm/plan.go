@@ -33,32 +33,59 @@ const (
 	AggAvg   = engine.AggAvg
 )
 
+// planKind tags the operator a Plan node describes.
+type planKind int
+
+const (
+	planScan planKind = iota
+	planFilter
+	planCompute
+	planAggregate
+	planJoin
+)
+
 // Plan is a deferred description of a relational operator pipeline. Plans
 // are cheap immutable builders: each method returns a new node, and nothing
 // executes until Session.Query instantiates the pipeline — so one Plan can
-// back many concurrent queries, each with its own operator state.
+// back many concurrent queries, each with its own operator state. Because a
+// Plan is a declarative tree rather than a baked pipeline, the session can
+// instantiate it differently per query: serially, or fanned out across
+// workers when parallelism is enabled.
 //
 // Scalar expressions and predicates are DSL lambdas; they are lowered
 // through the normalizer and run on per-operator adaptive VMs, so hot
 // expressions JIT-compile into fused traces exactly as compiled programs
 // do (subject to the session's WithJIT/WithJITOptions settings).
 type Plan struct {
-	build func(s *Session) (engine.Operator, error)
+	kind  planKind
+	child *Plan
+
+	// Scan.
+	table   *Table
+	columns []string
+
+	// Filter / Compute.
+	mode    EvalMode
+	lambda  string
+	col     string // filter input
+	out     string // compute output
+	outKind Kind
+	cols    []string // compute inputs
+
+	// Aggregate.
+	keys []string
+	aggs []Agg
+
+	// Join.
+	buildSide          *Plan
+	probeKey, buildKey string
+	payload            []string
 }
 
 // Scan starts a plan reading the named columns of a table (all columns when
 // none are given).
 func Scan(t *Table, columns ...string) *Plan {
-	return &Plan{build: func(s *Session) (engine.Operator, error) {
-		sc, err := engine.NewScan(t, columns...)
-		if err != nil {
-			return nil, err
-		}
-		if s.opt.chunkLen > 0 {
-			sc.SetChunkLen(s.opt.chunkLen)
-		}
-		return sc, nil
-	}}
+	return &Plan{kind: planScan, table: t, columns: columns}
 }
 
 // Filter keeps the rows for which the DSL predicate lambda over col holds.
@@ -68,14 +95,7 @@ func (p *Plan) Filter(lambda, col string) *Plan {
 
 // FilterMode is Filter with a fixed evaluation flavor.
 func (p *Plan) FilterMode(mode EvalMode, lambda, col string) *Plan {
-	return &Plan{build: func(s *Session) (engine.Operator, error) {
-		child, err := p.build(s)
-		if err != nil {
-			return nil, err
-		}
-		return engine.NewFilter(child, lambda, col).
-			SetMode(mode).SetJIT(s.opt.jitEnabled, s.opt.cfg.JIT), nil
-	}}
+	return &Plan{kind: planFilter, child: p, mode: mode, lambda: lambda, col: col}
 }
 
 // Compute appends column out derived by the DSL lambda over the input
@@ -86,26 +106,13 @@ func (p *Plan) Compute(out, lambda string, kind Kind, cols ...string) *Plan {
 
 // ComputeMode is Compute with a fixed evaluation flavor.
 func (p *Plan) ComputeMode(mode EvalMode, out, lambda string, kind Kind, cols ...string) *Plan {
-	return &Plan{build: func(s *Session) (engine.Operator, error) {
-		child, err := p.build(s)
-		if err != nil {
-			return nil, err
-		}
-		return engine.NewCompute(child, out, lambda, kind, cols...).
-			SetMode(mode).SetJIT(s.opt.jitEnabled, s.opt.cfg.JIT), nil
-	}}
+	return &Plan{kind: planCompute, child: p, mode: mode, out: out, lambda: lambda, outKind: kind, cols: cols}
 }
 
 // Aggregate groups by the key columns (nil for a single global group) and
 // computes the given aggregates.
 func (p *Plan) Aggregate(keys []string, aggs ...Agg) *Plan {
-	return &Plan{build: func(s *Session) (engine.Operator, error) {
-		child, err := p.build(s)
-		if err != nil {
-			return nil, err
-		}
-		return engine.NewHashAgg(child, keys, aggs), nil
-	}}
+	return &Plan{kind: planAggregate, child: p, keys: keys, aggs: aggs}
 }
 
 // Join hash-joins the plan (probe side) against build on probeKey =
@@ -113,15 +120,111 @@ func (p *Plan) Aggregate(keys []string, aggs ...Agg) *Plan {
 // is materialized and hashed when the query opens; selective probes
 // adaptively keep a Bloom filter in front of the hash table.
 func (p *Plan) Join(build *Plan, probeKey, buildKey string, payload ...string) *Plan {
-	return &Plan{build: func(s *Session) (engine.Operator, error) {
-		probe, err := p.build(s)
+	return &Plan{kind: planJoin, child: p, buildSide: build, probeKey: probeKey, buildKey: buildKey, payload: payload}
+}
+
+// builder carries per-query instantiation state: the session's options and
+// the granted worker count.
+type builder struct {
+	s         *Session
+	workers   int
+	exchanges int // exchanges instantiated (0 → the grant can be returned)
+}
+
+// build instantiates the subtree rooted at p. With more than one granted
+// worker, the first maximal scan→filter/compute chain becomes a
+// morsel-parallel exchange; everything else (aggregations, joins, any
+// stages above the exchange, and further chains) is built serially on top.
+// Only one exchange per query keeps the fan-out equal to the pool grant —
+// for a join, that is the streaming probe side (built first), not the
+// materialized-once build side.
+func (p *Plan) build(b *builder) (engine.Operator, error) {
+	if b.workers > 1 && b.exchanges == 0 {
+		if op, ok, err := p.buildExchange(b); ok || err != nil {
+			return op, err
+		}
+	}
+	switch p.kind {
+	case planScan:
+		sc, err := engine.NewScan(p.table, p.columns...)
 		if err != nil {
 			return nil, err
 		}
-		b, err := build.build(s)
+		if b.s.opt.chunkLen > 0 {
+			sc.SetChunkLen(b.s.opt.chunkLen)
+		}
+		return sc, nil
+	case planFilter, planCompute:
+		child, err := p.child.build(b)
 		if err != nil {
 			return nil, err
 		}
-		return engine.NewHashJoin(probe, b, probeKey, buildKey, payload...), nil
-	}}
+		return p.stageOn(b.s, child), nil
+	case planAggregate:
+		child, err := p.child.build(b)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewHashAgg(child, p.keys, p.aggs), nil
+	case planJoin:
+		probe, err := p.child.build(b)
+		if err != nil {
+			return nil, err
+		}
+		side, err := p.buildSide.build(b)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewHashJoin(probe, side, p.probeKey, p.buildKey, p.payload...), nil
+	}
+	panic("advm: unknown plan node")
+}
+
+// stageOn instantiates a filter/compute node on top of child with the
+// session's JIT settings.
+func (p *Plan) stageOn(s *Session, child engine.Operator) engine.Operator {
+	switch p.kind {
+	case planFilter:
+		return engine.NewFilter(child, p.lambda, p.col).
+			SetMode(p.mode).SetJIT(s.opt.jitEnabled, s.opt.cfg.JIT)
+	case planCompute:
+		return engine.NewCompute(child, p.out, p.lambda, p.outKind, p.cols...).
+			SetMode(p.mode).SetJIT(s.opt.jitEnabled, s.opt.cfg.JIT)
+	}
+	panic("advm: not a pipeline stage")
+}
+
+// buildExchange recognizes a chain of filters/computes over a table scan
+// rooted at p and instantiates it as a morsel-parallel exchange: every
+// worker gets a private copy of the chain over a windowed scan, and the
+// exchange merges the workers' chunks back in table order. A bare scan is
+// not fanned out (copying rows across workers gains nothing); such subtrees
+// report ok=false and build serially.
+func (p *Plan) buildExchange(b *builder) (engine.Operator, bool, error) {
+	var chain []*Plan // p downward, filters/computes only
+	q := p
+	for q.kind == planFilter || q.kind == planCompute {
+		chain = append(chain, q)
+		q = q.child
+	}
+	if q.kind != planScan || len(chain) == 0 {
+		return nil, false, nil
+	}
+	scan := q
+	ex, err := engine.NewExchange(scan.table, scan.columns, b.workers,
+		func(_ int, leaf engine.Operator) (engine.Operator, error) {
+			op := leaf
+			for i := len(chain) - 1; i >= 0; i-- {
+				op = chain[i].stageOn(b.s, op)
+			}
+			return op, nil
+		})
+	if err != nil {
+		return nil, false, err
+	}
+	if b.s.opt.chunkLen > 0 {
+		ex.SetChunkLen(b.s.opt.chunkLen)
+	}
+	b.exchanges++
+	return ex, true, nil
 }

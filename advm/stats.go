@@ -77,11 +77,20 @@ func (s *Session) Stats() Stats {
 	s.mu.Lock()
 	st.Placements = append([]Placement(nil), s.placements...)
 	s.mu.Unlock()
-	if s.vm == nil {
-		return st
+	vmStats(s.vm, &st)
+	return st
+}
+
+// vmStats fills the VM-derived portion of a Stats snapshot (state machine
+// log, trace counters, per-instruction profile). Shared between sessions
+// (private VMs) and prepared programs (engine-shared VMs); a nil VM leaves
+// the snapshot untouched.
+func vmStats(v *vm.VM, st *Stats) {
+	if v == nil {
+		return
 	}
-	st.State = s.vm.State().String()
-	for _, tr := range s.vm.Transitions() {
+	st.State = v.State().String()
+	for _, tr := range v.Transitions() {
 		st.Transitions = append(st.Transitions, Transition{
 			From: tr.From.String(), To: tr.To.String(),
 			At: tr.At, Segment: tr.Segment, Note: tr.Note,
@@ -94,10 +103,10 @@ func (s *Session) Stats() Stats {
 			}
 		}
 	}
-	st.CompiledSegments = s.vm.CompiledSegments()
-	prof := s.vm.Interp.Prof
-	for _, seg := range s.vm.Interp.Segments {
-		for _, tr := range s.vm.Traces(seg.ID) {
+	st.CompiledSegments = v.CompiledSegments()
+	prof := v.Interp.Prof
+	for _, seg := range v.Interp.Segments {
+		for _, tr := range v.Traces(seg.ID) {
 			st.GuardFailures += tr.Deopts()
 		}
 		for _, in := range seg.Instrs {
@@ -109,5 +118,4 @@ func (s *Session) Stats() Stats {
 			})
 		}
 	}
-	return st
 }

@@ -163,8 +163,12 @@ func BenchmarkExpF1_F2_Figure2(b *testing.B) {
 		}
 	})
 	b.Run("adaptive_steady", func(b *testing.B) {
+		// Micro-adaptive revert off: this bench measures the steady state
+		// *with* injected traces, and on a slow or loaded host the revert
+		// heuristic can deoptimize them mid-warmup and fail the setup check.
 		p := advm.MustCompile(dsl.Figure2Source, kinds,
 			advm.WithSyncOptimizer(true),
+			advm.WithMicroAdaptive(false),
 			advm.WithHotThresholds(2, 200*time.Microsecond),
 			advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
 		e := ext()
@@ -689,6 +693,45 @@ func BenchmarkExpE11_Morsel(b *testing.B) {
 				)
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E15 — morsel-parallel query execution through the public engine API: Q1/Q6
+// serial vs WithParallelism(4). The CI bench smoke job additionally persists
+// these numbers as BENCH_*.json via `advm-bench -benchjson`.
+
+func BenchmarkExpE15_ParallelQuery(b *testing.B) {
+	st := tpch.GenLineitem(0.02, 42)
+	eng, err := advm.NewEngine(
+		advm.WithParallelism(4),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	plans := map[string]func() *advm.Plan{
+		"q1": func() *advm.Plan { return tpch.PlanQ1(st) },
+		"q6": func() *advm.Plan { return tpch.PlanQ6(st, tpch.DefaultQ6Params()) },
+	}
+	for _, q := range []string{"q1", "q6"} {
+		for _, workers := range []int{1, 4} {
+			sess, err := eng.Session(advm.WithParallelism(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/workers=%d", q, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rows, err := sess.Query(b.Context(), plans[q]())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := rows.Count(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

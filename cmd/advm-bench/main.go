@@ -18,10 +18,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/advm"
@@ -39,9 +42,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6) or all")
-	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for E1")
+	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15) or all")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for E1/E15")
+	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1.json/BENCH_q6.json perf records into (runs E15 only)")
 	flag.Parse()
+
+	if *benchjson != "" {
+		expE15(*sf, *benchjson)
+		return
+	}
 
 	all := *exp == "all"
 	ran := false
@@ -71,6 +80,10 @@ func main() {
 	}
 	if all || *exp == "E6" {
 		expE6()
+		ran = true
+	}
+	if all || *exp == "E15" {
+		expE15(*sf, "")
 		ran = true
 	}
 	if !ran {
@@ -309,6 +322,143 @@ func expE5() {
 		fmt.Fprintln(os.Stderr, "results disagree!")
 		os.Exit(1)
 	}
+}
+
+// benchRecord is one BENCH_*.json perf record: serial vs parallel ns/op for
+// a query, so future changes have a trajectory to compare against.
+type benchRecord struct {
+	Benchmark     string  `json:"benchmark"`
+	ScaleFactor   float64 `json:"scale_factor"`
+	Rows          int     `json:"rows"`
+	Workers       int     `json:"workers"`
+	Iters         int     `json:"iters"`
+	SerialNsOp    int64   `json:"serial_ns_op"`
+	Parallel4NsOp int64   `json:"parallel4_ns_op"`
+	Speedup       float64 `json:"speedup"`
+	Identical     bool    `json:"identical"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+}
+
+// benchCollect runs the plan to completion and returns every result value.
+func benchCollect(sess *advm.Session, plan *advm.Plan) ([][]advm.Value, error) {
+	rows, err := sess.Query(context.Background(), plan)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out [][]advm.Value
+	n := len(rows.Columns())
+	for rows.Next() {
+		row := make([]advm.Value, n)
+		dests := make([]any, n)
+		for i := range row {
+			dests[i] = &row[i]
+		}
+		if err := rows.Scan(dests...); err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, rows.Err()
+}
+
+// expE15 measures morsel-parallel query execution: Q1 and Q6 serial vs
+// WithParallelism(4), verifying byte-identical results. With outDir != ""
+// it writes BENCH_q1.json and BENCH_q6.json there (the CI perf trajectory);
+// a result mismatch is fatal either way.
+func expE15(sf float64, outDir string) {
+	const workers = 4
+	const iters = 3
+	header(fmt.Sprintf("E15 — morsel-parallel query execution (SF %.3f, %d workers)", sf, workers))
+	st := tpch.GenLineitem(sf, 42)
+	fmt.Printf("%d lineitem rows, GOMAXPROCS=%d\n\n", st.Rows(), runtime.GOMAXPROCS(0))
+
+	eng, err := advm.NewEngine(
+		advm.WithParallelism(workers),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		fatalE15(err)
+	}
+	defer eng.Close()
+	serial, err := eng.Session(advm.WithParallelism(1))
+	if err != nil {
+		fatalE15(err)
+	}
+	parallel, err := eng.Session()
+	if err != nil {
+		fatalE15(err)
+	}
+
+	measure := func(sess *advm.Session, plan func(*advm.Table) *advm.Plan) (time.Duration, [][]advm.Value) {
+		var best time.Duration
+		var rows [][]advm.Value
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			r, err := benchCollect(sess, plan(st))
+			d := time.Since(start)
+			if err != nil {
+				fatalE15(err)
+			}
+			if best == 0 || d < best {
+				best, rows = d, r
+			}
+		}
+		return best, rows
+	}
+
+	q6p := tpch.DefaultQ6Params()
+	for _, q := range []struct {
+		name string
+		plan func(*advm.Table) *advm.Plan
+	}{
+		{"q1", tpch.PlanQ1},
+		{"q6", func(st *advm.Table) *advm.Plan { return tpch.PlanQ6(st, q6p) }},
+	} {
+		serialNs, want := measure(serial, q.plan)
+		parallelNs, got := measure(parallel, q.plan)
+		identical := len(got) == len(want)
+		for i := 0; identical && i < len(want); i++ {
+			for c := range want[i] {
+				if !got[i][c].Equal(want[i][c]) {
+					identical = false
+					break
+				}
+			}
+		}
+		if !identical {
+			fatalE15(fmt.Errorf("%s: parallel result differs from serial", q.name))
+		}
+		rec := benchRecord{
+			Benchmark: q.name, ScaleFactor: sf, Rows: st.Rows(),
+			Workers: workers, Iters: iters,
+			SerialNsOp: serialNs.Nanoseconds(), Parallel4NsOp: parallelNs.Nanoseconds(),
+			Speedup:    float64(serialNs) / float64(parallelNs),
+			Identical:  true,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+		fmt.Printf("  %-4s serial %12v   parallel(%d) %12v   speedup %.2fx   identical=%v\n",
+			q.name, serialNs.Round(time.Microsecond), workers,
+			parallelNs.Round(time.Microsecond), rec.Speedup, rec.Identical)
+		if outDir != "" {
+			data, err := json.MarshalIndent(rec, "", "  ")
+			if err != nil {
+				fatalE15(err)
+			}
+			path := filepath.Join(outDir, "BENCH_"+q.name+".json")
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				fatalE15(err)
+			}
+			fmt.Printf("       wrote %s\n", path)
+		}
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Println("\n  note: single-core host — expect no parallel speedup here")
+	}
+}
+
+func fatalE15(err error) {
+	fmt.Fprintln(os.Stderr, "advm-bench: E15:", err)
+	os.Exit(1)
 }
 
 // expE6 prints the device placement series.

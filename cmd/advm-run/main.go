@@ -51,6 +51,7 @@ func main() {
 	showPlan := flag.Bool("plan", false, "print the final execution plan")
 	showProfile := flag.Bool("profile", false, "print per-instruction profile")
 	showIR := flag.Bool("ir", false, "print the normalized IR and exit")
+	showFingerprint := flag.Bool("fingerprint", false, "print the program's canonical fingerprint (the engine cache key)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -91,13 +92,29 @@ func main() {
 	} else {
 		opts = append(opts, advm.WithJIT(false))
 	}
-	sess, err := advm.Compile(string(src), kinds, opts...)
+	// Run through the engine's prepared-statement path: advm-run is the CLI
+	// face of the embedding API, and this is the API embedders should reach
+	// for first (shared VM, fingerprint-keyed cache).
+	eng, err := advm.NewEngine(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+	prep, err := eng.Prepare(string(src), kinds)
 	if err != nil {
 		fatal(err)
 	}
 	if *showIR {
-		fmt.Print(sess.IR())
+		fmt.Print(prep.IR())
 		return
+	}
+	if *showFingerprint {
+		fmt.Println(prep.Fingerprint())
+		return
+	}
+	sess, err := eng.Session()
+	if err != nil {
+		fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -112,7 +129,7 @@ func main() {
 		for _, name := range outNames {
 			ext[name].SetLen(0)
 		}
-		if err := sess.Run(ctx, ext); err != nil {
+		if err := sess.RunPrepared(ctx, prep, ext); err != nil {
 			if errors.Is(err, advm.ErrCancelled) {
 				fmt.Fprintf(os.Stderr, "advm-run: cancelled during run %d: %v\n", r+1, err)
 				os.Exit(130)
@@ -123,7 +140,7 @@ func main() {
 	for _, name := range outNames {
 		fmt.Printf("%s = %s\n", name, ext[name])
 	}
-	st := sess.Stats()
+	st := prep.Stats()
 	if *showTransitions {
 		fmt.Println("\nstate machine transitions:")
 		for _, tr := range st.Transitions {
@@ -132,7 +149,7 @@ func main() {
 	}
 	if *showPlan {
 		fmt.Println("\nexecution plan:")
-		fmt.Print(sess.PlanReport())
+		fmt.Print(prep.PlanReport())
 	}
 	if *showProfile {
 		fmt.Println("\nper-instruction profile:")

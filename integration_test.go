@@ -98,30 +98,28 @@ func TestEndToEndQ6AllStrategies(t *testing.T) {
 
 // TestEndToEndQueryStreaming exercises the public streaming path over a
 // generated TPC-H table: the cursor-consumed Q1 aggregate must agree with
-// the hand-compiled reference.
+// the hand-compiled reference — serially and fanned out across the
+// engine's morsel-parallel workers.
 func TestEndToEndQueryStreaming(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			testEndToEndQueryStreaming(t, workers)
+		})
+	}
+}
+
+func testEndToEndQueryStreaming(t *testing.T, workers int) {
 	st := tpch.GenLineitem(0.002, 7)
 	want := tpch.Q1HyPer(st, tpch.Q1Cutoff)
 
-	sess, err := advm.NewSession(advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	sess, err := advm.NewSession(
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}),
+		advm.WithParallelism(workers))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := sess.Query(t.Context(), advm.Scan(st,
-		"l_returnflag", "l_linestatus", "l_quantity",
-		"l_extendedprice", "l_discount", "l_tax", "l_shipdate").
-		Filter(fmt.Sprintf(`(\d -> d <= %d)`, tpch.Q1Cutoff), "l_shipdate").
-		Compute("disc_price", `(\p d -> p * (1.0 - d))`, advm.F64, "l_extendedprice", "l_discount").
-		Compute("charge", `(\dp t -> dp * (1.0 + t))`, advm.F64, "disc_price", "l_tax").
-		Aggregate([]string{"l_returnflag", "l_linestatus"},
-			advm.Agg{Func: advm.AggSum, Col: "l_quantity", As: "sum_qty"},
-			advm.Agg{Func: advm.AggSum, Col: "l_extendedprice", As: "sum_base_price"},
-			advm.Agg{Func: advm.AggSum, Col: "disc_price", As: "sum_disc_price"},
-			advm.Agg{Func: advm.AggSum, Col: "charge", As: "sum_charge"},
-			advm.Agg{Func: advm.AggAvg, Col: "l_quantity", As: "avg_qty"},
-			advm.Agg{Func: advm.AggAvg, Col: "l_extendedprice", As: "avg_price"},
-			advm.Agg{Func: advm.AggAvg, Col: "l_discount", As: "avg_disc"},
-			advm.Agg{Func: advm.AggCount, As: "count_order"}))
+	defer sess.Close()
+	rows, err := sess.Query(t.Context(), tpch.PlanQ1(st))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,20 +50,31 @@ type Scan struct {
 
 // NewScan creates a scan over the named columns of store.
 func NewScan(store vector.Store, columns ...string) (*Scan, error) {
-	s := &Scan{store: store, chunkLen: vector.DefaultChunkLen}
+	cols, schema, err := resolveColumns(store, columns)
+	if err != nil {
+		return nil, err
+	}
+	return &Scan{store: store, chunkLen: vector.DefaultChunkLen, cols: cols, schema: schema}, nil
+}
+
+// resolveColumns maps column names (all columns when none are given) onto
+// store indexes and the corresponding output schema.
+func resolveColumns(store vector.Store, columns []string) ([]int, []ColInfo, error) {
 	sch := store.Schema()
 	if len(columns) == 0 {
 		columns = sch.Names
 	}
+	cols := make([]int, 0, len(columns))
+	schema := make([]ColInfo, 0, len(columns))
 	for _, name := range columns {
 		idx := sch.ColumnIndex(name)
 		if idx < 0 {
-			return nil, fmt.Errorf("engine: scan column %q not in schema %v", name, sch.Names)
+			return nil, nil, fmt.Errorf("engine: scan column %q not in schema %v", name, sch.Names)
 		}
-		s.cols = append(s.cols, idx)
-		s.schema = append(s.schema, ColInfo{Name: name, Kind: sch.Kinds[idx]})
+		cols = append(cols, idx)
+		schema = append(schema, ColInfo{Name: name, Kind: sch.Kinds[idx]})
 	}
-	return s, nil
+	return cols, schema, nil
 }
 
 // SetChunkLen overrides the scan's chunk length (default

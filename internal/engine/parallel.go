@@ -1,0 +1,319 @@
+// Morsel-parallel query execution: the exchange operator of the paper's
+// intra-query parallelism story ([15], morsel-driven parallelism). A table's
+// row space is split into morsels dispatched dynamically to worker copies of
+// a scan→filter/compute pipeline; the exchange re-emits the workers' chunks
+// in table order, so everything downstream — including floating-point
+// aggregation — observes exactly the row order of serial execution and
+// produces bit-identical results.
+
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/morsel"
+	"repro/internal/vector"
+)
+
+// PartScan is a table scan restricted to a settable row window [lo, hi).
+// The exchange resets the window once per dispatched morsel, so one PartScan
+// serves a whole worker pipeline for the lifetime of a query. Unlike Scan it
+// allocates fresh column buffers for every chunk: its chunks cross goroutine
+// boundaries and must not be overwritten while a consumer still reads them.
+type PartScan struct {
+	store    vector.Store
+	cols     []int
+	schema   []ColInfo
+	chunkLen int
+	pos, hi  int
+}
+
+// NewPartScan creates a windowed scan over the named columns of store (all
+// columns when none are given). The window starts empty; SetRange arms it.
+func NewPartScan(store vector.Store, columns ...string) (*PartScan, error) {
+	cols, schema, err := resolveColumns(store, columns)
+	if err != nil {
+		return nil, err
+	}
+	return &PartScan{store: store, chunkLen: vector.DefaultChunkLen, cols: cols, schema: schema}, nil
+}
+
+// SetChunkLen overrides the scan's chunk length (default
+// vector.DefaultChunkLen).
+func (s *PartScan) SetChunkLen(n int) *PartScan {
+	if n > 0 {
+		s.chunkLen = n
+	}
+	return s
+}
+
+// SetRange arms the scan to produce rows [lo, hi).
+func (s *PartScan) SetRange(lo, hi int) {
+	s.pos, s.hi = lo, hi
+}
+
+// Schema implements Operator.
+func (s *PartScan) Schema() []ColInfo { return s.schema }
+
+// Open implements Operator. It does not reset the window: ranges are owned
+// by SetRange callers.
+func (s *PartScan) Open(ctx context.Context) error { return ctx.Err() }
+
+// Next implements Operator.
+func (s *PartScan) Next(ctx context.Context) (*vector.Chunk, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := s.hi - s.pos
+	if n <= 0 {
+		return nil, nil
+	}
+	if n > s.chunkLen {
+		n = s.chunkLen
+	}
+	bufs := make([]*vector.Vector, len(s.cols))
+	for i, ci := range s.cols {
+		bufs[i] = vector.NewLen(s.store.Schema().Kinds[ci], n)
+	}
+	got := s.store.Scan(s.pos, n, s.cols, bufs)
+	if got == 0 {
+		return nil, nil
+	}
+	s.pos += got
+	c := vector.NewChunk()
+	for i, info := range s.schema {
+		c.Add(info.Name, bufs[i])
+	}
+	return c, nil
+}
+
+// Close implements Operator.
+func (s *PartScan) Close() error { return nil }
+
+// exMorsel is one morsel's worth of finished chunks, tagged with the
+// morsel's dense sequence number for order-preserving re-emission.
+type exMorsel struct {
+	seq    int
+	chunks []*vector.Chunk
+}
+
+// Exchange fans a scan→filter/compute pipeline out over worker copies fed by
+// dynamically dispatched morsels, and merges their output back into one
+// ordered chunk stream. It is an Operator, so anything that consumes chunks
+// — aggregations, joins, the public cursor — parallelizes transparently.
+//
+// Chunks are re-emitted in table order (morsel sequence order), which makes
+// the merged stream byte-identical to a serial scan of the same pipeline:
+// order-sensitive consumers such as floating-point SUM see the same addition
+// order. Workers still absorb skew dynamically; only the emission is
+// sequenced.
+type Exchange struct {
+	store     vector.Store
+	workers   int
+	morselLen int
+
+	schema []ColInfo
+	leaves []*PartScan
+	pipes  []Operator
+
+	out      chan exMorsel
+	quit     chan struct{}
+	quitOnce *sync.Once
+	done     chan struct{}
+	opened   bool
+
+	mu     sync.Mutex
+	runErr error
+	stats  morsel.Stats
+
+	pending map[int][]*vector.Chunk
+	queue   []*vector.Chunk
+	nextSeq int
+}
+
+// NewExchange builds an exchange over store with workers parallel pipelines.
+// build is called once per worker with that worker's scan leaf and must
+// return the pipeline to run on top of it (the leaf itself for a bare
+// parallel scan). Each worker gets private operator instances — and thus
+// private expression VMs — so no cross-worker synchronization happens on the
+// hot path.
+func NewExchange(store vector.Store, columns []string, workers int,
+	build func(worker int, leaf Operator) (Operator, error)) (*Exchange, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("engine: exchange needs ≥ 1 worker, got %d", workers)
+	}
+	e := &Exchange{store: store, workers: workers, morselLen: morsel.DefaultMorselLen}
+	for w := 0; w < workers; w++ {
+		leaf, err := NewPartScan(store, columns...)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := build(w, leaf)
+		if err != nil {
+			return nil, err
+		}
+		e.leaves = append(e.leaves, leaf)
+		e.pipes = append(e.pipes, pipe)
+	}
+	e.schema = e.pipes[0].Schema()
+	return e, nil
+}
+
+// SetChunkLen overrides the chunk length of every worker's scan leaf.
+func (e *Exchange) SetChunkLen(n int) *Exchange {
+	for _, leaf := range e.leaves {
+		leaf.SetChunkLen(n)
+	}
+	return e
+}
+
+// SetMorselLen overrides the dispatch granularity (default
+// morsel.DefaultMorselLen).
+func (e *Exchange) SetMorselLen(n int) *Exchange {
+	if n > 0 {
+		e.morselLen = n
+	}
+	return e
+}
+
+// Workers returns the configured worker count.
+func (e *Exchange) Workers() int { return e.workers }
+
+// Schema implements Operator.
+func (e *Exchange) Schema() []ColInfo { return e.schema }
+
+// Open implements Operator: it opens every worker pipeline and starts the
+// morsel dispatcher.
+func (e *Exchange) Open(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for w, pipe := range e.pipes {
+		e.leaves[w].SetRange(0, 0)
+		if err := pipe.Open(ctx); err != nil {
+			return err
+		}
+	}
+	rows := e.store.Rows()
+	e.nextSeq = 0
+	e.pending = make(map[int][]*vector.Chunk)
+	e.queue = nil
+	e.runErr = nil
+	e.out = make(chan exMorsel, e.workers)
+	e.quit = make(chan struct{})
+	e.quitOnce = new(sync.Once)
+	e.done = make(chan struct{})
+	e.opened = true
+	go e.produce(ctx, rows)
+	return nil
+}
+
+// produce drives morsel.Run over the worker pipelines and feeds the ordered
+// merge. It owns the out channel: closing it signals end of production.
+func (e *Exchange) produce(ctx context.Context, rows int) {
+	defer close(e.done)
+	st := morsel.RunInstrumented(rows, morsel.Options{Workers: e.workers, MorselLen: e.morselLen},
+		func(worker, lo, hi int) {
+			select {
+			case <-e.quit:
+				return // drain the remaining dispatch cheaply after a failure
+			default:
+			}
+			e.leaves[worker].SetRange(lo, hi)
+			var chunks []*vector.Chunk
+			for {
+				c, err := e.pipes[worker].Next(ctx)
+				if err != nil {
+					e.fail(err)
+					return
+				}
+				if c == nil {
+					break
+				}
+				chunks = append(chunks, c)
+			}
+			select {
+			case e.out <- exMorsel{seq: lo / e.morselLen, chunks: chunks}:
+			case <-e.quit:
+			}
+		})
+	e.mu.Lock()
+	e.stats = st
+	e.mu.Unlock()
+	close(e.out)
+}
+
+// fail records the first worker error and unblocks everyone.
+func (e *Exchange) fail(err error) {
+	e.mu.Lock()
+	if e.runErr == nil {
+		e.runErr = err
+	}
+	e.mu.Unlock()
+	e.quitOnce.Do(func() { close(e.quit) })
+}
+
+// Err returns the first worker error, if any.
+func (e *Exchange) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runErr
+}
+
+// Next implements Operator: it returns the workers' chunks in morsel
+// sequence order, buffering out-of-order completions. A worker error or a
+// cancelled ctx surfaces here.
+func (e *Exchange) Next(ctx context.Context) (*vector.Chunk, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for {
+		if len(e.queue) > 0 {
+			c := e.queue[0]
+			e.queue = e.queue[1:]
+			return c, nil
+		}
+		res, ok := <-e.out
+		if !ok {
+			return nil, e.Err()
+		}
+		e.pending[res.seq] = res.chunks
+		for {
+			chunks, ready := e.pending[e.nextSeq]
+			if !ready {
+				break
+			}
+			delete(e.pending, e.nextSeq)
+			e.nextSeq++
+			e.queue = append(e.queue, chunks...)
+		}
+	}
+}
+
+// Close implements Operator: it stops the dispatcher (draining workers that
+// are mid-push), waits for them to exit, and closes the worker pipelines.
+// Safe to call without draining Next first, and idempotent.
+func (e *Exchange) Close() error {
+	if e.opened {
+		e.opened = false
+		e.quitOnce.Do(func() { close(e.quit) })
+		for range e.out {
+			// Discard: unblocks workers stuck pushing finished morsels.
+		}
+		<-e.done
+	}
+	for _, pipe := range e.pipes {
+		pipe.Close()
+	}
+	return nil
+}
+
+// MorselStats returns the dispatch statistics of the completed run (valid
+// after the stream is drained or closed).
+func (e *Exchange) MorselStats() morsel.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}

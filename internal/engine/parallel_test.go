@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/jit"
+	"repro/internal/vector"
+)
+
+func genTable(t testing.TB, n int, seed int64) *vector.DSMStore {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	st := vector.NewDSMStore(vector.NewSchema("k", vector.I64, "v", vector.I64, "f", vector.F64))
+	for i := 0; i < n; i++ {
+		st.AppendRow(
+			vector.I64Value(rng.Int63n(1000)),
+			vector.I64Value(rng.Int63n(1000)),
+			vector.F64Value(rng.Float64()*100),
+		)
+	}
+	return st
+}
+
+// pipelineOn builds the test pipeline filter(k<700) → compute(v2 = v*3+1) →
+// compute(g = f*1.5) on an arbitrary leaf.
+func pipelineOn(leaf Operator) Operator {
+	f := NewFilter(leaf, `(\k -> k < 700)`, "k").SetJIT(true, jit.Options{CompileLatency: jit.NoCompileLatency})
+	c1 := NewCompute(f, "v2", `(\v -> v * 3 + 1)`, vector.I64, "v").SetJIT(true, jit.Options{CompileLatency: jit.NoCompileLatency})
+	return NewCompute(c1, "g", `(\x -> x * 1.5)`, vector.F64, "f").SetJIT(true, jit.Options{CompileLatency: jit.NoCompileLatency})
+}
+
+// materialize collects every selected row of op into flat slices.
+func materialize(t *testing.T, op Operator) [][]vector.Value {
+	t.Helper()
+	var rows [][]vector.Value
+	if err := Drain(context.Background(), op, func(c *vector.Chunk) error {
+		cc := c
+		if c.Sel() != nil {
+			cc = c.Condense()
+		}
+		for r := 0; r < cc.Len(); r++ {
+			var row []vector.Value
+			for i := 0; i < cc.Width(); i++ {
+				row = append(row, cc.Col(i).Get(r))
+			}
+			rows = append(rows, row)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestExchangeMatchesSerialOrder: the exchange must produce exactly the
+// serial pipeline's rows, in the serial row order, for any worker count and
+// morsel size.
+func TestExchangeMatchesSerialOrder(t *testing.T) {
+	st := genTable(t, 100_003, 1) // deliberately not a multiple of any chunk/morsel size
+	serialScan, err := NewScan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := materialize(t, pipelineOn(serialScan))
+	if len(want) == 0 {
+		t.Fatal("empty baseline")
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, morselLen := range []int{4096, 16384, 1 << 20} {
+			t.Run(fmt.Sprintf("workers=%d/morsel=%d", workers, morselLen), func(t *testing.T) {
+				ex, err := NewExchange(st, nil, workers, func(_ int, leaf Operator) (Operator, error) {
+					return pipelineOn(leaf), nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ex.SetMorselLen(morselLen)
+				got := materialize(t, ex)
+				if len(got) != len(want) {
+					t.Fatalf("rows = %d, want %d", len(got), len(want))
+				}
+				for i := range want {
+					for c := range want[i] {
+						if !got[i][c].Equal(want[i][c]) {
+							t.Fatalf("row %d col %d = %v, want %v", i, c, got[i][c], want[i][c])
+						}
+					}
+				}
+				if m := ex.MorselStats().Rows(); m != int64(st.Rows()) {
+					t.Fatalf("morsel stats cover %d rows, want %d", m, st.Rows())
+				}
+			})
+		}
+	}
+}
+
+// TestExchangeAggregation: a hash aggregation over the exchange must agree
+// with the serial plan bit-for-bit, including float sums (order-sensitive).
+func TestExchangeAggregation(t *testing.T) {
+	st := genTable(t, 60_000, 2)
+	aggs := []Aggregate{
+		{Func: AggSum, Col: "g", As: "sum_g"},
+		{Func: AggSum, Col: "v2", As: "sum_v2"},
+		{Func: AggCount, As: "n"},
+	}
+	serialScan, err := NewScan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := materialize(t, NewHashAgg(pipelineOn(serialScan), []string{"k"}, aggs))
+
+	ex, err := NewExchange(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
+		return pipelineOn(leaf), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := materialize(t, NewHashAgg(ex, []string{"k"}, aggs))
+	if len(got) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for c := range want[i] {
+			if !got[i][c].Equal(want[i][c]) {
+				t.Fatalf("group %d col %d = %v, want %v (float sums must be bit-identical)", i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+}
+
+// TestExchangeCancellation: cancelling the context mid-stream must surface
+// the context error from Next and leave Close deadlock-free.
+func TestExchangeCancellation(t *testing.T) {
+	st := genTable(t, 200_000, 3)
+	ex, err := NewExchange(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
+		return pipelineOn(leaf), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.SetMorselLen(4096)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := ex.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	var got error
+	for i := 0; i < 1000; i++ {
+		c, err := ex.Next(ctx)
+		if err != nil {
+			got = err
+			break
+		}
+		if c == nil {
+			break
+		}
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Fatalf("Next after cancel = %v, want context.Canceled", got)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeEarlyClose: closing without draining must not leak or block
+// the worker goroutines.
+func TestExchangeEarlyClose(t *testing.T) {
+	st := genTable(t, 500_000, 4)
+	ex, err := NewExchange(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
+		return pipelineOn(leaf), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.SetMorselLen(4096)
+	ctx := context.Background()
+	if err := ex.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeEmptyTable: zero rows means an immediately exhausted stream.
+func TestExchangeEmptyTable(t *testing.T) {
+	st := vector.NewDSMStore(vector.NewSchema("k", vector.I64, "v", vector.I64, "f", vector.F64))
+	ex, err := NewExchange(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
+		return pipelineOn(leaf), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountRows(context.Background(), ex)
+	if err != nil || n != 0 {
+		t.Fatalf("CountRows = %d, %v", n, err)
+	}
+}
+
+// TestPartScanWindow: the windowed scan honors [lo, hi) and chunking.
+func TestPartScanWindow(t *testing.T) {
+	st := genTable(t, 10_000, 5)
+	ps, err := NewPartScan(st, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.SetChunkLen(128)
+	ps.SetRange(1000, 1500)
+	ctx := context.Background()
+	if err := ps.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	total, chunks := 0, 0
+	for {
+		c, err := ps.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil {
+			break
+		}
+		total += c.Len()
+		chunks++
+		want := st.Col(1).I64()[1000+total-c.Len()]
+		if got := c.MustColumn("v").I64()[0]; got != want {
+			t.Fatalf("first row of chunk = %d, want %d", got, want)
+		}
+	}
+	if total != 500 || chunks != 4 {
+		t.Fatalf("scanned %d rows in %d chunks, want 500 in 4", total, chunks)
+	}
+}

@@ -34,13 +34,30 @@ func (o Options) normalize() Options {
 
 // Run processes [0, n) with fn(worker, lo, hi) over dynamically dispatched
 // morsels. fn is called concurrently from Workers goroutines; worker
-// identifies the calling worker for thread-local state.
+// identifies the calling worker for thread-local state. Every call receives
+// at most MorselLen rows and lo is always a multiple of MorselLen, so
+// lo/MorselLen is a dense morsel sequence number — the engine's exchange
+// operator relies on it to re-emit results in table order.
 func Run(n int, opt Options, fn func(worker, lo, hi int)) {
 	opt = opt.normalize()
 	if n <= 0 {
 		return
 	}
-	if opt.Workers == 1 || n <= opt.MorselLen {
+	if opt.Workers == 1 {
+		// Sequential path. This used to hand the whole index space to fn as
+		// one giant morsel, which silently broke the per-call contract above:
+		// callers that bound work (cancellation checks, skew statistics,
+		// sequence numbering) per morsel saw a single unbounded call.
+		for lo := 0; lo < n; lo += opt.MorselLen {
+			hi := lo + opt.MorselLen
+			if hi > n {
+				hi = n
+			}
+			fn(0, lo, hi)
+		}
+		return
+	}
+	if n <= opt.MorselLen {
 		fn(0, 0, n)
 		return
 	}
@@ -89,6 +106,24 @@ func Fold[T any](n int, opt Options, mk func() T, fold func(acc T, lo, hi int) T
 type Stats struct {
 	MorselsPerWorker []int64
 	RowsPerWorker    []int64
+}
+
+// Morsels returns the total number of dispatched morsels.
+func (s Stats) Morsels() int64 {
+	var n int64
+	for _, m := range s.MorselsPerWorker {
+		n += m
+	}
+	return n
+}
+
+// Rows returns the total number of dispatched rows.
+func (s Stats) Rows() int64 {
+	var n int64
+	for _, r := range s.RowsPerWorker {
+		n += r
+	}
+	return n
 }
 
 // RunInstrumented is Run plus per-worker dispatch statistics.

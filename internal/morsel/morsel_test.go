@@ -36,6 +36,35 @@ func TestRunSmallInputSingleCall(t *testing.T) {
 	Run(0, Options{}, func(_, _, _ int) { t.Fatal("n=0 must not call fn") })
 }
 
+// TestRunSingleWorkerKeepsMorselGranularity: Workers=1 used to receive the
+// whole index space as one giant morsel, breaking the per-call contract
+// (bounded ranges, aligned lo, dense sequence numbers) that the engine's
+// exchange path depends on.
+func TestRunSingleWorkerKeepsMorselGranularity(t *testing.T) {
+	n := 10*1024 + 37
+	var calls, rows int
+	Run(n, Options{Workers: 1, MorselLen: 1024}, func(w, lo, hi int) {
+		if w != 0 {
+			t.Fatalf("worker = %d", w)
+		}
+		if lo%1024 != 0 || hi-lo > 1024 {
+			t.Fatalf("morsel [%d,%d) violates alignment/bounds", lo, hi)
+		}
+		if lo != calls*1024 {
+			t.Fatalf("morsel %d starts at %d, want sequential dispatch", calls, lo)
+		}
+		calls++
+		rows += hi - lo
+	})
+	if calls != 11 || rows != n {
+		t.Fatalf("calls=%d rows=%d, want 11 morsels covering %d rows", calls, rows, n)
+	}
+	st := RunInstrumented(n, Options{Workers: 1, MorselLen: 1024}, func(_, _, _ int) {})
+	if st.Morsels() != 11 || st.Rows() != int64(n) {
+		t.Fatalf("instrumented: morsels=%d rows=%d", st.Morsels(), st.Rows())
+	}
+}
+
 func TestFoldSum(t *testing.T) {
 	n := 500_000
 	data := make([]int64, n)

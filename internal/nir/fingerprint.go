@@ -1,0 +1,137 @@
+package nir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"repro/internal/vector"
+)
+
+// Fingerprint is a canonical content hash of a normalized program. Two
+// programs receive the same fingerprint exactly when they execute the same
+// instruction stream over the same externals: register and variable *names*
+// do not participate (they are debug metadata), so differently-spelled
+// sources that normalize to the same IR — the common case for generated
+// queries — collapse onto one fingerprint. The engine's prepared-statement
+// cache keys shared VMs by it, which is what lets concurrent sessions pool
+// their profiling data and JIT traces.
+type Fingerprint [sha256.Size]byte
+
+// String renders the full fingerprint as hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short renders an abbreviated fingerprint for logs and reports.
+func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
+
+// Fingerprint computes the program's canonical fingerprint. The encoding is
+// injective over the hashed fields: every variable-length component is
+// length-prefixed and every node carries a tag, so structurally different
+// programs cannot collide by concatenation.
+func (p *Program) Fingerprint() Fingerprint {
+	w := fpWriter{h: sha256.New()}
+	w.uint(uint64(len(p.Regs)))
+	for _, ri := range p.Regs {
+		w.uint(uint64(ri.Kind))
+		w.bool(ri.Scalar)
+		// ri.Name is intentionally excluded: source-level spelling must not
+		// split the cache.
+	}
+	w.uint(uint64(len(p.Externals)))
+	for _, e := range p.Externals {
+		// External names are semantic — they are the binding contract with
+		// the host — so they do participate. Normalize sorts them, keeping
+		// the order canonical.
+		w.str(e.Name)
+		w.uint(uint64(e.Kind))
+	}
+	w.nodes(p.Body)
+	var f Fingerprint
+	w.h.Sum(f[:0])
+	return f
+}
+
+// fpWriter streams canonically encoded fields into the hash.
+type fpWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (w *fpWriter) uint(x uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], x)
+	w.h.Write(w.buf[:])
+}
+
+func (w *fpWriter) int(x int64) { w.uint(uint64(x)) }
+
+func (w *fpWriter) bool(b bool) {
+	if b {
+		w.uint(1)
+	} else {
+		w.uint(0)
+	}
+}
+
+func (w *fpWriter) str(s string) {
+	w.uint(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *fpWriter) value(v vector.Value) {
+	w.uint(uint64(v.Kind))
+	w.bool(v.B)
+	w.int(v.I)
+	w.uint(math.Float64bits(v.F))
+	w.str(v.S)
+}
+
+// Node tags of the canonical encoding.
+const (
+	fpInstr = iota + 1
+	fpLoop
+	fpIf
+	fpBreak
+	fpEnd // closes a node list
+)
+
+func (w *fpWriter) nodes(nodes []Node) {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *InstrNode:
+			w.uint(fpInstr)
+			w.instr(n.Instr)
+		case *LoopNode:
+			w.uint(fpLoop)
+			w.nodes(n.Body)
+		case *IfNode:
+			w.uint(fpIf)
+			w.int(int64(n.Cond))
+			w.nodes(n.Then)
+			w.nodes(n.Else)
+		case *BreakNode:
+			w.uint(fpBreak)
+		}
+	}
+	w.uint(fpEnd)
+}
+
+func (w *fpWriter) instr(in *Instr) {
+	w.uint(uint64(in.Op))
+	w.int(int64(in.Dst))
+	w.int(int64(in.A))
+	w.int(int64(in.B))
+	w.int(int64(in.C))
+	w.uint(uint64(in.Arith))
+	w.uint(uint64(in.Cmp))
+	w.uint(uint64(in.Unary))
+	w.uint(uint64(in.Kind))
+	w.value(in.Imm)
+	w.str(in.Data)
+	w.uint(uint64(in.Merge))
+	w.uint(uint64(in.Conf))
+	// in.ID is excluded: it is a dense renumbering of this same syntactic
+	// order, so it adds nothing and would only be another thing to keep
+	// canonical.
+}

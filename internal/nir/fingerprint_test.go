@@ -1,0 +1,136 @@
+package nir
+
+import (
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/vector"
+)
+
+func mustFingerprint(t *testing.T, src string, ext map[string]vector.Kind) Fingerprint {
+	t.Helper()
+	ast, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Normalize(ast, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Fingerprint()
+}
+
+const fpLoopSrc = `
+mut i
+i := 0
+loop {
+  let xs = read i data
+  if len(xs) == 0 then break
+  write out i (map (\x -> x * 2 + 1) xs)
+  i := i + len(xs)
+}
+`
+
+var fpKinds = map[string]vector.Kind{"data": vector.I64, "out": vector.I64}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := mustFingerprint(t, fpLoopSrc, fpKinds)
+	b := mustFingerprint(t, fpLoopSrc, fpKinds)
+	if a != b {
+		t.Fatalf("same source hashed twice: %s vs %s", a, b)
+	}
+	if a == (Fingerprint{}) {
+		t.Fatal("zero fingerprint")
+	}
+	if len(a.String()) != 64 || len(a.Short()) != 12 {
+		t.Fatalf("rendering: %q / %q", a.String(), a.Short())
+	}
+}
+
+// TestFingerprintIgnoresSpelling: variable names and formatting are debug
+// metadata; programs that normalize to the same instruction stream must
+// share a fingerprint so the prepared-statement cache unifies them.
+func TestFingerprintIgnoresSpelling(t *testing.T) {
+	respelled := `
+mut cursor
+cursor := 0
+loop {
+  let chunk = read cursor data
+  if len(chunk) == 0 then break
+  write out cursor (map (\element -> element * 2 + 1) chunk)
+  cursor := cursor + len(chunk)
+}
+`
+	a := mustFingerprint(t, fpLoopSrc, fpKinds)
+	b := mustFingerprint(t, respelled, fpKinds)
+	if a != b {
+		t.Fatalf("respelled program fingerprints differ: %s vs %s", a.Short(), b.Short())
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := mustFingerprint(t, fpLoopSrc, fpKinds)
+	cases := []struct {
+		name  string
+		src   string
+		kinds map[string]vector.Kind
+	}{
+		{"different constant", `
+mut i
+i := 0
+loop {
+  let xs = read i data
+  if len(xs) == 0 then break
+  write out i (map (\x -> x * 2 + 2) xs)
+  i := i + len(xs)
+}
+`, fpKinds},
+		{"different operator", `
+mut i
+i := 0
+loop {
+  let xs = read i data
+  if len(xs) == 0 then break
+  write out i (map (\x -> x * 2 - 1) xs)
+  i := i + len(xs)
+}
+`, fpKinds},
+		{"different external name", fpLoopSrc, nil}, // kinds filled below
+		{"different external kind", fpLoopSrc, map[string]vector.Kind{"data": vector.I32, "out": vector.I64}},
+	}
+	cases[2].src = `
+mut i
+i := 0
+loop {
+  let xs = read i input
+  if len(xs) == 0 then break
+  write out i (map (\x -> x * 2 + 1) xs)
+  i := i + len(xs)
+}
+`
+	cases[2].kinds = map[string]vector.Kind{"input": vector.I64, "out": vector.I64}
+	for _, c := range cases {
+		if got := mustFingerprint(t, c.src, c.kinds); got == base {
+			t.Errorf("%s: fingerprint collided with base", c.name)
+		}
+	}
+}
+
+// TestFingerprintExternalOrderCanonical: the iteration order of the
+// externals map must not leak into the fingerprint (Normalize sorts them).
+func TestFingerprintExternalOrderCanonical(t *testing.T) {
+	src := `
+let a = read 0 x 16
+let b = read 0 y 16
+write o 0 (map (\p q -> p + q) a b)
+`
+	kinds := map[string]vector.Kind{"x": vector.I64, "y": vector.I64, "o": vector.I64}
+	want := mustFingerprint(t, src, kinds)
+	for i := 0; i < 16; i++ {
+		// Fresh maps exercise different iteration orders.
+		k := map[string]vector.Kind{"o": vector.I64, "y": vector.I64, "x": vector.I64}
+		if got := mustFingerprint(t, src, k); got != want {
+			t.Fatalf("fingerprint depends on externals map order")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/advm"
+)
+
+// This file builds the TPC-H reference queries through the *public* advm
+// plan builder — the single source of truth for every harness that drives
+// Q1/Q6 end-to-end over the embedding API (integration tests, the E15
+// benchmarks, advm-bench's perf records), so the measured and the verified
+// query cannot drift apart.
+
+// PlanQ1 builds the full TPC-H Q1 (filter → disc_price → charge → grouped
+// aggregation, all eight aggregates) as a public plan over a generated
+// lineitem table. Column names match Q1Engine's output.
+func PlanQ1(st *advm.Table) *advm.Plan {
+	return advm.Scan(st,
+		"l_returnflag", "l_linestatus", "l_quantity",
+		"l_extendedprice", "l_discount", "l_tax", "l_shipdate").
+		Filter(fmt.Sprintf(`(\d -> d <= %d)`, Q1Cutoff), "l_shipdate").
+		Compute("disc_price", `(\p d -> p * (1.0 - d))`, advm.F64, "l_extendedprice", "l_discount").
+		Compute("charge", `(\dp t -> dp * (1.0 + t))`, advm.F64, "disc_price", "l_tax").
+		Aggregate([]string{"l_returnflag", "l_linestatus"},
+			advm.Agg{Func: advm.AggSum, Col: "l_quantity", As: "sum_qty"},
+			advm.Agg{Func: advm.AggSum, Col: "l_extendedprice", As: "sum_base_price"},
+			advm.Agg{Func: advm.AggSum, Col: "disc_price", As: "sum_disc_price"},
+			advm.Agg{Func: advm.AggSum, Col: "charge", As: "sum_charge"},
+			advm.Agg{Func: advm.AggAvg, Col: "l_quantity", As: "avg_qty"},
+			advm.Agg{Func: advm.AggAvg, Col: "l_extendedprice", As: "avg_price"},
+			advm.Agg{Func: advm.AggAvg, Col: "l_discount", As: "avg_disc"},
+			advm.Agg{Func: advm.AggCount, As: "count_order"})
+}
+
+// PlanQ6 builds TPC-H Q6 (three filters → revenue → global sum) as a public
+// plan.
+func PlanQ6(st *advm.Table, p Q6Params) *advm.Plan {
+	return advm.Scan(st, "l_quantity", "l_extendedprice", "l_discount", "l_shipdate").
+		Filter(fmt.Sprintf(`(\d -> (d >= %d) && (d < %d))`, p.ShipLo, p.ShipHi), "l_shipdate").
+		Filter(fmt.Sprintf(`(\x -> (x >= %v) && (x <= %v))`, p.DiscLo, p.DiscHi), "l_discount").
+		Filter(fmt.Sprintf(`(\q -> q < %d)`, p.QtyMax), "l_quantity").
+		Compute("revenue", `(\p d -> p * d)`, advm.F64, "l_extendedprice", "l_discount").
+		Aggregate(nil, advm.Agg{Func: advm.AggSum, Col: "revenue", As: "revenue"})
+}
