@@ -45,10 +45,12 @@
 //	}
 //	err = rows.Err()
 //
-// With WithParallelism(n), eligible scan→filter/compute pipelines execute
-// across n workers over dynamically dispatched morsels; results are merged
-// back in table order, so query output is byte-identical to serial
-// execution.
+// With WithParallelism(n), whole plan trees execute across n workers over
+// dynamically dispatched morsels: scan→filter/compute chains fan out behind
+// an order-preserving exchange, hash joins build partitioned shared tables
+// in parallel and probe them from every worker, and grouped aggregations
+// fold into worker-local tables merged deterministically. Query output is
+// byte-identical to serial execution at every worker count.
 //
 // Session.Stats and Engine.Stats expose the observability surface: the
 // Figure-1 state machine transition log, the per-instruction profile,
@@ -252,10 +254,12 @@ func classifyCtx(ctx context.Context, err error) error {
 // a cancelled ctx — checked at every chunk — surfaces as ErrCancelled from
 // Rows.Err.
 //
-// With WithParallelism(n) > 1, eligible scan→filter/compute chains of the
-// plan execute across up to n workers drawn from the engine's pool (fewer
-// when the pool is contended), merged back in table order: results are
-// byte-identical to serial execution. The workers are released when the
+// With WithParallelism(n) > 1, the plan's streaming segments — scans with
+// their filters, computes and join probes — execute across up to n workers
+// drawn from the engine's pool (fewer when the pool is contended), join
+// build sides hash in parallel into shared tables, and grouped aggregations
+// fold worker-locally; everything merges back deterministically, so results
+// are byte-identical to serial execution. The workers are released when the
 // cursor is closed or exhausted.
 //
 // The returned Rows must be used from a single goroutine; the Session

@@ -43,6 +43,9 @@ func chunkLoopBindings(n int) (map[string]*advm.Vector, []int64) {
 func TestSessionRunCompilesHotLoop(t *testing.T) {
 	sess := advm.MustCompile(chunkLoopSrc, chunkLoopKinds,
 		advm.WithSyncOptimizer(true),
+		// Micro-adaptive revert off: on a loaded host the heuristic can
+		// deoptimize the traces this test asserts are injected.
+		advm.WithMicroAdaptive(false),
 		advm.WithHotThresholds(2, time.Hour),
 		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}),
 	)

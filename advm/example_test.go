@@ -178,6 +178,48 @@ func ExampleWithParallelism() {
 	// Output: 433342 33334
 }
 
+// ExamplePlan_Join builds a join → grouped aggregation → top-k plan. Under
+// WithParallelism the probe side fans out across morsel workers, the build
+// side is hashed in parallel into a shared read-only table, and the
+// aggregation folds worker-locally — with results byte-identical to serial
+// execution at every worker count.
+func ExamplePlan_Join() {
+	fact := advm.NewTable(advm.NewSchema("fk", advm.I64, "amount", advm.I64))
+	for i := int64(0); i < 10_000; i++ {
+		fact.AppendRow(advm.I64Value(i%100), advm.I64Value(i%13))
+	}
+	dim := advm.NewTable(advm.NewSchema("dk", advm.I64, "region", advm.I64))
+	for i := int64(0); i < 100; i++ {
+		dim.AppendRow(advm.I64Value(i), advm.I64Value(i%3))
+	}
+
+	sess, _ := advm.NewSession(advm.WithParallelism(4))
+	defer sess.Close()
+	plan := advm.Scan(fact, "fk", "amount").
+		Join(advm.Scan(dim, "dk", "region"), "fk", "dk", "region").
+		Aggregate([]string{"region"},
+			advm.Agg{Func: advm.AggSum, Col: "amount", As: "total"},
+			advm.Agg{Func: advm.AggCount, As: "n"}).
+		TopK(2, advm.Order{Col: "total", Desc: true})
+	rows, err := sess.Query(context.Background(), plan)
+	if err != nil {
+		fmt.Println("query failed:", err)
+		return
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var region, total, n int64
+		if err := rows.Scan(&region, &total, &n); err != nil {
+			fmt.Println("scan failed:", err)
+			return
+		}
+		fmt.Println(region, total, n)
+	}
+	// Output:
+	// 0 20391 3400
+	// 1 19798 3300
+}
+
 // ExampleErrCancelled shows the typed-error taxonomy: context failures
 // surface as ErrCancelled while keeping the context cause in the chain.
 func ExampleErrCancelled() {

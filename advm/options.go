@@ -146,10 +146,15 @@ func WithPartitionBudget(maxInputs, maxNodes int) Option {
 }
 
 // WithParallelism sets how many workers a query may fan out across
-// (default 1 = serial). Eligible scan→filter/compute pipelines then execute
-// morsel-parallel: the table's row space is dispatched dynamically to n
-// worker copies of the pipeline and the results are merged back in table
-// order, so query output stays byte-identical to serial execution.
+// (default 1 = serial). Streaming plan segments — scans with their filters,
+// computes and hash-join probes — then execute morsel-parallel: the table's
+// row space is dispatched dynamically to n worker copies of the pipeline.
+// Pipeline breakers parallelize too: join build sides are materialized and
+// hashed over morsels into shared read-only tables, and grouped
+// aggregations fold into worker-local partitioned hash tables merged
+// deterministically. Results stay byte-identical to serial execution at
+// every worker count — floating-point aggregates included — because chunks
+// merge in table order and every group's values accumulate in table order.
 //
 // On an Engine, the option both sets the default for its sessions and sizes
 // the shared worker pool (capacity = max(n, GOMAXPROCS)); on a session it

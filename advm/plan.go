@@ -1,6 +1,8 @@
 package advm
 
 import (
+	"context"
+
 	"repro/internal/engine"
 )
 
@@ -31,7 +33,14 @@ const (
 	AggMin   = engine.AggMin
 	AggMax   = engine.AggMax
 	AggAvg   = engine.AggAvg
+	// AggFirst carries the first value of the column seen for each group in
+	// table order — the way to keep columns that are functionally dependent
+	// on the group keys (any kind, strings included).
+	AggFirst = engine.AggFirst
 )
+
+// Order names one sort column of a TopK plan node (descending when Desc).
+type Order = engine.OrderSpec
 
 // planKind tags the operator a Plan node describes.
 type planKind int
@@ -42,6 +51,7 @@ const (
 	planCompute
 	planAggregate
 	planJoin
+	planTopK
 )
 
 // Plan is a deferred description of a relational operator pipeline. Plans
@@ -80,6 +90,10 @@ type Plan struct {
 	buildSide          *Plan
 	probeKey, buildKey string
 	payload            []string
+
+	// TopK.
+	k  int
+	by []Order
 }
 
 // Scan starts a plan reading the named columns of a table (all columns when
@@ -117,33 +131,70 @@ func (p *Plan) Aggregate(keys []string, aggs ...Agg) *Plan {
 
 // Join hash-joins the plan (probe side) against build on probeKey =
 // buildKey, carrying the named build-side payload columns. The build side
-// is materialized and hashed when the query opens; selective probes
+// is materialized and hashed once when the query opens; selective probes
 // adaptively keep a Bloom filter in front of the hash table.
+//
+// Under WithParallelism(n) > 1 the join parallelizes on both sides: the
+// build side is materialized and hashed over morsels into a partitioned
+// table (worker-local partitions, no contention), and the probe side's
+// worker pipelines each probe the shared read-only table. Build rows are
+// stitched back in table order, so match lists — and therefore the join's
+// output rows — are byte-identical to serial execution.
 func (p *Plan) Join(build *Plan, probeKey, buildKey string, payload ...string) *Plan {
 	return &Plan{kind: planJoin, child: p, buildSide: build, probeKey: probeKey, buildKey: buildKey, payload: payload}
 }
 
-// builder carries per-query instantiation state: the session's options and
-// the granted worker count.
+// TopK keeps the first k rows of the plan's result ordered by the given
+// columns. The sort is stable over the input order, which keeps the result
+// deterministic under ties — parallel and serial executions emit identical
+// bytes.
+func (p *Plan) TopK(k int, by ...Order) *Plan {
+	return &Plan{kind: planTopK, child: p, k: k, by: by}
+}
+
+// builder carries per-query instantiation state: the session's options, the
+// granted worker count, and the shared join tables of this query.
 type builder struct {
 	s         *Session
 	workers   int
-	exchanges int // exchanges instantiated (0 → the grant can be returned)
+	exchanges int // parallel structures instantiated (0 → the grant can be returned)
+	shared    map[*Plan]*engine.SharedJoinTable
+}
+
+// segment walks from p down through streaming stages — filters, computes and
+// join probe sides — to a scan leaf. ok reports whether the walk reached a
+// scan without crossing a pipeline breaker; stages is ordered top-down and
+// may be empty when p itself is the scan.
+func (p *Plan) segment() (stages []*Plan, scan *Plan, ok bool) {
+	q := p
+	for {
+		switch q.kind {
+		case planScan:
+			return stages, q, true
+		case planFilter, planCompute, planJoin:
+			stages = append(stages, q)
+			q = q.child
+		default:
+			return nil, nil, false
+		}
+	}
 }
 
 // build instantiates the subtree rooted at p. With more than one granted
-// worker, the first maximal scan→filter/compute chain becomes a
-// morsel-parallel exchange; everything else (aggregations, joins, any
-// stages above the exchange, and further chains) is built serially on top.
-// Only one exchange per query keeps the fan-out equal to the pool grant —
-// for a join, that is the streaming probe side (built first), not the
-// materialized-once build side.
+// worker, the topmost streaming segment — a scan→filter/compute/probe chain
+// — fans out across morsel-driven workers: under an aggregation it becomes a
+// morsel-parallel aggregation (worker-local partitioned fold), otherwise a
+// morsel-parallel exchange merging chunks back in table order. Join build
+// sides are materialized once per query into shared read-only tables, hashed
+// in parallel when workers are granted; build phases run during Open, before
+// the probe streams, so the fan-out never exceeds the pool grant.
+//
+// Results are byte-identical at every worker count, float aggregates
+// included: exchanges merge in table order, parallel aggregation folds every
+// group's rows in table order, and when a grouped aggregation folds f64 sums
+// the serial fallback disables pre-aggregation so both paths accumulate in
+// exactly the same order.
 func (p *Plan) build(b *builder) (engine.Operator, error) {
-	if b.workers > 1 && b.exchanges == 0 {
-		if op, ok, err := p.buildExchange(b); ok || err != nil {
-			return op, err
-		}
-	}
 	switch p.kind {
 	case planScan:
 		sc, err := engine.NewScan(p.table, p.columns...)
@@ -154,30 +205,80 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 			sc.SetChunkLen(b.s.opt.chunkLen)
 		}
 		return sc, nil
-	case planFilter, planCompute:
+	case planFilter, planCompute, planJoin:
+		if op, ok, err := p.buildExchange(b); ok || err != nil {
+			return op, err
+		}
 		child, err := p.child.build(b)
 		if err != nil {
 			return nil, err
+		}
+		if p.kind == planJoin {
+			shared, err := b.sharedJoin(p)
+			if err != nil {
+				return nil, err
+			}
+			return engine.NewTableProbe(child, shared, p.probeKey, p.payload...)
 		}
 		return p.stageOn(b.s, child), nil
 	case planAggregate:
+		if b.workers > 1 && b.exchanges == 0 {
+			if stages, scan, ok := p.child.segment(); ok {
+				mk, err := b.pipeMaker(stages)
+				if err != nil {
+					return nil, err
+				}
+				pa, err := engine.NewParallelAgg(scan.table, scan.columns, b.workers, mk, p.keys, p.aggs)
+				if err != nil {
+					return nil, err
+				}
+				if b.s.opt.chunkLen > 0 {
+					pa.SetChunkLen(b.s.opt.chunkLen)
+				}
+				b.exchanges++
+				return pa, nil
+			}
+		}
 		child, err := p.child.build(b)
 		if err != nil {
 			return nil, err
 		}
-		return engine.NewHashAgg(child, p.keys, p.aggs), nil
-	case planJoin:
-		probe, err := p.child.build(b)
+		agg := engine.NewHashAgg(child, p.keys, p.aggs)
+		if floatOrderSensitive(child.Schema(), p.aggs) {
+			// f64 sums are order-sensitive: pre-aggregation builds partial-sum
+			// trees whose bytes differ from the parallel fold. Disabling it
+			// keeps WithParallelism(1) byte-identical to WithParallelism(n).
+			agg.SetPreAgg(engine.PreAggOff)
+		}
+		return agg, nil
+	case planTopK:
+		child, err := p.child.build(b)
 		if err != nil {
 			return nil, err
 		}
-		side, err := p.buildSide.build(b)
-		if err != nil {
-			return nil, err
-		}
-		return engine.NewHashJoin(probe, side, p.probeKey, p.buildKey, p.payload...), nil
+		return engine.NewTopK(child, p.k, p.by...)
 	}
 	panic("advm: unknown plan node")
+}
+
+// floatOrderSensitive reports whether any aggregate folds f64 sums, whose
+// result bytes depend on accumulation order. An unresolved child schema is
+// treated as sensitive (the conservative choice).
+func floatOrderSensitive(child []engine.ColInfo, aggs []Agg) bool {
+	for _, a := range aggs {
+		if a.Func != AggSum && a.Func != AggAvg {
+			continue
+		}
+		if len(child) == 0 {
+			return true
+		}
+		for _, ci := range child {
+			if ci.Name == a.Col && ci.Kind == F64 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // stageOn instantiates a filter/compute node on top of child with the
@@ -194,37 +295,117 @@ func (p *Plan) stageOn(s *Session, child engine.Operator) engine.Operator {
 	panic("advm: not a pipeline stage")
 }
 
-// buildExchange recognizes a chain of filters/computes over a table scan
-// rooted at p and instantiates it as a morsel-parallel exchange: every
-// worker gets a private copy of the chain over a windowed scan, and the
-// exchange merges the workers' chunks back in table order. A bare scan is
-// not fanned out (copying rows across workers gains nothing); such subtrees
-// report ok=false and build serially.
-func (p *Plan) buildExchange(b *builder) (engine.Operator, bool, error) {
-	var chain []*Plan // p downward, filters/computes only
-	q := p
-	for q.kind == planFilter || q.kind == planCompute {
-		chain = append(chain, q)
-		q = q.child
+// pipeMaker returns a function instantiating a worker-private copy of the
+// given top-down stage list over a scan leaf. Shared join tables are created
+// once, up front, so every worker probes the same build.
+func (b *builder) pipeMaker(stages []*Plan) (func(int, engine.Operator) (engine.Operator, error), error) {
+	shared := make([]*engine.SharedJoinTable, len(stages))
+	for i, st := range stages {
+		if st.kind == planJoin {
+			s, err := b.sharedJoin(st)
+			if err != nil {
+				return nil, err
+			}
+			shared[i] = s
+		}
 	}
-	if q.kind != planScan || len(chain) == 0 {
+	return func(_ int, leaf engine.Operator) (engine.Operator, error) {
+		op := leaf
+		for i := len(stages) - 1; i >= 0; i-- {
+			st := stages[i]
+			if st.kind == planJoin {
+				tp, err := engine.NewTableProbe(op, shared[i], st.probeKey, st.payload...)
+				if err != nil {
+					return nil, err
+				}
+				op = tp
+				continue
+			}
+			op = st.stageOn(b.s, op)
+		}
+		return op, nil
+	}, nil
+}
+
+// sharedJoin returns the query's shared build-side table for a join node,
+// creating it on first use. With granted workers and a streaming build side
+// the table is materialized and hashed morsel-parallel at Open; otherwise it
+// is collected serially. Either way the table is built exactly once per
+// query and probed read-only by every worker.
+func (b *builder) sharedJoin(p *Plan) (*engine.SharedJoinTable, error) {
+	if s, ok := b.shared[p]; ok {
+		return s, nil
+	}
+	var s *engine.SharedJoinTable
+	if b.workers > 1 {
+		if stages, scan, ok := p.buildSide.segment(); ok {
+			mk, err := b.pipeMaker(stages)
+			if err != nil {
+				return nil, err
+			}
+			// One scratch pipeline resolves the build side's static schema.
+			scratch, err := engine.NewPartScan(scan.table, scan.columns...)
+			if err != nil {
+				return nil, err
+			}
+			probe, err := mk(0, scratch)
+			if err != nil {
+				return nil, err
+			}
+			store, columns := scan.table, scan.columns
+			workers, chunkLen, key := b.workers, b.s.opt.chunkLen, p.buildKey
+			s = engine.NewSharedJoinTable(probe.Schema(), func(ctx context.Context) (*engine.JoinTable, error) {
+				return engine.BuildJoinTableParallel(ctx, store, columns, workers, chunkLen, 0, key, mk)
+			})
+			b.exchanges++
+		}
+	}
+	if s == nil {
+		op, err := p.buildSide.build(b)
+		if err != nil {
+			return nil, err
+		}
+		key := p.buildKey
+		s = engine.NewSharedJoinTable(op.Schema(), func(ctx context.Context) (*engine.JoinTable, error) {
+			rows, err := engine.Collect(ctx, op)
+			if err != nil {
+				return nil, err
+			}
+			return engine.NewJoinTable(rows, key)
+		})
+	}
+	if b.shared == nil {
+		b.shared = map[*Plan]*engine.SharedJoinTable{}
+	}
+	b.shared[p] = s
+	return s, nil
+}
+
+// buildExchange instantiates the streaming segment rooted at p — filters,
+// computes and join probes over a table scan — as a morsel-parallel
+// exchange: every worker gets a private copy of the segment over a windowed
+// scan, and the exchange merges the workers' chunks back in table order. A
+// bare scan is not fanned out (copying rows across workers gains nothing);
+// such subtrees report ok=false and build serially.
+func (p *Plan) buildExchange(b *builder) (engine.Operator, bool, error) {
+	if b.workers <= 1 || b.exchanges > 0 {
 		return nil, false, nil
 	}
-	scan := q
-	ex, err := engine.NewExchange(scan.table, scan.columns, b.workers,
-		func(_ int, leaf engine.Operator) (engine.Operator, error) {
-			op := leaf
-			for i := len(chain) - 1; i >= 0; i-- {
-				op = chain[i].stageOn(b.s, op)
-			}
-			return op, nil
-		})
+	stages, scan, ok := p.segment()
+	if !ok || len(stages) == 0 {
+		return nil, false, nil
+	}
+	b.exchanges++ // claim before nested sharedJoin builds count theirs
+	mk, err := b.pipeMaker(stages)
+	if err != nil {
+		return nil, false, err
+	}
+	ex, err := engine.NewExchange(scan.table, scan.columns, b.workers, mk)
 	if err != nil {
 		return nil, false, err
 	}
 	if b.s.opt.chunkLen > 0 {
 		ex.SetChunkLen(b.s.opt.chunkLen)
 	}
-	b.exchanges++
 	return ex, true, nil
 }

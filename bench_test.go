@@ -6,6 +6,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 	"time"
 
@@ -240,7 +241,7 @@ func BenchmarkExpF3_Partition(b *testing.B) {
 // E1 — TPC-H Q1 strategy comparison ([12] vs [17]).
 
 func BenchmarkExpE1_Q1(b *testing.B) {
-	st := tpch.GenLineitem(0.01, 42)
+	st := benchTable(b, "lineitem", 0.01)
 	cl := tpch.Compact(st)
 	b.Run("tuple_at_a_time_compiled", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -697,12 +698,26 @@ func BenchmarkExpE11_Morsel(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// E15 — morsel-parallel query execution through the public engine API: Q1/Q6
-// serial vs WithParallelism(4). The CI bench smoke job additionally persists
-// these numbers as BENCH_*.json via `advm-bench -benchjson`.
+// E15 — morsel-parallel query execution through the public engine API:
+// Q1/Q6/Q3 serial vs WithParallelism(4). The CI bench smoke job additionally
+// persists these numbers as BENCH_*.json via `advm-bench -benchjson`.
+
+// benchTable loads a pre-generated table from $TPCH_DATA_DIR when the CI job
+// (or a developer) has run `tpch-gen -binary` there, and generates it
+// otherwise — so the bench smoke does not re-derive the tables per binary.
+func benchTable(b *testing.B, table string, sf float64) *vector.DSMStore {
+	b.Helper()
+	st, err := tpch.LoadOrGen(os.Getenv("TPCH_DATA_DIR"), table, sf, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
 
 func BenchmarkExpE15_ParallelQuery(b *testing.B) {
-	st := tpch.GenLineitem(0.02, 42)
+	st := benchTable(b, "lineitem", 0.02)
+	ord := benchTable(b, "orders", 0.02)
+	cust := benchTable(b, "customer", 0.02)
 	eng, err := advm.NewEngine(
 		advm.WithParallelism(4),
 		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
@@ -713,8 +728,9 @@ func BenchmarkExpE15_ParallelQuery(b *testing.B) {
 	plans := map[string]func() *advm.Plan{
 		"q1": func() *advm.Plan { return tpch.PlanQ1(st) },
 		"q6": func() *advm.Plan { return tpch.PlanQ6(st, tpch.DefaultQ6Params()) },
+		"q3": func() *advm.Plan { return tpch.PlanQ3(st, ord, cust, tpch.DefaultQ3Params()) },
 	}
-	for _, q := range []string{"q1", "q6"} {
+	for _, q := range []string{"q1", "q6", "q3"} {
 		for _, workers := range []int{1, 4} {
 			sess, err := eng.Session(advm.WithParallelism(workers))
 			if err != nil {

@@ -44,11 +44,13 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15) or all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for E1/E15")
-	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1.json/BENCH_q6.json perf records into (runs E15 only)")
+	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3.json perf records into (runs E15 only)")
+	data := flag.String("data", os.Getenv("TPCH_DATA_DIR"),
+		"directory of pre-generated TPC-H tables (tpch-gen -binary); generated on the fly when empty or missing")
 	flag.Parse()
 
 	if *benchjson != "" {
-		expE15(*sf, *benchjson)
+		expE15(*sf, *data, *benchjson)
 		return
 	}
 
@@ -83,7 +85,7 @@ func main() {
 		ran = true
 	}
 	if all || *exp == "E15" {
-		expE15(*sf, "")
+		expE15(*sf, *data, "")
 		ran = true
 	}
 	if !ran {
@@ -325,7 +327,10 @@ func expE5() {
 }
 
 // benchRecord is one BENCH_*.json perf record: serial vs parallel ns/op for
-// a query, so future changes have a trajectory to compare against.
+// a query, so future changes have a trajectory to compare against. CalibNs
+// measures a fixed scalar workload on the same host in the same process —
+// the denominator benchdiff uses to compare records taken on machines of
+// different speeds (or under different load) without drowning in noise.
 type benchRecord struct {
 	Benchmark     string  `json:"benchmark"`
 	ScaleFactor   float64 `json:"scale_factor"`
@@ -337,6 +342,27 @@ type benchRecord struct {
 	Speedup       float64 `json:"speedup"`
 	Identical     bool    `json:"identical"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
+	CalibNs       int64   `json:"calib_ns"`
+}
+
+// calibSink defeats dead-code elimination in calibrate.
+var calibSink int64
+
+// calibrate times a fixed single-threaded integer workload (best of 3).
+func calibrate() int64 {
+	var best time.Duration
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		var acc int64
+		for i := int64(0); i < 1<<26; i++ {
+			acc += (i * i) >> 7
+		}
+		calibSink = acc
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best.Nanoseconds()
 }
 
 // benchCollect runs the plan to completion and returns every result value.
@@ -362,16 +388,33 @@ func benchCollect(sess *advm.Session, plan *advm.Plan) ([][]advm.Value, error) {
 	return out, rows.Err()
 }
 
-// expE15 measures morsel-parallel query execution: Q1 and Q6 serial vs
-// WithParallelism(4), verifying byte-identical results. With outDir != ""
-// it writes BENCH_q1.json and BENCH_q6.json there (the CI perf trajectory);
-// a result mismatch is fatal either way.
-func expE15(sf float64, outDir string) {
+// expE15 measures morsel-parallel query execution: Q1, Q6 and the
+// three-table Q3 serial vs WithParallelism(4), verifying byte-identical
+// results. With outDir != "" it writes BENCH_q1/q6/q3.json there (the CI
+// perf trajectory); a result mismatch is fatal either way. dataDir reuses
+// pre-generated tables (tpch-gen -binary) instead of regenerating them.
+func expE15(sf float64, dataDir, outDir string) {
 	const workers = 4
-	const iters = 3
+	// Best-of-7: the records feed a ±25% CI gate, and the smallest query
+	// (Q6, single-digit ms) needs the extra repetitions to keep scheduler
+	// and GC noise out of the minimum.
+	const iters = 7
 	header(fmt.Sprintf("E15 — morsel-parallel query execution (SF %.3f, %d workers)", sf, workers))
-	st := tpch.GenLineitem(sf, 42)
-	fmt.Printf("%d lineitem rows, GOMAXPROCS=%d\n\n", st.Rows(), runtime.GOMAXPROCS(0))
+	st, err := tpch.LoadOrGen(dataDir, "lineitem", sf, 42)
+	if err != nil {
+		fatalE15(err)
+	}
+	ord, err := tpch.LoadOrGen(dataDir, "orders", sf, 42)
+	if err != nil {
+		fatalE15(err)
+	}
+	cust, err := tpch.LoadOrGen(dataDir, "customer", sf, 42)
+	if err != nil {
+		fatalE15(err)
+	}
+	calibNs := calibrate()
+	fmt.Printf("%d lineitem rows, GOMAXPROCS=%d, calib=%v\n\n",
+		st.Rows(), runtime.GOMAXPROCS(0), time.Duration(calibNs).Round(time.Microsecond))
 
 	eng, err := advm.NewEngine(
 		advm.WithParallelism(workers),
@@ -407,12 +450,14 @@ func expE15(sf float64, outDir string) {
 	}
 
 	q6p := tpch.DefaultQ6Params()
+	q3p := tpch.DefaultQ3Params()
 	for _, q := range []struct {
 		name string
 		plan func(*advm.Table) *advm.Plan
 	}{
 		{"q1", tpch.PlanQ1},
 		{"q6", func(st *advm.Table) *advm.Plan { return tpch.PlanQ6(st, q6p) }},
+		{"q3", func(st *advm.Table) *advm.Plan { return tpch.PlanQ3(st, ord, cust, q3p) }},
 	} {
 		serialNs, want := measure(serial, q.plan)
 		parallelNs, got := measure(parallel, q.plan)
@@ -435,6 +480,7 @@ func expE15(sf float64, outDir string) {
 			Speedup:    float64(serialNs) / float64(parallelNs),
 			Identical:  true,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			CalibNs:    calibNs,
 		}
 		fmt.Printf("  %-4s serial %12v   parallel(%d) %12v   speedup %.2fx   identical=%v\n",
 			q.name, serialNs.Round(time.Microsecond), workers,

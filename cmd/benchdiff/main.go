@@ -1,0 +1,200 @@
+// Command benchdiff is the CI perf-regression gate: it compares freshly
+// measured BENCH_*.json perf records (written by `advm-bench -benchjson`)
+// against the checked-in baseline and fails when any query's serial or
+// parallel ns/op regressed beyond the threshold.
+//
+//	benchdiff -baseline bench/baseline -current . -max-regress 0.25
+//
+// The diff is printed as a Markdown table on stdout and, when the
+// GITHUB_STEP_SUMMARY environment variable points at a file (as it does
+// inside GitHub Actions), appended there so the job summary shows the
+// trajectory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// benchRecord mirrors the BENCH_*.json schema written by advm-bench.
+type benchRecord struct {
+	Benchmark     string  `json:"benchmark"`
+	ScaleFactor   float64 `json:"scale_factor"`
+	Rows          int     `json:"rows"`
+	Workers       int     `json:"workers"`
+	SerialNsOp    int64   `json:"serial_ns_op"`
+	Parallel4NsOp int64   `json:"parallel4_ns_op"`
+	Speedup       float64 `json:"speedup"`
+	Identical     bool    `json:"identical"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	CalibNs       int64   `json:"calib_ns"`
+}
+
+// diffRow is one benchmark × metric comparison. Ratio is
+// calibration-normalized when both records carry a calib_ns measurement —
+// (cur/curCalib)/(base/baseCalib) — so records taken on hosts of different
+// speed (or under different load) compare meaningfully; raw otherwise.
+type diffRow struct {
+	Bench, Metric  string
+	BaseNs, CurNs  int64
+	Ratio          float64
+	Normalized     bool
+	Regressed      bool
+	Skipped        string // non-empty = not gated, with the reason
+	NotReproducing bool   // current record reports non-identical results
+}
+
+func main() {
+	baseline := flag.String("baseline", "bench/baseline", "directory of checked-in BENCH_*.json baselines")
+	current := flag.String("current", ".", "directory of freshly measured BENCH_*.json records")
+	maxRegress := flag.Float64("max-regress", 0.25, "fail when ns/op exceeds baseline by more than this fraction")
+	flag.Parse()
+
+	rows, err := diffDirs(*baseline, *current, *maxRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	table := renderTable(rows, *maxRegress)
+	fmt.Print(table)
+	if summary := os.Getenv("GITHUB_STEP_SUMMARY"); summary != "" {
+		f, err := os.OpenFile(summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintln(f, "## Bench perf gate")
+			fmt.Fprintln(f)
+			fmt.Fprint(f, table)
+			f.Close()
+		}
+	}
+
+	failed := false
+	for _, r := range rows {
+		if r.Regressed {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchdiff: %s %s regressed %.1f%% (%d → %d ns/op, threshold %.0f%%)\n",
+				r.Bench, r.Metric, (r.Ratio-1)*100, r.BaseNs, r.CurNs, *maxRegress*100)
+		}
+		if r.NotReproducing {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchdiff: %s reports non-identical parallel results\n", r.Bench)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: all records within %.0f%% of baseline\n", *maxRegress*100)
+}
+
+// diffDirs loads every BENCH_*.json under baseline and compares it with the
+// same-named record under current. A baseline record without a current
+// counterpart is an error: the gate must not silently narrow.
+func diffDirs(baseline, current string, maxRegress float64) ([]diffRow, error) {
+	paths, err := filepath.Glob(filepath.Join(baseline, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json baselines under %s", baseline)
+	}
+	sort.Strings(paths)
+	var rows []diffRow
+	for _, basePath := range paths {
+		base, err := loadRecord(basePath)
+		if err != nil {
+			return nil, err
+		}
+		curPath := filepath.Join(current, filepath.Base(basePath))
+		cur, err := loadRecord(curPath)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s has no current record: %w", filepath.Base(basePath), err)
+		}
+		rows = append(rows, diffRecords(base, cur, maxRegress)...)
+	}
+	// The reverse direction must not narrow silently either: a freshly
+	// emitted record without a checked-in baseline is an ungated benchmark.
+	curPaths, err := filepath.Glob(filepath.Join(current, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	for _, curPath := range curPaths {
+		basePath := filepath.Join(baseline, filepath.Base(curPath))
+		if _, err := os.Stat(basePath); os.IsNotExist(err) {
+			return nil, fmt.Errorf("current record %s has no baseline under %s — check one in so the gate covers it",
+				filepath.Base(curPath), baseline)
+		}
+	}
+	return rows, nil
+}
+
+// diffRecords compares one baseline/current record pair.
+func diffRecords(base, cur benchRecord, maxRegress float64) []diffRow {
+	normalize := base.CalibNs > 0 && cur.CalibNs > 0
+	mk := func(metric string, baseNs, curNs int64) diffRow {
+		r := diffRow{Bench: base.Benchmark, Metric: metric, BaseNs: baseNs, CurNs: curNs}
+		if baseNs > 0 {
+			r.Ratio = float64(curNs) / float64(baseNs)
+			if normalize {
+				r.Ratio *= float64(base.CalibNs) / float64(cur.CalibNs)
+				r.Normalized = true
+			}
+			r.Regressed = r.Ratio > 1+maxRegress
+		}
+		return r
+	}
+	parallel := mk(fmt.Sprintf("parallel%d", base.Workers), base.Parallel4NsOp, cur.Parallel4NsOp)
+	if base.GOMAXPROCS != cur.GOMAXPROCS {
+		// Calibration normalizes single-thread speed, not core count: a
+		// parallel measurement from a host with a different GOMAXPROCS says
+		// nothing about a regression. Gate the serial leg only.
+		parallel.Regressed = false
+		parallel.Skipped = fmt.Sprintf("cores differ (%d vs %d)", base.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	rows := []diffRow{mk("serial", base.SerialNsOp, cur.SerialNsOp), parallel}
+	if !cur.Identical {
+		rows[0].NotReproducing = true
+	}
+	return rows
+}
+
+func loadRecord(path string) (benchRecord, error) {
+	var rec benchRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// renderTable formats the diff as a Markdown table.
+func renderTable(rows []diffRow, maxRegress float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "| bench | metric | baseline ns/op | current ns/op | Δ | gate (>%.0f%%) |\n", maxRegress*100)
+	sb.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		status := "ok"
+		if r.Skipped != "" {
+			status = "skipped: " + r.Skipped
+		}
+		if r.Regressed {
+			status = "REGRESSED"
+		}
+		if r.NotReproducing {
+			status = "NOT IDENTICAL"
+		}
+		delta := fmt.Sprintf("%+.1f%%", (r.Ratio-1)*100)
+		if r.Normalized {
+			delta += " (calib-normalized)"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %d | %d | %s | %s |\n",
+			r.Bench, r.Metric, r.BaseNs, r.CurNs, delta, status)
+	}
+	return sb.String()
+}

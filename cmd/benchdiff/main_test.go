@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRecord(t *testing.T, dir, name string, rec benchRecord) {
+	t.Helper()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffDirsGate(t *testing.T) {
+	base := t.TempDir()
+	cur := t.TempDir()
+	writeRecord(t, base, "BENCH_q1.json", benchRecord{
+		Benchmark: "q1", Workers: 4, SerialNsOp: 1000, Parallel4NsOp: 400, Identical: true,
+	})
+	writeRecord(t, base, "BENCH_q3.json", benchRecord{
+		Benchmark: "q3", Workers: 4, SerialNsOp: 2000, Parallel4NsOp: 800, Identical: true,
+	})
+	// q1 within threshold, q3 serial regressed 50%.
+	writeRecord(t, cur, "BENCH_q1.json", benchRecord{
+		Benchmark: "q1", Workers: 4, SerialNsOp: 1200, Parallel4NsOp: 380, Identical: true,
+	})
+	writeRecord(t, cur, "BENCH_q3.json", benchRecord{
+		Benchmark: "q3", Workers: 4, SerialNsOp: 3000, Parallel4NsOp: 900, Identical: true,
+	})
+
+	rows, err := diffDirs(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	regressed := map[string]bool{}
+	for _, r := range rows {
+		if r.Regressed {
+			regressed[r.Bench+"/"+r.Metric] = true
+		}
+	}
+	if len(regressed) != 1 || !regressed["q3/serial"] {
+		t.Fatalf("regressions = %v, want only q3/serial", regressed)
+	}
+	table := renderTable(rows, 0.25)
+	if !strings.Contains(table, "REGRESSED") || !strings.Contains(table, "| q1 | serial |") {
+		t.Fatalf("table missing expected content:\n%s", table)
+	}
+}
+
+func TestDiffDirsMissingCurrent(t *testing.T) {
+	base := t.TempDir()
+	writeRecord(t, base, "BENCH_q6.json", benchRecord{Benchmark: "q6", Workers: 4, SerialNsOp: 10, Parallel4NsOp: 10, Identical: true})
+	if _, err := diffDirs(base, t.TempDir(), 0.25); err == nil {
+		t.Fatal("missing current record accepted")
+	}
+}
+
+// TestDiffRecordsCalibrationNormalized: a 2× slower host (calib_ns doubled)
+// with 2× slower queries is no regression; the same slowdown without the
+// calibration excuse is.
+func TestDiffRecordsCalibrationNormalized(t *testing.T) {
+	base := benchRecord{Benchmark: "q1", Workers: 4, SerialNsOp: 1000, Parallel4NsOp: 500, Identical: true, CalibNs: 100}
+	slowHost := benchRecord{Benchmark: "q1", Workers: 4, SerialNsOp: 2000, Parallel4NsOp: 1000, Identical: true, CalibNs: 200}
+	for _, r := range diffRecords(base, slowHost, 0.25) {
+		if !r.Normalized || r.Regressed {
+			t.Fatalf("slow-host row regressed despite calibration: %+v", r)
+		}
+	}
+	realRegression := benchRecord{Benchmark: "q1", Workers: 4, SerialNsOp: 2000, Parallel4NsOp: 1000, Identical: true, CalibNs: 100}
+	rows := diffRecords(base, realRegression, 0.25)
+	if !rows[0].Regressed || !rows[1].Regressed {
+		t.Fatalf("same-speed host 2x slowdown not flagged: %+v", rows)
+	}
+}
+
+// TestDiffRecordsSkipsParallelOnCoreMismatch: a parallel measurement from a
+// host with a different core count is not comparable — gate serial only.
+func TestDiffRecordsSkipsParallelOnCoreMismatch(t *testing.T) {
+	base := benchRecord{Benchmark: "q1", Workers: 4, SerialNsOp: 1000, Parallel4NsOp: 1500, Identical: true, GOMAXPROCS: 1}
+	cur := benchRecord{Benchmark: "q1", Workers: 4, SerialNsOp: 1000, Parallel4NsOp: 5000, Identical: true, GOMAXPROCS: 4}
+	rows := diffRecords(base, cur, 0.25)
+	if rows[0].Skipped != "" || rows[1].Skipped == "" {
+		t.Fatalf("want only the parallel leg skipped: %+v", rows)
+	}
+	if rows[1].Regressed {
+		t.Fatalf("cross-core parallel leg must not gate: %+v", rows[1])
+	}
+}
+
+// TestDiffDirsExtraCurrentFails: a fresh record without a checked-in
+// baseline must fail the gate instead of silently going ungated.
+func TestDiffDirsExtraCurrentFails(t *testing.T) {
+	base := t.TempDir()
+	cur := t.TempDir()
+	rec := benchRecord{Benchmark: "q1", Workers: 4, SerialNsOp: 100, Parallel4NsOp: 50, Identical: true}
+	writeRecord(t, base, "BENCH_q1.json", rec)
+	writeRecord(t, cur, "BENCH_q1.json", rec)
+	writeRecord(t, cur, "BENCH_q4.json", benchRecord{Benchmark: "q4", Workers: 4, SerialNsOp: 9, Parallel4NsOp: 9, Identical: true})
+	if _, err := diffDirs(base, cur, 0.25); err == nil {
+		t.Fatal("current record without baseline accepted")
+	}
+}
+
+func TestDiffDirsNonIdenticalFails(t *testing.T) {
+	base := t.TempDir()
+	cur := t.TempDir()
+	writeRecord(t, base, "BENCH_q1.json", benchRecord{Benchmark: "q1", Workers: 4, SerialNsOp: 100, Parallel4NsOp: 50, Identical: true})
+	writeRecord(t, cur, "BENCH_q1.json", benchRecord{Benchmark: "q1", Workers: 4, SerialNsOp: 100, Parallel4NsOp: 50, Identical: false})
+	rows, err := diffDirs(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if r.NotReproducing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("non-identical current record not flagged")
+	}
+}

@@ -1,7 +1,10 @@
-// Command tpch-gen generates the synthetic TPC-H-style tables as CSV for
-// inspection or external use.
+// Command tpch-gen generates the synthetic TPC-H-style tables — as CSV on
+// stdout for inspection, or as binary table files for reuse across the
+// benchmark binaries (CI generates each scale factor once per job instead of
+// re-deriving it in every invocation).
 //
 //	tpch-gen -sf 0.01 -table lineitem > lineitem.csv
+//	tpch-gen -sf 0.02 -binary -out /tmp/tpch        # lineitem+orders+customer
 package main
 
 import (
@@ -9,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/tpch"
 	"repro/internal/vector"
@@ -16,21 +20,42 @@ import (
 
 func main() {
 	sf := flag.Float64("sf", 0.01, "scale factor (1.0 = 6M lineitem rows)")
-	table := flag.String("table", "lineitem", "table to generate: lineitem or orders")
+	table := flag.String("table", "lineitem", "table to generate: lineitem, orders, customer or all")
 	seed := flag.Int64("seed", 42, "generator seed")
+	binary := flag.Bool("binary", false, "write binary table files instead of CSV on stdout")
+	out := flag.String("out", ".", "output directory for -binary")
 	flag.Parse()
 
-	var st *vector.DSMStore
-	switch *table {
-	case "lineitem":
-		st = tpch.GenLineitem(*sf, *seed)
-	case "orders":
-		st = tpch.GenOrders(*sf, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "tpch-gen: unknown table %q\n", *table)
-		os.Exit(2)
+	tables := []string{*table}
+	if *table == "all" {
+		tables = []string{"lineitem", "orders", "customer"}
 	}
 
+	if *binary {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, tb := range tables {
+			st, err := tpch.Gen(tb, *sf, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*out, tpch.TableFile(tb, *sf, *seed))
+			if err := tpch.SaveTable(path, st); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tpch-gen: wrote %s (%d rows)\n", path, st.Rows())
+		}
+		return
+	}
+
+	if len(tables) != 1 {
+		fatal(fmt.Errorf("CSV output supports one table at a time"))
+	}
+	st, err := tpch.Gen(tables[0], *sf, *seed)
+	if err != nil {
+		fatal(err)
+	}
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	sch := st.Schema()
@@ -58,4 +83,9 @@ func main() {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpch-gen:", err)
+	os.Exit(2)
 }

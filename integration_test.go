@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -105,6 +106,81 @@ func TestEndToEndQueryStreaming(t *testing.T) {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			testEndToEndQueryStreaming(t, workers)
 		})
+	}
+}
+
+// TestEndToEndQ3ParallelByteIdentical is the PR's acceptance criterion: the
+// three-table Q3 — joins, grouped aggregation with float sums, top-k — must
+// produce byte-identical results at every WithParallelism level 1..8. Run
+// under -race in CI, it also exercises the parallel build/probe/fold paths
+// for data races.
+func TestEndToEndQ3ParallelByteIdentical(t *testing.T) {
+	li := tpch.GenLineitem(0.01, 42)
+	ord := tpch.GenOrders(0.01, 42)
+	cust := tpch.GenCustomer(0.01, 42)
+	p := tpch.DefaultQ3Params()
+
+	eng, err := advm.NewEngine(
+		advm.WithParallelism(8),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	collect := func(workers int) [][]advm.Value {
+		sess, err := eng.Session(advm.WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := sess.Query(t.Context(), tpch.PlanQ3(li, ord, cust, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		var out [][]advm.Value
+		n := len(rows.Columns())
+		for rows.Next() {
+			row := make([]advm.Value, n)
+			dests := make([]any, n)
+			for i := range row {
+				dests[i] = &row[i]
+			}
+			if err := rows.Scan(dests...); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, row)
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	want := collect(1)
+	if len(want) != p.TopK {
+		t.Fatalf("serial Q3 rows = %d, want %d", len(want), p.TopK)
+	}
+	for workers := 2; workers <= 8; workers++ {
+		got := collect(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: rows = %d, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			for c := range want[i] {
+				w, g := want[i][c], got[i][c]
+				if w.Kind == advm.F64 {
+					if math.Float64bits(w.F) != math.Float64bits(g.F) {
+						t.Fatalf("workers=%d row %d col %d: %v vs %v (must be bit-identical)", workers, i, c, g.F, w.F)
+					}
+				} else if !g.Equal(w) {
+					t.Fatalf("workers=%d row %d col %d: %v vs %v", workers, i, c, g, w)
+				}
+			}
+		}
+	}
+	if use := eng.Stats().PoolInUse; use != 0 {
+		t.Fatalf("workers leaked: PoolInUse = %d", use)
 	}
 }
 

@@ -19,9 +19,14 @@ const (
 	AggMin
 	AggMax
 	AggAvg
+	// AggFirst carries the first value of the column seen for each group (in
+	// input order). It accepts any column kind, including strings, and is the
+	// canonical way to carry columns that are functionally dependent on the
+	// group keys (e.g. o_orderdate per l_orderkey in TPC-H Q3).
+	AggFirst
 )
 
-var aggNames = [...]string{0: "?", AggSum: "sum", AggCount: "count", AggMin: "min", AggMax: "max", AggAvg: "avg"}
+var aggNames = [...]string{0: "?", AggSum: "sum", AggCount: "count", AggMin: "min", AggMax: "max", AggAvg: "avg", AggFirst: "first"}
 
 func (a AggFunc) String() string { return aggNames[a] }
 
@@ -60,12 +65,145 @@ type aggState struct {
 	maxsI  []int64
 	minsF  []float64
 	maxsF  []float64
+	firsts []vector.Value
 	seen   []bool
 }
 
 type groupKey struct {
 	i1, i2 int64
 	s1, s2 string
+}
+
+// AggOutputSchema resolves the output schema of a grouped aggregation over a
+// child schema: the key columns first, then one column per aggregate. It is
+// shared by the serial HashAgg and the morsel-parallel aggregation, so both
+// validate (and err) identically.
+func AggOutputSchema(child []ColInfo, keys []string, aggs []Aggregate) ([]ColInfo, error) {
+	if len(keys) > 2 {
+		return nil, fmt.Errorf("engine: at most 2 group keys supported, got %d", len(keys))
+	}
+	colKind := func(name string) (vector.Kind, error) {
+		for _, ci := range child {
+			if ci.Name == name {
+				return ci.Kind, nil
+			}
+		}
+		return vector.Invalid, fmt.Errorf("engine: aggregate column %q not produced by child", name)
+	}
+	var schema []ColInfo
+	for _, k := range keys {
+		kind, err := colKind(k)
+		if err != nil {
+			return nil, err
+		}
+		if kind != vector.I64 && kind != vector.Str {
+			return nil, fmt.Errorf("engine: group key %q must be i64 or str, got %v", k, kind)
+		}
+		schema = append(schema, ColInfo{Name: k, Kind: kind})
+	}
+	for _, a := range aggs {
+		switch a.Func {
+		case AggCount:
+			schema = append(schema, ColInfo{Name: a.As, Kind: vector.I64})
+		case AggAvg:
+			schema = append(schema, ColInfo{Name: a.As, Kind: vector.F64})
+		case AggFirst:
+			kind, err := colKind(a.Col)
+			if err != nil {
+				return nil, err
+			}
+			schema = append(schema, ColInfo{Name: a.As, Kind: kind})
+		default:
+			kind, err := colKind(a.Col)
+			if err != nil {
+				return nil, err
+			}
+			if !kind.IsNumeric() {
+				return nil, fmt.Errorf("engine: aggregate input %q must be numeric", a.Col)
+			}
+			schema = append(schema, ColInfo{Name: a.As, Kind: kind})
+		}
+	}
+	return schema, nil
+}
+
+// aggTable is a grouped-aggregation accumulator: a hash table of per-group
+// states plus the first-seen group order. It is the building block shared by
+// the serial HashAgg (one global table) and the morsel-parallel aggregation
+// (one table per partition folder).
+type aggTable struct {
+	keys   []string
+	aggs   []Aggregate
+	groups map[groupKey]*aggState
+	order  []groupKey
+}
+
+func newAggTable(keys []string, aggs []Aggregate) *aggTable {
+	return &aggTable{keys: keys, aggs: aggs, groups: map[groupKey]*aggState{}}
+}
+
+func (t *aggTable) newState(key groupKey) *aggState {
+	n := len(t.aggs)
+	return &aggState{
+		key:    key,
+		counts: make([]int64, n),
+		sumsI:  make([]int64, n),
+		sumsF:  make([]float64, n),
+		minsI:  make([]int64, n),
+		maxsI:  make([]int64, n),
+		minsF:  make([]float64, n),
+		maxsF:  make([]float64, n),
+		firsts: make([]vector.Value, n),
+		seen:   make([]bool, n),
+	}
+}
+
+// global returns the state for key, creating it on first sight.
+func (t *aggTable) global(key groupKey) *aggState {
+	st, ok := t.groups[key]
+	if !ok {
+		st = t.newState(key)
+		t.groups[key] = st
+		t.order = append(t.order, key)
+	}
+	return st
+}
+
+// absorb folds every row of a condensed chunk (no selection vector) into the
+// table. Per-group accumulation order is exactly the chunk's row order, which
+// is what keeps parallel float aggregation byte-identical to serial: a group's
+// arithmetic only depends on the order of its own rows.
+func (t *aggTable) absorb(cc *vector.Chunk) {
+	keyCols := make([]*vector.Vector, len(t.keys))
+	valCols := make([]*vector.Vector, len(t.aggs))
+	for i, k := range t.keys {
+		keyCols[i] = cc.MustColumn(k)
+	}
+	for i, a := range t.aggs {
+		if a.Func != AggCount {
+			valCols[i] = cc.MustColumn(a.Col)
+		}
+	}
+	upds := makeUpdaters(t.aggs, valCols)
+	keyAt := makeKeyReader(t.keys, keyCols)
+	for r := 0; r < cc.Len(); r++ {
+		st := t.global(keyAt(r))
+		for _, u := range upds {
+			u(st, r)
+		}
+	}
+}
+
+// merge folds src into t, preserving src's per-group state (used to stitch
+// disjoint partition tables together; keys must not overlap for the result to
+// stay deterministic).
+func (t *aggTable) merge(src *aggTable) {
+	for _, key := range src.order {
+		if _, ok := t.groups[key]; !ok {
+			t.order = append(t.order, key)
+		}
+		t.groups[key] = src.groups[key]
+	}
 }
 
 // HashAgg groups by up to two key columns (i64 or str) and computes
@@ -78,8 +216,7 @@ type HashAgg struct {
 	mode   PreAggMode
 	schema []ColInfo
 
-	groups  map[groupKey]*aggState
-	order   []groupKey
+	tbl     *aggTable
 	out     *vector.Chunk
 	emitted bool
 
@@ -91,10 +228,19 @@ type HashAgg struct {
 
 // NewHashAgg creates a grouped aggregation.
 func NewHashAgg(child Operator, keys []string, aggs []Aggregate) *HashAgg {
-	return &HashAgg{
+	h := &HashAgg{
 		child: child, keys: keys, aggs: aggs,
 		mode: PreAggAdaptive, hitEW: profile.NewEWMA(0.25), useNow: true,
 	}
+	// Resolve the schema eagerly when the child's is known statically, so
+	// operators stacked on an aggregation (TopK, probes) can validate before
+	// Open; Open re-resolves authoritatively.
+	if cs := child.Schema(); cs != nil {
+		if sch, err := AggOutputSchema(cs, keys, aggs); err == nil {
+			h.schema = sch
+		}
+	}
+	return h
 }
 
 // SetPreAgg fixes the pre-aggregation flavor (default adaptive).
@@ -114,70 +260,19 @@ func (h *HashAgg) PreAggEnabled() bool {
 // Schema implements Operator.
 func (h *HashAgg) Schema() []ColInfo { return h.schema }
 
-func (h *HashAgg) colKind(name string) (vector.Kind, error) {
-	for _, ci := range h.child.Schema() {
-		if ci.Name == name {
-			return ci.Kind, nil
-		}
-	}
-	return vector.Invalid, fmt.Errorf("engine: aggregate column %q not produced by child", name)
-}
-
 // Open implements Operator.
 func (h *HashAgg) Open(ctx context.Context) error {
 	if err := h.child.Open(ctx); err != nil {
 		return err
 	}
-	if len(h.keys) > 2 {
-		return fmt.Errorf("engine: at most 2 group keys supported, got %d", len(h.keys))
+	sch, err := AggOutputSchema(h.child.Schema(), h.keys, h.aggs)
+	if err != nil {
+		return err
 	}
-	h.schema = nil
-	for _, k := range h.keys {
-		kind, err := h.colKind(k)
-		if err != nil {
-			return err
-		}
-		if kind != vector.I64 && kind != vector.Str {
-			return fmt.Errorf("engine: group key %q must be i64 or str, got %v", k, kind)
-		}
-		h.schema = append(h.schema, ColInfo{Name: k, Kind: kind})
-	}
-	for _, a := range h.aggs {
-		switch a.Func {
-		case AggCount:
-			h.schema = append(h.schema, ColInfo{Name: a.As, Kind: vector.I64})
-		case AggAvg:
-			h.schema = append(h.schema, ColInfo{Name: a.As, Kind: vector.F64})
-		default:
-			kind, err := h.colKind(a.Col)
-			if err != nil {
-				return err
-			}
-			if !kind.IsNumeric() {
-				return fmt.Errorf("engine: aggregate input %q must be numeric", a.Col)
-			}
-			h.schema = append(h.schema, ColInfo{Name: a.As, Kind: kind})
-		}
-	}
-	h.groups = map[groupKey]*aggState{}
-	h.order = nil
+	h.schema = sch
+	h.tbl = newAggTable(h.keys, h.aggs)
 	h.emitted = false
 	return nil
-}
-
-func (h *HashAgg) newState(key groupKey) *aggState {
-	n := len(h.aggs)
-	return &aggState{
-		key:    key,
-		counts: make([]int64, n),
-		sumsI:  make([]int64, n),
-		sumsF:  make([]float64, n),
-		minsI:  make([]int64, n),
-		maxsI:  make([]int64, n),
-		minsF:  make([]float64, n),
-		maxsF:  make([]float64, n),
-		seen:   make([]bool, n),
-	}
 }
 
 func (st *aggState) update(aggs []Aggregate, vals []vector.Value) {
@@ -185,6 +280,12 @@ func (st *aggState) update(aggs []Aggregate, vals []vector.Value) {
 		switch a.Func {
 		case AggCount:
 			st.counts[ai]++
+			continue
+		case AggFirst:
+			if !st.seen[ai] {
+				st.firsts[ai] = vals[ai]
+				st.seen[ai] = true
+			}
 			continue
 		}
 		v := vals[ai]
@@ -210,9 +311,17 @@ func (st *aggState) update(aggs []Aggregate, vals []vector.Value) {
 	}
 }
 
-// merge folds a pre-aggregation state into the global state.
+// merge folds a pre-aggregation state into the global state. other holds
+// later rows than st, so First keeps st's value when st has seen any.
 func (st *aggState) merge(aggs []Aggregate, other *aggState) {
 	for ai := range aggs {
+		if aggs[ai].Func == AggFirst {
+			if !st.seen[ai] && other.seen[ai] {
+				st.firsts[ai] = other.firsts[ai]
+				st.seen[ai] = true
+			}
+			continue
+		}
 		st.counts[ai] += other.counts[ai]
 		st.sumsI[ai] += other.sumsI[ai]
 		st.sumsF[ai] += other.sumsF[ai]
@@ -234,16 +343,6 @@ func (st *aggState) merge(aggs []Aggregate, other *aggState) {
 	}
 }
 
-func (h *HashAgg) global(key groupKey) *aggState {
-	st, ok := h.groups[key]
-	if !ok {
-		st = h.newState(key)
-		h.groups[key] = st
-		h.order = append(h.order, key)
-	}
-	return st
-}
-
 // Next implements Operator. The aggregation is a pipeline breaker: the
 // first call drains the child (checking ctx chunk-by-chunk through the
 // child's own Next) and emits the grouped result.
@@ -262,7 +361,7 @@ func (h *HashAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 	flushPre := func() {
 		for i, st := range pre {
 			if st != nil {
-				h.global(st.key).merge(h.aggs, st)
+				h.tbl.global(st.key).merge(h.aggs, st)
 				pre[i] = nil
 				h.PreAggFlushes++
 			}
@@ -323,15 +422,15 @@ func (h *HashAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 				}
 				misses++
 				if st != nil {
-					h.global(st.key).merge(h.aggs, st)
+					h.tbl.global(st.key).merge(h.aggs, st)
 					h.PreAggFlushes++
 				}
-				st = h.newState(key)
+				st = h.tbl.newState(key)
 				apply(st, r)
 				pre[slot] = st
 				continue
 			}
-			apply(h.global(key), r)
+			apply(h.tbl.global(key), r)
 		}
 		h.PreAggHits += int64(hits)
 		h.PreAggMisses += int64(misses)
@@ -364,6 +463,15 @@ func makeUpdaters(aggs []Aggregate, valCols []*vector.Vector) []func(st *aggStat
 			continue
 		}
 		col := valCols[ai]
+		if a.Func == AggFirst {
+			upds[ai] = func(st *aggState, r int) {
+				if !st.seen[ai] {
+					st.firsts[ai] = col.Get(r)
+					st.seen[ai] = true
+				}
+			}
+			continue
+		}
 		switch col.Kind() {
 		case vector.F64:
 			d := col.F64()
@@ -487,11 +595,19 @@ func hashStr(s string) uint64 {
 
 func (h *HashAgg) emit() (*vector.Chunk, error) {
 	h.emitted = true
-	n := len(h.order)
+	return emitAggChunk(h.schema, h.keys, h.aggs, h.tbl), nil
+}
+
+// emitAggChunk materializes an aggregation table into one result chunk,
+// sorted by the key columns for a deterministic output order. Shared by
+// HashAgg and the morsel-parallel aggregation, so both emit identical bytes
+// for identical states.
+func emitAggChunk(schema []ColInfo, keys []string, aggs []Aggregate, tbl *aggTable) *vector.Chunk {
+	n := len(tbl.order)
 	out := vector.NewChunk()
-	for ki, ci := range h.schema[:len(h.keys)] {
+	for ki, ci := range schema[:len(keys)] {
 		col := vector.New(ci.Kind, 0, n)
-		for _, key := range h.order {
+		for _, key := range tbl.order {
 			switch {
 			case ci.Kind == vector.I64 && ki == 0:
 				col.AppendValue(vector.I64Value(key.i1))
@@ -505,11 +621,11 @@ func (h *HashAgg) emit() (*vector.Chunk, error) {
 		}
 		out.Add(ci.Name, col)
 	}
-	for ai, a := range h.aggs {
-		ci := h.schema[len(h.keys)+ai]
+	for ai, a := range aggs {
+		ci := schema[len(keys)+ai]
 		col := vector.New(ci.Kind, 0, n)
-		for _, key := range h.order {
-			st := h.groups[key]
+		for _, key := range tbl.order {
+			st := tbl.groups[key]
 			switch a.Func {
 			case AggCount:
 				col.AppendValue(vector.I64Value(st.counts[ai]))
@@ -534,13 +650,15 @@ func (h *HashAgg) emit() (*vector.Chunk, error) {
 				} else {
 					col.AppendValue(vector.IntValue(ci.Kind, st.maxsI[ai]))
 				}
+			case AggFirst:
+				col.AppendValue(st.firsts[ai])
 			}
 		}
 		out.Add(a.As, col)
 	}
 	// Deterministic output order: sort rows by key columns.
-	sortChunkByKeys(out, len(h.keys))
-	return out, nil
+	sortChunkByKeys(out, len(keys))
+	return out
 }
 
 // sortChunkByKeys reorders all columns of a materialized chunk by its first

@@ -71,6 +71,183 @@ const (
 // overhead.
 const bloomThreshold = 0.5
 
+// JoinTable is an immutable materialized-and-hashed build side: the build
+// rows in build order, plus one hash table (and Bloom filter) per partition.
+// A single-partition table is what the serial HashJoin constructs; the
+// morsel-parallel build produces one partition per worker so workers hash
+// without contention. The partition count never changes lookup results —
+// match lists are always in build-row order — so the partitioning is
+// invisible to probes.
+type JoinTable struct {
+	rows   *vector.DSMStore
+	keyIdx int
+	mask   uint64 // partition count - 1 (0 = single partition)
+	parts  []map[int64][]int32
+	blooms []*BloomFilter
+}
+
+// NewJoinTable hashes a materialized build side into a single-partition
+// table: match lists hold build row indexes in build order.
+func NewJoinTable(rows *vector.DSMStore, buildKey string) (*JoinTable, error) {
+	t, err := newJoinTableHeader(rows, buildKey)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[int64][]int32, rows.Rows())
+	bl := NewBloomFilter(maxi(rows.Rows(), 64))
+	for i, k := range rows.Col(t.keyIdx).I64() {
+		m[k] = append(m[k], int32(i))
+		bl.Add(k)
+	}
+	t.parts = []map[int64][]int32{m}
+	t.blooms = []*BloomFilter{bl}
+	return t, nil
+}
+
+// newJoinTableHeader validates the key column and prepares an empty table.
+func newJoinTableHeader(rows *vector.DSMStore, buildKey string) (*JoinTable, error) {
+	sch := rows.Schema()
+	keyIdx := sch.ColumnIndex(buildKey)
+	if keyIdx < 0 {
+		return nil, fmt.Errorf("engine: build key %q missing", buildKey)
+	}
+	if sch.Kinds[keyIdx] != vector.I64 {
+		return nil, fmt.Errorf("engine: build key %q must be i64", buildKey)
+	}
+	return &JoinTable{rows: rows, keyIdx: keyIdx}, nil
+}
+
+// part returns the partition index of a key.
+func (t *JoinTable) part(k int64) int {
+	if t.mask == 0 {
+		return 0
+	}
+	// High hash bits: the Bloom filters consume the low bits.
+	return int((bloomHash1(k) >> 32) & t.mask)
+}
+
+// lookup returns the build rows matching k, in build order.
+func (t *JoinTable) lookup(k int64) []int32 { return t.parts[t.part(k)][k] }
+
+// mayContain consults the partition's Bloom filter (false = definitely
+// absent).
+func (t *JoinTable) mayContain(k int64) bool { return t.blooms[t.part(k)].MayContain(k) }
+
+// Rows returns the materialized build side (build order).
+func (t *JoinTable) Rows() *vector.DSMStore { return t.rows }
+
+// Partitions returns the partition count (1 for a serial build).
+func (t *JoinTable) Partitions() int { return len(t.parts) }
+
+// probeCore is the probe-side state shared by HashJoin and TableProbe: the
+// adaptive Bloom decision plus instrumentation. Each probing operator owns a
+// private core, so parallel probe workers adapt independently without
+// synchronizing on the hot path.
+type probeCore struct {
+	mode   BloomMode
+	hitEW  *profile.EWMA
+	useNow bool
+
+	// Probes/BloomSkips/Hits count probe-side behaviour for experiments.
+	Probes, BloomSkips, Hits int64
+	// BloomChecks counts probes that consulted the filter.
+	BloomChecks int64
+}
+
+func newProbeCore() probeCore {
+	return probeCore{mode: BloomAdaptive, hitEW: profile.NewEWMA(0.25), useNow: true}
+}
+
+// BloomEnabled reports the current flavor decision.
+func (p *probeCore) BloomEnabled() bool {
+	switch p.mode {
+	case BloomOn:
+		return true
+	case BloomOff:
+		return false
+	}
+	return p.useNow
+}
+
+// probeKeys matches one chunk's keys against the table, returning the
+// (probe row, build row) index pairs of every match in probe-major,
+// build-order form — the order a serial nested emit would produce.
+func (p *probeCore) probeKeys(t *JoinTable, keys []int64) (probeIdx, buildIdx []int32) {
+	useBloom := p.BloomEnabled()
+	hits := 0
+	for i, k := range keys {
+		p.Probes++
+		if useBloom {
+			p.BloomChecks++
+			if !t.mayContain(k) {
+				p.BloomSkips++
+				continue
+			}
+		}
+		matches := t.lookup(k)
+		if len(matches) == 0 {
+			continue
+		}
+		hits++
+		for _, m := range matches {
+			probeIdx = append(probeIdx, int32(i))
+			buildIdx = append(buildIdx, m)
+		}
+	}
+	p.Hits += int64(hits)
+	if len(keys) > 0 {
+		p.hitEW.Observe(float64(hits) / float64(len(keys)))
+		if p.mode == BloomAdaptive {
+			p.useNow = p.hitEW.Value(0) < bloomThreshold
+		}
+	}
+	return probeIdx, buildIdx
+}
+
+// joinEmit assembles one output chunk: the probe columns condensed by the
+// matching probe rows, then the payload columns gathered from the build rows.
+func joinEmit(cc *vector.Chunk, rows *vector.DSMStore, payload []string, payIdx []int, probeIdx, buildIdx []int32) *vector.Chunk {
+	out := vector.NewChunk()
+	for i := 0; i < cc.Width(); i++ {
+		out.Add(cc.Name(i), vector.Condense(cc.Col(i), probeIdx))
+	}
+	for pi, p := range payload {
+		out.Add(p, vector.Condense(rows.Col(payIdx[pi]), buildIdx))
+	}
+	return out
+}
+
+// resolvePayload maps payload column names onto build-side column indexes.
+func resolvePayload(sch vector.Schema, payload []string) ([]int, error) {
+	var payIdx []int
+	for _, p := range payload {
+		idx := sch.ColumnIndex(p)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: payload column %q missing from build side", p)
+		}
+		payIdx = append(payIdx, idx)
+	}
+	return payIdx, nil
+}
+
+// resolveProbeKey locates the probe key in a probe schema and checks its
+// kind.
+func resolveProbeKey(schema []ColInfo, probeKey string) (int, error) {
+	keyIdx := -1
+	for i, ci := range schema {
+		if ci.Name == probeKey {
+			keyIdx = i
+			if ci.Kind != vector.I64 {
+				return -1, fmt.Errorf("engine: probe key %q must be i64", probeKey)
+			}
+		}
+	}
+	if keyIdx < 0 {
+		return -1, fmt.Errorf("engine: probe key %q missing", probeKey)
+	}
+	return keyIdx, nil
+}
+
 // HashJoin is an inner equi-join on int64 key columns. The build side is
 // materialized into a hash table at Open; Next streams probe chunks and
 // emits matches (probe columns prefixed as-is, build payload columns
@@ -79,21 +256,12 @@ type HashJoin struct {
 	build, probe       Operator
 	buildKey, probeKey string
 	payload            []string // build-side columns to carry
-	mode               BloomMode
+	probeCore
 
-	table   map[int64][]int32
-	rows    *vector.DSMStore
-	bloom   *BloomFilter
-	hitEW   *profile.EWMA
-	useNow  bool
+	tbl     *JoinTable
 	schema  []ColInfo
 	payIdx  []int
 	keyIdxP int
-
-	// Probes/BloomSkips/Hits count probe-side behaviour for experiments.
-	Probes, BloomSkips, Hits int64
-	// BloomChecks counts probes that consulted the filter.
-	BloomChecks int64
 }
 
 // NewHashJoin joins probe ⋈ build on probeKey = buildKey, carrying the given
@@ -101,24 +269,12 @@ type HashJoin struct {
 func NewHashJoin(probe, build Operator, probeKey, buildKey string, payload ...string) *HashJoin {
 	return &HashJoin{
 		build: build, probe: probe, buildKey: buildKey, probeKey: probeKey,
-		payload: payload, mode: BloomAdaptive, hitEW: profile.NewEWMA(0.25),
-		useNow: true,
+		payload: payload, probeCore: newProbeCore(),
 	}
 }
 
 // SetBloom fixes the Bloom flavor (default adaptive).
 func (j *HashJoin) SetBloom(m BloomMode) *HashJoin { j.mode = m; return j }
-
-// BloomEnabled reports the current flavor decision.
-func (j *HashJoin) BloomEnabled() bool {
-	switch j.mode {
-	case BloomOn:
-		return true
-	case BloomOff:
-		return false
-	}
-	return j.useNow
-}
 
 // Schema implements Operator.
 func (j *HashJoin) Schema() []ColInfo { return j.schema }
@@ -133,48 +289,21 @@ func (j *HashJoin) Open(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	j.rows = rows
+	j.tbl, err = NewJoinTable(rows, j.buildKey)
+	if err != nil {
+		return err
+	}
 	sch := rows.Schema()
-	keyIdx := sch.ColumnIndex(j.buildKey)
-	if keyIdx < 0 {
-		return fmt.Errorf("engine: build key %q missing", j.buildKey)
+	if j.payIdx, err = resolvePayload(sch, j.payload); err != nil {
+		return err
 	}
-	if sch.Kinds[keyIdx] != vector.I64 {
-		return fmt.Errorf("engine: build key %q must be i64", j.buildKey)
-	}
-	j.payIdx = nil
-	for _, p := range j.payload {
-		idx := sch.ColumnIndex(p)
-		if idx < 0 {
-			return fmt.Errorf("engine: payload column %q missing from build side", p)
-		}
-		j.payIdx = append(j.payIdx, idx)
-	}
-
-	j.table = make(map[int64][]int32, rows.Rows())
-	j.bloom = NewBloomFilter(maxi(rows.Rows(), 64))
-	keys := rows.Col(keyIdx).I64()
-	for i, k := range keys {
-		j.table[k] = append(j.table[k], int32(i))
-		j.bloom.Add(k)
-	}
-
 	j.schema = nil
 	j.schema = append(j.schema, j.probe.Schema()...)
 	for i, p := range j.payload {
 		j.schema = append(j.schema, ColInfo{Name: p, Kind: sch.Kinds[j.payIdx[i]]})
 	}
-	j.keyIdxP = -1
-	for i, ci := range j.probe.Schema() {
-		if ci.Name == j.probeKey {
-			j.keyIdxP = i
-			if ci.Kind != vector.I64 {
-				return fmt.Errorf("engine: probe key %q must be i64", j.probeKey)
-			}
-		}
-	}
-	if j.keyIdxP < 0 {
-		return fmt.Errorf("engine: probe key %q missing", j.probeKey)
+	if j.keyIdxP, err = resolveProbeKey(j.probe.Schema(), j.probeKey); err != nil {
+		return err
 	}
 	return nil
 }
@@ -190,51 +319,11 @@ func (j *HashJoin) Next(ctx context.Context) (*vector.Chunk, error) {
 		if chunk.Sel() != nil {
 			cc = chunk.Condense()
 		}
-		keys := cc.Col(j.keyIdxP).I64()
-
-		useBloom := j.BloomEnabled()
-		var probeIdx []int32 // probe row per output row
-		var buildIdx []int32 // matching build row per output row
-		hits := 0
-		for i, k := range keys {
-			j.Probes++
-			if useBloom {
-				j.BloomChecks++
-				if !j.bloom.MayContain(k) {
-					j.BloomSkips++
-					continue
-				}
-			}
-			matches, ok := j.table[k]
-			if !ok {
-				continue
-			}
-			hits++
-			for _, m := range matches {
-				probeIdx = append(probeIdx, int32(i))
-				buildIdx = append(buildIdx, m)
-			}
-		}
-		j.Hits += int64(hits)
-		if len(keys) > 0 {
-			j.hitEW.Observe(float64(hits) / float64(len(keys)))
-			if j.mode == BloomAdaptive {
-				j.useNow = j.hitEW.Value(0) < bloomThreshold
-			}
-		}
+		probeIdx, buildIdx := j.probeKeys(j.tbl, cc.Col(j.keyIdxP).I64())
 		if len(probeIdx) == 0 {
 			continue
 		}
-
-		out := vector.NewChunk()
-		for i := 0; i < cc.Width(); i++ {
-			out.Add(cc.Name(i), vector.Condense(cc.Col(i), probeIdx))
-		}
-		for pi, p := range j.payload {
-			col := j.rows.Col(j.payIdx[pi])
-			out.Add(p, vector.Condense(col, buildIdx))
-		}
-		return out, nil
+		return joinEmit(cc, j.tbl.rows, j.payload, j.payIdx, probeIdx, buildIdx), nil
 	}
 }
 

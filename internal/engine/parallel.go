@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/morsel"
 	"repro/internal/vector"
@@ -317,3 +318,605 @@ func (e *Exchange) MorselStats() morsel.Stats {
 	defer e.mu.Unlock()
 	return e.stats
 }
+
+// ---------------------------------------------------------------------------
+// Parallel hash join: morsel-parallel partitioned build + shared read-only
+// table probed by worker-private TableProbe operators inside the existing
+// PartScan pipelines.
+
+// SharedJoinTable is the once-per-query handle onto a join's build side: a
+// recipe that materializes and hashes the build rows the first time any
+// worker's probe opens, then serves the immutable JoinTable to every worker.
+// The build-side output schema is known statically so probes stacked on top
+// can resolve their own schemas before anything executes.
+type SharedJoinTable struct {
+	schema []ColInfo
+	build  func(ctx context.Context) (*JoinTable, error)
+
+	once sync.Once
+	tbl  *JoinTable
+	err  error
+}
+
+// NewSharedJoinTable wraps a build recipe. schema must be the build
+// pipeline's output schema.
+func NewSharedJoinTable(schema []ColInfo, build func(ctx context.Context) (*JoinTable, error)) *SharedJoinTable {
+	return &SharedJoinTable{schema: schema, build: build}
+}
+
+// Schema returns the build side's output schema.
+func (s *SharedJoinTable) Schema() []ColInfo { return s.schema }
+
+// Table builds the join table on first call and returns it thereafter. A
+// failed build (including a cancelled ctx) is cached: shared tables are
+// per-query, so the query is aborted either way.
+func (s *SharedJoinTable) Table(ctx context.Context) (*JoinTable, error) {
+	s.once.Do(func() { s.tbl, s.err = s.build(ctx) })
+	return s.tbl, s.err
+}
+
+// BuildJoinTableParallel materializes a build-side pipeline over dynamically
+// dispatched morsels of its table and hashes the result into a partitioned
+// JoinTable: every worker runs a private copy of the pipeline (built by mk
+// over a windowed scan leaf), the per-morsel outputs are stitched back in
+// morsel order — so the build rows, and therefore every multi-match list,
+// are byte-identical to a serial materialization — and the partitions are
+// then hashed concurrently, one partition per worker, without contention.
+func BuildJoinTableParallel(ctx context.Context, store vector.Store, columns []string,
+	workers, chunkLen, morselLen int, buildKey string,
+	mk func(worker int, leaf Operator) (Operator, error)) (*JoinTable, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("engine: parallel build needs ≥ 1 worker, got %d", workers)
+	}
+	if morselLen <= 0 {
+		morselLen = morsel.DefaultMorselLen
+	}
+	leaves := make([]*PartScan, workers)
+	pipes := make([]Operator, workers)
+	for w := 0; w < workers; w++ {
+		leaf, err := NewPartScan(store, columns...)
+		if err != nil {
+			return nil, err
+		}
+		if chunkLen > 0 {
+			leaf.SetChunkLen(chunkLen)
+		}
+		pipe, err := mk(w, leaf)
+		if err != nil {
+			return nil, err
+		}
+		leaves[w] = leaf
+		pipes[w] = pipe
+	}
+	defer func() {
+		for _, p := range pipes {
+			p.Close()
+		}
+	}()
+	for w, pipe := range pipes {
+		leaves[w].SetRange(0, 0)
+		if err := pipe.Open(ctx); err != nil {
+			return nil, err
+		}
+	}
+
+	rows := store.Rows()
+	numMorsels := (rows + morselLen - 1) / morselLen
+	results := make([][]*vector.Chunk, numMorsels)
+	var mu sync.Mutex
+	var runErr error
+	var failed atomic.Bool
+	morsel.Run(rows, morsel.Options{Workers: workers, MorselLen: morselLen},
+		func(worker, lo, hi int) {
+			if failed.Load() {
+				return
+			}
+			leaves[worker].SetRange(lo, hi)
+			var chunks []*vector.Chunk
+			for {
+				c, err := pipes[worker].Next(ctx)
+				if err != nil {
+					mu.Lock()
+					if runErr == nil {
+						runErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+				if c == nil {
+					break
+				}
+				cc := c
+				if c.Sel() != nil {
+					cc = c.Condense()
+				}
+				chunks = append(chunks, cc)
+			}
+			// Distinct morsels write distinct slice elements: no lock needed.
+			results[lo/morselLen] = chunks
+		})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Stitch the morsel outputs back in table order.
+	sch := vector.Schema{}
+	for _, ci := range pipes[0].Schema() {
+		sch.Names = append(sch.Names, ci.Name)
+		sch.Kinds = append(sch.Kinds, ci.Kind)
+	}
+	out := vector.NewDSMStore(sch)
+	for _, chunks := range results {
+		for _, c := range chunks {
+			out.AppendChunk(projectTo(c, sch.Names))
+		}
+	}
+	return newPartitionedJoinTable(out, buildKey, workers)
+}
+
+// newPartitionedJoinTable hashes rows into a power-of-two number of
+// partitions ≥ workers in two parallel passes: each worker scatters a
+// contiguous key range into per-(worker, partition) row lists — hashing
+// every key exactly once — and each partition then concatenates its lists
+// in worker order (contiguous ranges, so concatenation preserves build
+// order) while inserting into its private map. The partition count affects
+// scheduling only, never results.
+func newPartitionedJoinTable(rows *vector.DSMStore, buildKey string, workers int) (*JoinTable, error) {
+	t, err := newJoinTableHeader(rows, buildKey)
+	if err != nil {
+		return nil, err
+	}
+	nparts := 1
+	for nparts < workers {
+		nparts *= 2
+	}
+	t.mask = uint64(nparts - 1)
+	t.parts = make([]map[int64][]int32, nparts)
+	t.blooms = make([]*BloomFilter, nparts)
+	keys := rows.Col(t.keyIdx).I64()
+
+	// Pass 1: scatter. Worker w owns rows [w·n/W, (w+1)·n/W).
+	scattered := make([][][]int32, workers) // [worker][partition][]row
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := len(keys)*w/workers, len(keys)*(w+1)/workers
+			lists := make([][]int32, nparts)
+			for i := lo; i < hi; i++ {
+				p := t.part(keys[i])
+				lists[p] = append(lists[p], int32(i))
+			}
+			scattered[w] = lists
+		}(w)
+	}
+	wg.Wait()
+
+	// Pass 2: per-partition map build over the worker lists in worker order.
+	for p := 0; p < nparts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			n := 0
+			for w := 0; w < workers; w++ {
+				n += len(scattered[w][p])
+			}
+			m := make(map[int64][]int32, n)
+			bl := NewBloomFilter(maxi(n, 64))
+			for w := 0; w < workers; w++ {
+				for _, i := range scattered[w][p] {
+					k := keys[i]
+					m[k] = append(m[k], i)
+					bl.Add(k)
+				}
+			}
+			t.parts[p] = m
+			t.blooms[p] = bl
+		}(p)
+	}
+	wg.Wait()
+	return t, nil
+}
+
+// TableProbe streams probe chunks against a shared read-only JoinTable: the
+// worker-side half of the parallel hash join. Many TableProbe instances (one
+// per exchange worker) share one SharedJoinTable; each keeps a private
+// adaptive-Bloom state so nothing synchronizes per chunk. Output rows match
+// the serial HashJoin byte for byte: probe rows in probe order, match lists
+// in build order.
+type TableProbe struct {
+	child    Operator
+	shared   *SharedJoinTable
+	probeKey string
+	payload  []string
+	probeCore
+
+	tbl     *JoinTable
+	schema  []ColInfo
+	payIdx  []int
+	keyIdxP int
+}
+
+// NewTableProbe builds a probe over child against shared. The schema — child
+// columns then payload columns — resolves eagerly, so probes compose under
+// exchanges and further probes before anything opens.
+func NewTableProbe(child Operator, shared *SharedJoinTable, probeKey string, payload ...string) (*TableProbe, error) {
+	p := &TableProbe{
+		child: child, shared: shared, probeKey: probeKey, payload: payload,
+		probeCore: newProbeCore(),
+	}
+	p.schema = append(p.schema, child.Schema()...)
+	for _, pay := range payload {
+		kind := vector.Invalid
+		for _, ci := range shared.Schema() {
+			if ci.Name == pay {
+				kind = ci.Kind
+				break
+			}
+		}
+		if kind == vector.Invalid {
+			return nil, fmt.Errorf("engine: payload column %q missing from build side", pay)
+		}
+		p.schema = append(p.schema, ColInfo{Name: pay, Kind: kind})
+	}
+	var err error
+	if p.keyIdxP, err = resolveProbeKey(child.Schema(), probeKey); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SetBloom fixes the Bloom flavor (default adaptive).
+func (p *TableProbe) SetBloom(m BloomMode) *TableProbe { p.mode = m; return p }
+
+// Schema implements Operator.
+func (p *TableProbe) Schema() []ColInfo { return p.schema }
+
+// Open implements Operator: the first probe to open triggers the shared
+// build; the rest attach to the finished table.
+func (p *TableProbe) Open(ctx context.Context) error {
+	if err := p.child.Open(ctx); err != nil {
+		return err
+	}
+	tbl, err := p.shared.Table(ctx)
+	if err != nil {
+		return err
+	}
+	p.tbl = tbl
+	if p.payIdx, err = resolvePayload(tbl.Rows().Schema(), p.payload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (p *TableProbe) Next(ctx context.Context) (*vector.Chunk, error) {
+	for {
+		chunk, err := p.child.Next(ctx)
+		if err != nil || chunk == nil {
+			return chunk, err
+		}
+		cc := chunk
+		if chunk.Sel() != nil {
+			cc = chunk.Condense()
+		}
+		probeIdx, buildIdx := p.probeKeys(p.tbl, cc.Col(p.keyIdxP).I64())
+		if len(probeIdx) == 0 {
+			continue
+		}
+		return joinEmit(cc, p.tbl.Rows(), p.payload, p.payIdx, probeIdx, buildIdx), nil
+	}
+}
+
+// Close implements Operator (the shared table is owned by the query, not the
+// probe).
+func (p *TableProbe) Close() error { return p.child.Close() }
+
+// ---------------------------------------------------------------------------
+// Parallel grouped aggregation: worker-local partitioned fold over morsels,
+// merged deterministically.
+
+// aggPartitions is the fixed group-space partition count of ParallelAgg.
+// It must not depend on the worker count: partitioning assigns every group
+// to exactly one fold stream, and per-stream folds happen in morsel order,
+// so results are identical for any worker count — including 1, which is how
+// the byte-identical-to-serial guarantee extends across WithParallelism
+// levels.
+const aggPartitions = 64
+
+// partOf assigns a group key to a partition.
+func partOf(k groupKey) int {
+	h := bloomHash1(k.i1) ^ bloomHash2(k.i2) ^ hashStr(k.s1) ^ hashStr(k.s2)*0x9e3779b97f4a7c15
+	return int(h % aggPartitions)
+}
+
+// ParallelAgg is a morsel-parallel grouped aggregation: worker pipelines
+// (scan→filter/compute/probe chains over windowed scans) process morsels
+// concurrently, partition their output rows by group-key hash, and a set of
+// folder goroutines folds each partition's buckets in morsel order into
+// worker-local hash tables that are finally stitched together and emitted in
+// key order.
+//
+// Because a group's accumulation order is exactly the table order of its own
+// rows — partitions are folded in morsel sequence, and a group lives in one
+// partition — the result is byte-identical to the serial HashAgg with
+// pre-aggregation off, floating-point sums included, at every worker count.
+type ParallelAgg struct {
+	store     vector.Store
+	workers   int
+	morselLen int
+	keys      []string
+	aggs      []Aggregate
+
+	leaves []*PartScan
+	pipes  []Operator
+	schema []ColInfo
+	needed []string // bucket projection: keys ∪ aggregate inputs
+
+	out     *vector.Chunk
+	emitted bool
+	stats   morsel.Stats
+}
+
+// NewParallelAgg builds a parallel aggregation over store with workers
+// pipelines; mk instantiates each worker's private pipeline over its scan
+// leaf (the leaf itself for aggregation straight over a scan).
+func NewParallelAgg(store vector.Store, columns []string, workers int,
+	mk func(worker int, leaf Operator) (Operator, error),
+	keys []string, aggs []Aggregate) (*ParallelAgg, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("engine: parallel aggregation needs ≥ 1 worker, got %d", workers)
+	}
+	a := &ParallelAgg{store: store, workers: workers, morselLen: morsel.DefaultMorselLen, keys: keys, aggs: aggs}
+	for w := 0; w < workers; w++ {
+		leaf, err := NewPartScan(store, columns...)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := mk(w, leaf)
+		if err != nil {
+			return nil, err
+		}
+		a.leaves = append(a.leaves, leaf)
+		a.pipes = append(a.pipes, pipe)
+	}
+	sch, err := AggOutputSchema(a.pipes[0].Schema(), keys, aggs)
+	if err != nil {
+		return nil, err
+	}
+	a.schema = sch
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			a.needed = append(a.needed, k)
+		}
+	}
+	for _, ag := range aggs {
+		if ag.Func != AggCount && !seen[ag.Col] {
+			seen[ag.Col] = true
+			a.needed = append(a.needed, ag.Col)
+		}
+	}
+	return a, nil
+}
+
+// SetChunkLen overrides the chunk length of every worker's scan leaf.
+func (a *ParallelAgg) SetChunkLen(n int) *ParallelAgg {
+	for _, leaf := range a.leaves {
+		leaf.SetChunkLen(n)
+	}
+	return a
+}
+
+// SetMorselLen overrides the dispatch granularity.
+func (a *ParallelAgg) SetMorselLen(n int) *ParallelAgg {
+	if n > 0 {
+		a.morselLen = n
+	}
+	return a
+}
+
+// Workers returns the configured worker count.
+func (a *ParallelAgg) Workers() int { return a.workers }
+
+// Schema implements Operator.
+func (a *ParallelAgg) Schema() []ColInfo { return a.schema }
+
+// Open implements Operator.
+func (a *ParallelAgg) Open(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for w, pipe := range a.pipes {
+		a.leaves[w].SetRange(0, 0)
+		if err := pipe.Open(ctx); err != nil {
+			return err
+		}
+	}
+	a.emitted = false
+	a.out = nil
+	return nil
+}
+
+// aggMorsel is one morsel's partitioned bucket chunks.
+type aggMorsel struct {
+	seq     int
+	buckets [][]*vector.Chunk // aggPartitions entries
+}
+
+// Next implements Operator: the first call runs the whole parallel
+// aggregation synchronously and emits the single result chunk.
+func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
+	if a.emitted {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	a.emitted = true
+
+	var mu sync.Mutex
+	var runErr error
+	var failed atomic.Bool
+	fail := func(err error) {
+		mu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+
+	// Folder goroutines: folder f owns every partition p with p%F == f. A
+	// group belongs to exactly one partition, hence exactly one folder — no
+	// state is shared between folders.
+	folders := a.workers
+	if folders > aggPartitions {
+		folders = aggPartitions
+	}
+	foldCh := make([]chan []*vector.Chunk, folders)
+	tables := make([]*aggTable, folders)
+	var foldWG sync.WaitGroup
+	for f := 0; f < folders; f++ {
+		foldCh[f] = make(chan []*vector.Chunk, 2*a.workers)
+		tables[f] = newAggTable(a.keys, a.aggs)
+		foldWG.Add(1)
+		go func(f int) {
+			defer foldWG.Done()
+			for chunks := range foldCh[f] {
+				for _, c := range chunks {
+					tables[f].absorb(c)
+				}
+			}
+		}(f)
+	}
+
+	// Router: re-sequences finished morsels and forwards each partition's
+	// buckets in morsel order, so every fold stream sees table order.
+	out := make(chan aggMorsel, a.workers)
+	routerDone := make(chan struct{})
+	go func() {
+		defer close(routerDone)
+		pending := map[int][][]*vector.Chunk{}
+		next := 0
+		for m := range out {
+			pending[m.seq] = m.buckets
+			for {
+				buckets, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				for p, chunks := range buckets {
+					if len(chunks) > 0 {
+						foldCh[p%folders] <- chunks
+					}
+				}
+			}
+		}
+		for _, ch := range foldCh {
+			close(ch)
+		}
+	}()
+
+	// Phase 1: worker pipelines over dynamically dispatched morsels,
+	// partitioning their output rows by group-key hash.
+	a.stats = morsel.RunInstrumented(a.store.Rows(),
+		morsel.Options{Workers: a.workers, MorselLen: a.morselLen},
+		func(worker, lo, hi int) {
+			if failed.Load() {
+				return
+			}
+			a.leaves[worker].SetRange(lo, hi)
+			buckets := make([][]*vector.Chunk, aggPartitions)
+			for {
+				c, err := a.pipes[worker].Next(ctx)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if c == nil {
+					break
+				}
+				a.partitionChunk(c, buckets)
+			}
+			out <- aggMorsel{seq: lo / a.morselLen, buckets: buckets}
+		})
+	close(out)
+	<-routerDone
+	foldWG.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Stitch the disjoint partition tables together and emit in key order.
+	final := newAggTable(a.keys, a.aggs)
+	for _, tbl := range tables {
+		final.merge(tbl)
+	}
+	a.out = emitAggChunk(a.schema, a.keys, a.aggs, final)
+	return a.out, nil
+}
+
+// partitionChunk projects a pipeline chunk onto the needed columns and
+// scatters its rows into per-partition bucket chunks.
+func (a *ParallelAgg) partitionChunk(c *vector.Chunk, buckets [][]*vector.Chunk) {
+	cc := c
+	if c.Sel() != nil {
+		cc = c.Condense()
+	}
+	if cc.Len() == 0 {
+		return
+	}
+	proj := vector.NewChunk()
+	for _, name := range a.needed {
+		proj.Add(name, cc.MustColumn(name))
+	}
+	if len(a.keys) == 0 {
+		// Single global group: all rows share one partition; keep the chunk.
+		buckets[partOf(groupKey{})] = append(buckets[partOf(groupKey{})], proj)
+		return
+	}
+	keyCols := make([]*vector.Vector, len(a.keys))
+	for i, k := range a.keys {
+		keyCols[i] = proj.MustColumn(k)
+	}
+	keyAt := makeKeyReader(a.keys, keyCols)
+	sels := make([]vector.Sel, aggPartitions)
+	for r := 0; r < proj.Len(); r++ {
+		p := partOf(keyAt(r))
+		sels[p] = append(sels[p], int32(r))
+	}
+	for p, sel := range sels {
+		if sel == nil {
+			continue
+		}
+		if len(sel) == proj.Len() {
+			buckets[p] = append(buckets[p], proj)
+			continue
+		}
+		bucket := vector.NewChunk()
+		for i := 0; i < proj.Width(); i++ {
+			bucket.Add(proj.Name(i), vector.Condense(proj.Col(i), sel))
+		}
+		buckets[p] = append(buckets[p], bucket)
+	}
+}
+
+// Close implements Operator.
+func (a *ParallelAgg) Close() error {
+	for _, pipe := range a.pipes {
+		pipe.Close()
+	}
+	return nil
+}
+
+// MorselStats returns the dispatch statistics of the completed run.
+func (a *ParallelAgg) MorselStats() morsel.Stats { return a.stats }

@@ -211,6 +211,237 @@ func TestExchangeEmptyTable(t *testing.T) {
 	}
 }
 
+// mustMaterialize collects rows or fails.
+func mustEqualRows(t *testing.T, got, want [][]vector.Value, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: rows = %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		for c := range want[i] {
+			if !got[i][c].Equal(want[i][c]) {
+				t.Fatalf("%s: row %d col %d = %v, want %v (must be bit-identical)", label, i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+}
+
+// TestParallelAggMatchesSerial: the morsel-parallel aggregation must be
+// byte-identical — float sums included — to the serial HashAgg with
+// pre-aggregation off, at every worker count and morsel size.
+func TestParallelAggMatchesSerial(t *testing.T) {
+	st := genTable(t, 100_003, 21)
+	aggs := []Aggregate{
+		{Func: AggSum, Col: "g", As: "sum_g"},
+		{Func: AggSum, Col: "v2", As: "sum_v2"},
+		{Func: AggMin, Col: "v2", As: "min_v2"},
+		{Func: AggAvg, Col: "g", As: "avg_g"},
+		{Func: AggFirst, Col: "g", As: "first_g"},
+		{Func: AggCount, As: "n"},
+	}
+	serialScan, err := NewScan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := materialize(t, NewHashAgg(pipelineOn(serialScan), []string{"k"}, aggs).SetPreAgg(PreAggOff))
+	if len(want) == 0 {
+		t.Fatal("empty baseline")
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, morselLen := range []int{4096, 16384, 1 << 20} {
+			t.Run(fmt.Sprintf("workers=%d/morsel=%d", workers, morselLen), func(t *testing.T) {
+				pa, err := NewParallelAgg(st, nil, workers, func(_ int, leaf Operator) (Operator, error) {
+					return pipelineOn(leaf), nil
+				}, []string{"k"}, aggs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pa.SetMorselLen(morselLen)
+				got := materialize(t, pa)
+				mustEqualRows(t, got, want, "parallel agg")
+				if rows := pa.MorselStats().Rows(); rows != int64(st.Rows()) {
+					t.Fatalf("morsel stats cover %d rows, want %d", rows, st.Rows())
+				}
+			})
+		}
+	}
+}
+
+// TestParallelAggSingleGroup: a keyless (global) aggregation degenerates to
+// one group in one partition and must still match serial bitwise.
+func TestParallelAggSingleGroup(t *testing.T) {
+	st := genTable(t, 50_000, 22)
+	aggs := []Aggregate{
+		{Func: AggSum, Col: "g", As: "sum_g"},
+		{Func: AggCount, As: "n"},
+	}
+	serialScan, err := NewScan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := materialize(t, NewHashAgg(pipelineOn(serialScan), nil, aggs).SetPreAgg(PreAggOff))
+	if len(want) != 1 {
+		t.Fatalf("baseline groups = %d, want 1", len(want))
+	}
+	pa, err := NewParallelAgg(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
+		return pipelineOn(leaf), nil
+	}, nil, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualRows(t, materialize(t, pa), want, "keyless parallel agg")
+}
+
+// TestParallelAggAllRowsFiltered: a pipeline that selects nothing must yield
+// zero groups, matching serial.
+func TestParallelAggAllRowsFiltered(t *testing.T) {
+	st := genTable(t, 30_000, 23)
+	aggs := []Aggregate{{Func: AggSum, Col: "v", As: "s"}}
+	mk := func(leaf Operator) Operator {
+		return NewFilter(leaf, `(\k -> k < 0)`, "k") // keys are 0..999: empty
+	}
+	serialScan, err := NewScan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := materialize(t, NewHashAgg(mk(serialScan), []string{"k"}, aggs).SetPreAgg(PreAggOff))
+	if len(want) != 0 {
+		t.Fatalf("baseline groups = %d, want 0", len(want))
+	}
+	pa, err := NewParallelAgg(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
+		return mk(leaf), nil
+	}, []string{"k"}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := materialize(t, pa); len(got) != 0 {
+		t.Fatalf("parallel groups = %d, want 0", len(got))
+	}
+}
+
+// TestParallelAggCancellation: a cancelled ctx surfaces from Next.
+func TestParallelAggCancellation(t *testing.T) {
+	st := genTable(t, 200_000, 24)
+	pa, err := NewParallelAgg(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
+		return pipelineOn(leaf), nil
+	}, []string{"k"}, []Aggregate{{Func: AggCount, As: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa.SetMorselLen(4096)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := pa.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := pa.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next after cancel = %v, want context.Canceled", err)
+	}
+	if err := pa.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// parallelJoinSetup builds a dimension table keyed 0..dimRows-1 with an i64
+// payload and a probe pipeline over the fact table st.
+func dimTable(dimRows int, payloadOf func(i int) int64) *vector.DSMStore {
+	dim := vector.NewDSMStore(vector.NewSchema("dk", vector.I64, "pay", vector.I64))
+	for i := 0; i < dimRows; i++ {
+		dim.AppendRow(vector.I64Value(int64(i)), vector.I64Value(payloadOf(i)))
+	}
+	return dim
+}
+
+// TestParallelJoinMatchesSerial: the shared-table probe riding the exchange
+// must produce exactly the serial HashJoin's rows in serial order, with the
+// build side itself built in parallel.
+func TestParallelJoinMatchesSerial(t *testing.T) {
+	st := genTable(t, 80_007, 31)
+	dim := dimTable(500, func(i int) int64 { return int64(i * 7) }) // half the key domain: selective probe
+	serialScan, err := NewScan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialBuild, err := NewScan(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := materialize(t, NewHashJoin(pipelineOn(serialScan), serialBuild, "k", "dk", "pay"))
+	if len(want) == 0 {
+		t.Fatal("empty baseline")
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			shared := NewSharedJoinTable(
+				[]ColInfo{{Name: "dk", Kind: vector.I64}, {Name: "pay", Kind: vector.I64}},
+				func(ctx context.Context) (*JoinTable, error) {
+					return BuildJoinTableParallel(ctx, dim, nil, workers, 0, 0, "dk",
+						func(_ int, leaf Operator) (Operator, error) { return leaf, nil })
+				})
+			ex, err := NewExchange(st, nil, workers, func(_ int, leaf Operator) (Operator, error) {
+				return NewTableProbe(pipelineOn(leaf), shared, "k", "pay")
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := materialize(t, ex)
+			mustEqualRows(t, got, want, "parallel join")
+		})
+	}
+}
+
+// TestParallelJoinEmptyBuildSide: an empty build table must stream zero rows
+// without deadlocking the exchange.
+func TestParallelJoinEmptyBuildSide(t *testing.T) {
+	st := genTable(t, 20_000, 32)
+	dim := dimTable(0, nil)
+	shared := NewSharedJoinTable(
+		[]ColInfo{{Name: "dk", Kind: vector.I64}, {Name: "pay", Kind: vector.I64}},
+		func(ctx context.Context) (*JoinTable, error) {
+			return BuildJoinTableParallel(ctx, dim, nil, 4, 0, 0, "dk",
+				func(_ int, leaf Operator) (Operator, error) { return leaf, nil })
+		})
+	ex, err := NewExchange(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
+		return NewTableProbe(pipelineOn(leaf), shared, "k", "pay")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountRows(context.Background(), ex)
+	if err != nil || n != 0 {
+		t.Fatalf("CountRows = %d, %v; want 0", n, err)
+	}
+}
+
+// TestParallelJoinMultiMatch: duplicate build keys must emit match lists in
+// build order, identically to serial, under a parallel partitioned build.
+func TestParallelJoinMultiMatch(t *testing.T) {
+	st := genTable(t, 30_011, 33)
+	dim := vector.NewDSMStore(vector.NewSchema("dk", vector.I64, "pay", vector.I64))
+	for i := 0; i < 3000; i++ {
+		dim.AppendRow(vector.I64Value(int64(i%1000)), vector.I64Value(int64(i))) // 3 matches per key
+	}
+	serialScan, _ := NewScan(st)
+	serialBuild, _ := NewScan(dim)
+	want := materialize(t, NewHashJoin(pipelineOn(serialScan), serialBuild, "k", "dk", "pay"))
+
+	shared := NewSharedJoinTable(
+		[]ColInfo{{Name: "dk", Kind: vector.I64}, {Name: "pay", Kind: vector.I64}},
+		func(ctx context.Context) (*JoinTable, error) {
+			return BuildJoinTableParallel(ctx, dim, nil, 4, 0, 512, "dk",
+				func(_ int, leaf Operator) (Operator, error) { return leaf, nil })
+		})
+	ex, err := NewExchange(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
+		return NewTableProbe(pipelineOn(leaf), shared, "k", "pay")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := materialize(t, ex)
+	mustEqualRows(t, got, want, "multi-match join")
+}
+
 // TestPartScanWindow: the windowed scan honors [lo, hi) and chunking.
 func TestPartScanWindow(t *testing.T) {
 	st := genTable(t, 10_000, 5)

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/vector"
+)
+
+// OrderSpec names one sort column of a TopK operator.
+type OrderSpec struct {
+	Col  string
+	Desc bool
+}
+
+// TopK is a pipeline breaker that materializes its child, stable-sorts the
+// rows by the given order columns and emits the first k rows as one chunk.
+// The stable sort over a deterministic input order makes the result
+// deterministic even when the order columns contain ties — which is what
+// keeps a top-k over a parallel aggregation byte-identical to serial.
+type TopK struct {
+	child Operator
+	k     int
+	by    []OrderSpec
+
+	schema  []ColInfo
+	out     *vector.Chunk
+	emitted bool
+}
+
+// NewTopK creates a top-k operator. The order columns are validated against
+// the child's schema (at construction when the child resolves its schema
+// eagerly, otherwise at Open).
+func NewTopK(child Operator, k int, by ...OrderSpec) (*TopK, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("engine: top-k needs k ≥ 1, got %d", k)
+	}
+	if len(by) == 0 {
+		return nil, fmt.Errorf("engine: top-k needs at least one order column")
+	}
+	t := &TopK{child: child, k: k, by: by, schema: child.Schema()}
+	if t.schema != nil {
+		if err := t.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func (t *TopK) validate() error {
+	for _, o := range t.by {
+		found := false
+		for _, ci := range t.schema {
+			if ci.Name == o.Col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("engine: top-k order column %q not produced by child", o.Col)
+		}
+	}
+	return nil
+}
+
+// Schema implements Operator.
+func (t *TopK) Schema() []ColInfo { return t.schema }
+
+// Open implements Operator.
+func (t *TopK) Open(ctx context.Context) error {
+	if err := t.child.Open(ctx); err != nil {
+		return err
+	}
+	t.schema = t.child.Schema()
+	t.emitted = false
+	t.out = nil
+	return t.validate()
+}
+
+// valueLess orders two Values of the same kind.
+func valueLess(a, b vector.Value) bool {
+	switch a.Kind {
+	case vector.Str:
+		return a.S < b.S
+	case vector.F64:
+		return a.F < b.F
+	case vector.Bool:
+		return !a.B && b.B
+	default:
+		return a.I < b.I
+	}
+}
+
+// Next implements Operator: the first call drains the child, sorts and
+// truncates; the single result chunk is emitted once.
+func (t *TopK) Next(ctx context.Context) (*vector.Chunk, error) {
+	if t.emitted {
+		return nil, nil
+	}
+	rows, err := collectOpen(ctx, t.child)
+	if err != nil {
+		return nil, err
+	}
+	t.emitted = true
+	orderCols := make([]*vector.Vector, len(t.by))
+	for i, o := range t.by {
+		orderCols[i] = rows.Col(rows.Schema().ColumnIndex(o.Col))
+	}
+	idx := make([]int, rows.Rows())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		a, b := idx[x], idx[y]
+		for i, o := range t.by {
+			va, vb := orderCols[i].Get(a), orderCols[i].Get(b)
+			if va.Equal(vb) {
+				continue
+			}
+			if o.Desc {
+				return valueLess(vb, va)
+			}
+			return valueLess(va, vb)
+		}
+		return false
+	})
+	n := t.k
+	if n > len(idx) {
+		n = len(idx)
+	}
+	sel := make(vector.Sel, n)
+	for i := 0; i < n; i++ {
+		sel[i] = int32(idx[i])
+	}
+	out := vector.NewChunk()
+	for i, ci := range t.schema {
+		out.Add(ci.Name, vector.Condense(rows.Col(i), sel))
+	}
+	t.out = out
+	return out, nil
+}
+
+// Close implements Operator.
+func (t *TopK) Close() error { return t.child.Close() }

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+func topkInput() *vector.DSMStore {
+	st := vector.NewDSMStore(vector.NewSchema("k", vector.I64, "rev", vector.F64, "date", vector.I64))
+	rows := []struct {
+		k    int64
+		rev  float64
+		date int64
+	}{
+		{1, 10.5, 100},
+		{2, 99.0, 300},
+		{3, 99.0, 200}, // ties with row 2 on rev; date breaks it
+		{4, 1.0, 50},
+		{5, 42.0, 400},
+	}
+	for _, r := range rows {
+		st.AppendRow(vector.I64Value(r.k), vector.F64Value(r.rev), vector.I64Value(r.date))
+	}
+	return st
+}
+
+func TestTopKOrderAndTruncation(t *testing.T) {
+	scan, err := NewScan(topkInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := NewTopK(scan, 3, OrderSpec{Col: "rev", Desc: true}, OrderSpec{Col: "date"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := []int64{3, 2, 5} // rev desc, date asc on the tie
+	if out.Rows() != len(wantKeys) {
+		t.Fatalf("rows = %d, want %d", out.Rows(), len(wantKeys))
+	}
+	for i, want := range wantKeys {
+		if got := out.Col(0).I64()[i]; got != want {
+			t.Fatalf("row %d key = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestTopKLargerThanInput(t *testing.T) {
+	scan, err := NewScan(topkInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := NewTopK(scan, 100, OrderSpec{Col: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountRows(context.Background(), tk)
+	if err != nil || n != 5 {
+		t.Fatalf("CountRows = %d, %v; want 5", n, err)
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	scan, err := NewScan(topkInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTopK(scan, 0, OrderSpec{Col: "k"}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewTopK(scan, 3); err == nil {
+		t.Fatal("no order columns accepted")
+	}
+	if _, err := NewTopK(scan, 3, OrderSpec{Col: "nope"}); err == nil {
+		t.Fatal("unknown order column accepted")
+	}
+}
+
+// TestAggFirstSerial: AggFirst carries the first value per group in input
+// order, for numeric and string columns, with and without pre-aggregation.
+func TestAggFirstSerial(t *testing.T) {
+	st := vector.NewDSMStore(vector.NewSchema("g", vector.I64, "s", vector.Str, "v", vector.I64))
+	st.AppendRow(vector.I64Value(1), vector.StrValue("a"), vector.I64Value(10))
+	st.AppendRow(vector.I64Value(2), vector.StrValue("b"), vector.I64Value(20))
+	st.AppendRow(vector.I64Value(1), vector.StrValue("c"), vector.I64Value(30))
+	st.AppendRow(vector.I64Value(2), vector.StrValue("d"), vector.I64Value(40))
+	for _, pre := range []PreAggMode{PreAggOn, PreAggOff, PreAggAdaptive} {
+		scan, err := NewScan(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := NewHashAgg(scan, []string{"g"}, []Aggregate{
+			{Func: AggFirst, Col: "s", As: "first_s"},
+			{Func: AggFirst, Col: "v", As: "first_v"},
+			{Func: AggSum, Col: "v", As: "sum_v"},
+		}).SetPreAgg(pre)
+		out, err := Collect(context.Background(), agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Rows() != 2 {
+			t.Fatalf("pre=%v: groups = %d, want 2", pre, out.Rows())
+		}
+		sch := out.Schema()
+		firstS := out.Col(sch.ColumnIndex("first_s")).Str()
+		firstV := out.Col(sch.ColumnIndex("first_v")).I64()
+		if firstS[0] != "a" || firstS[1] != "b" || firstV[0] != 10 || firstV[1] != 20 {
+			t.Fatalf("pre=%v: firsts = %v %v", pre, firstS, firstV)
+		}
+	}
+}

@@ -33,6 +33,34 @@ func PlanQ1(st *advm.Table) *advm.Plan {
 			advm.Agg{Func: advm.AggCount, As: "count_order"})
 }
 
+// PlanQ3 builds TPC-H Q3, the shipping-priority query, as a public plan:
+//
+//	customer(σ segment) ⟵build⟶ orders(σ orderdate) ⟵build⟶ lineitem(σ shipdate)
+//	→ revenue = l_extendedprice·(1−l_discount)
+//	→ group by l_orderkey (carrying o_orderdate, o_shippriority)
+//	→ top-K by revenue desc, o_orderdate asc
+//
+// It is the first multi-join scenario: under WithParallelism the lineitem
+// probe fans out across morsel workers, both build sides are hashed in
+// parallel into shared read-only tables, and the grouped aggregation folds
+// worker-locally — with results byte-identical to serial execution.
+func PlanQ3(li, ord, cust *advm.Table, p Q3Params) *advm.Plan {
+	customers := advm.Scan(cust, "c_custkey", "c_segkey").
+		Filter(fmt.Sprintf(`(\s -> s == %d)`, p.Segment), "c_segkey")
+	orders := advm.Scan(ord, "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority").
+		Filter(fmt.Sprintf(`(\d -> d < %d)`, p.Date), "o_orderdate").
+		Join(customers, "o_custkey", "c_custkey")
+	return advm.Scan(li, "l_orderkey", "l_extendedprice", "l_discount", "l_shipdate").
+		Filter(fmt.Sprintf(`(\d -> d > %d)`, p.Date), "l_shipdate").
+		Join(orders, "l_orderkey", "o_orderkey", "o_orderdate", "o_shippriority").
+		Compute("revenue", `(\p d -> p * (1.0 - d))`, advm.F64, "l_extendedprice", "l_discount").
+		Aggregate([]string{"l_orderkey"},
+			advm.Agg{Func: advm.AggSum, Col: "revenue", As: "revenue"},
+			advm.Agg{Func: advm.AggFirst, Col: "o_orderdate", As: "o_orderdate"},
+			advm.Agg{Func: advm.AggFirst, Col: "o_shippriority", As: "o_shippriority"}).
+		TopK(p.TopK, advm.Order{Col: "revenue", Desc: true}, advm.Order{Col: "o_orderdate"})
+}
+
 // PlanQ6 builds TPC-H Q6 (three filters → revenue → global sum) as a public
 // plan.
 func PlanQ6(st *advm.Table, p Q6Params) *advm.Plan {

@@ -1,0 +1,137 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vector"
+)
+
+// Q3Params parameterize TPC-H Q3 (the shipping-priority query) mapped onto
+// the generator's domains: customers of one market segment, orders placed
+// before Date, lineitems shipped after Date, top-K orders by revenue.
+type Q3Params struct {
+	// Segment is the market-segment dictionary code (index into MktSegments).
+	Segment int64
+	// Date splits o_orderdate (<) and l_shipdate (>).
+	Date int64
+	// TopK bounds the result.
+	TopK int
+}
+
+// DefaultQ3Params selects the BUILDING segment around the domain midpoint,
+// the standard top-10.
+func DefaultQ3Params() Q3Params { return Q3Params{Segment: 1, Date: 1100, TopK: 10} }
+
+// Q3Row is one Q3 result row.
+type Q3Row struct {
+	Orderkey     int64
+	Revenue      float64
+	Orderdate    int64
+	Shippriority int64
+}
+
+// Q3Result is the Q3 answer: up to TopK rows ordered by revenue descending,
+// then orderdate ascending (ties broken by orderkey ascending).
+type Q3Result []Q3Row
+
+// Equal compares results with a floating tolerance on revenue.
+func (r Q3Result) Equal(other Q3Result, eps float64) error {
+	if len(r) != len(other) {
+		return fmt.Errorf("row count %d vs %d", len(r), len(other))
+	}
+	for i := range r {
+		a, b := r[i], other[i]
+		if a.Orderkey != b.Orderkey || a.Orderdate != b.Orderdate || a.Shippriority != b.Shippriority {
+			return fmt.Errorf("row %d: %+v vs %+v", i, a, b)
+		}
+		d := a.Revenue - b.Revenue
+		if d < 0 {
+			d = -d
+		}
+		scale := a.Revenue
+		if scale < 0 {
+			scale = -scale
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		if d > eps*scale {
+			return fmt.Errorf("row %d revenue %v vs %v", i, a.Revenue, b.Revenue)
+		}
+	}
+	return nil
+}
+
+// Q3HyPer answers Q3 with hand-written tuple-at-a-time loops — the
+// statically compiled data-centric baseline: a customer semi-join set, an
+// orders hash table, one pass over lineitem accumulating revenue per order
+// in table order, then the top-K sort.
+func Q3HyPer(li, ord, cust *vector.DSMStore, p Q3Params) Q3Result {
+	csch := cust.Schema()
+	custkey := cust.Col(csch.ColumnIndex("c_custkey")).I64()
+	segkey := cust.Col(csch.ColumnIndex("c_segkey")).I64()
+	inSegment := make(map[int64]bool, len(custkey))
+	for i := range custkey {
+		if segkey[i] == p.Segment {
+			inSegment[custkey[i]] = true
+		}
+	}
+
+	osch := ord.Schema()
+	orderkey := ord.Col(osch.ColumnIndex("o_orderkey")).I64()
+	orderdate := ord.Col(osch.ColumnIndex("o_orderdate")).I64()
+	ocustkey := ord.Col(osch.ColumnIndex("o_custkey")).I64()
+	prio := ord.Col(osch.ColumnIndex("o_shippriority")).I64()
+	type ordInfo struct {
+		date, prio int64
+	}
+	orders := make(map[int64]ordInfo, len(orderkey))
+	for i := range orderkey {
+		if orderdate[i] < p.Date && inSegment[ocustkey[i]] {
+			orders[orderkey[i]] = ordInfo{date: orderdate[i], prio: prio[i]}
+		}
+	}
+
+	lsch := li.Schema()
+	lorderkey := li.Col(lsch.ColumnIndex("l_orderkey")).I64()
+	price := li.Col(lsch.ColumnIndex("l_extendedprice")).F64()
+	disc := li.Col(lsch.ColumnIndex("l_discount")).F64()
+	ship := li.Col(lsch.ColumnIndex("l_shipdate")).I64()
+	revenue := make(map[int64]float64, len(orders))
+	for i := range lorderkey {
+		if ship[i] <= p.Date {
+			continue
+		}
+		if _, ok := orders[lorderkey[i]]; !ok {
+			continue
+		}
+		revenue[lorderkey[i]] += price[i] * (1 - disc[i])
+	}
+
+	out := make(Q3Result, 0, len(revenue))
+	for k, rev := range revenue {
+		o := orders[k]
+		out = append(out, Q3Row{Orderkey: k, Revenue: rev, Orderdate: o.date, Shippriority: o.prio})
+	}
+	return SortQ3(out, p.TopK)
+}
+
+// SortQ3 orders rows canonically — revenue descending, orderdate ascending,
+// orderkey ascending — and truncates to k (k ≤ 0 keeps everything). This is
+// the ordering the engine's TopK produces over the key-sorted aggregation.
+func SortQ3(rs Q3Result, k int) Q3Result {
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].Revenue != rs[b].Revenue {
+			return rs[a].Revenue > rs[b].Revenue
+		}
+		if rs[a].Orderdate != rs[b].Orderdate {
+			return rs[a].Orderdate < rs[b].Orderdate
+		}
+		return rs[a].Orderkey < rs[b].Orderkey
+	})
+	if k > 0 && len(rs) > k {
+		rs = rs[:k]
+	}
+	return rs
+}

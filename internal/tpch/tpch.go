@@ -102,7 +102,9 @@ func GenLineitem(sf float64, seed int64) *vector.DSMStore {
 }
 
 // GenOrders generates a small orders table keyed compatibly with lineitem's
-// l_orderkey (for the join experiments).
+// l_orderkey (for the join experiments). Ship priorities follow TPC-H's
+// small integer domain so Q3 has a carried column that is functionally
+// dependent on the order key.
 func GenOrders(sf float64, seed int64) *vector.DSMStore {
 	n := int(sf*LineitemRows) / 4
 	rng := rand.New(rand.NewSource(seed + 1))
@@ -110,12 +112,44 @@ func GenOrders(sf float64, seed int64) *vector.DSMStore {
 		"o_orderkey", vector.I64,
 		"o_orderdate", vector.I64,
 		"o_custkey", vector.I64,
+		"o_shippriority", vector.I64,
 	))
 	for i := 0; i < n; i++ {
 		st.AppendRow(
 			vector.I64Value(int64(i+1)),
 			vector.I64Value(int64(rng.Intn(ShipdateMax))),
 			vector.I64Value(rng.Int63n(int64(n/10+1))),
+			vector.I64Value(int64(rng.Intn(3))),
+		)
+	}
+	return st
+}
+
+// MktSegments are the customer market segments, indexed by segment key. The
+// DSL has no string predicates, so queries filter on the dictionary code
+// (c_segkey) and the name column exists for presentation — exactly how a
+// dictionary-encoded column behaves in a real columnar store.
+var MktSegments = [...]string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+// GenCustomer generates the customer table keyed compatibly with GenOrders'
+// o_custkey domain at the same scale factor.
+func GenCustomer(sf float64, seed int64) *vector.DSMStore {
+	nOrders := int(sf*LineitemRows) / 4
+	n := nOrders/10 + 1
+	rng := rand.New(rand.NewSource(seed + 2))
+	st := vector.NewDSMStore(vector.NewSchema(
+		"c_custkey", vector.I64,
+		"c_segkey", vector.I64,
+		"c_mktsegment", vector.Str,
+		"c_nationkey", vector.I64,
+	))
+	for i := 0; i < n; i++ {
+		seg := rng.Intn(len(MktSegments))
+		st.AppendRow(
+			vector.I64Value(int64(i)),
+			vector.I64Value(int64(seg)),
+			vector.StrValue(MktSegments[seg]),
+			vector.I64Value(int64(rng.Intn(25))),
 		)
 	}
 	return st

@@ -1,10 +1,13 @@
 package tpch
 
 import (
+	"os"
 	"testing"
 
+	"repro/advm"
 	"repro/internal/engine"
 	"repro/internal/jit"
+	"repro/internal/vector"
 )
 
 func TestGeneratorDistributions(t *testing.T) {
@@ -161,6 +164,157 @@ func TestGenOrdersJoinable(t *testing.T) {
 	}
 	if out.Rows() == 0 {
 		t.Fatal("join produced nothing; keys incompatible")
+	}
+}
+
+func TestGenCustomerJoinable(t *testing.T) {
+	ord := GenOrders(0.002, 5)
+	cust := GenCustomer(0.002, 5)
+	if cust.Rows() == 0 {
+		t.Fatal("no customers")
+	}
+	csch := cust.Schema()
+	custkey := cust.Col(csch.ColumnIndex("c_custkey")).I64()
+	segkey := cust.Col(csch.ColumnIndex("c_segkey")).I64()
+	seg := cust.Col(csch.ColumnIndex("c_mktsegment")).Str()
+	keys := map[int64]bool{}
+	for i := range custkey {
+		keys[custkey[i]] = true
+		if seg[i] != MktSegments[segkey[i]] {
+			t.Fatalf("segment name %q does not match code %d", seg[i], segkey[i])
+		}
+	}
+	osch := ord.Schema()
+	ocust := ord.Col(osch.ColumnIndex("o_custkey")).I64()
+	matched := 0
+	for _, k := range ocust {
+		if keys[k] {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no order references a generated customer")
+	}
+	prio := ord.Col(osch.ColumnIndex("o_shippriority")).I64()
+	for _, p := range prio {
+		if p < 0 || p > 2 {
+			t.Fatalf("shippriority out of range: %d", p)
+		}
+	}
+}
+
+// collectQ3 drains a Q3 plan through the public cursor.
+func collectQ3(t *testing.T, workers int, li, ord, cust *vector.DSMStore, p Q3Params) Q3Result {
+	t.Helper()
+	sess, err := advm.NewSession(
+		advm.WithParallelism(workers),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	rows, err := sess.Query(t.Context(), PlanQ3(li, ord, cust, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var out Q3Result
+	for rows.Next() {
+		var r Q3Row
+		if err := rows.Scan(&r.Orderkey, &r.Revenue, &r.Orderdate, &r.Shippriority); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestQ3StrategiesAgree: the engine's Q3 plan must agree with the
+// hand-written tuple-at-a-time reference, serially and in parallel.
+func TestQ3StrategiesAgree(t *testing.T) {
+	li := GenLineitem(0.005, 42)
+	ord := GenOrders(0.005, 42)
+	cust := GenCustomer(0.005, 42)
+	p := DefaultQ3Params()
+	want := Q3HyPer(li, ord, cust, p)
+	if len(want) != p.TopK {
+		t.Fatalf("reference rows = %d, want %d (tune params for the generator)", len(want), p.TopK)
+	}
+	for _, workers := range []int{1, 4} {
+		got := collectQ3(t, workers, li, ord, cust, p)
+		if err := want.Equal(got, 1e-9); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, table := range []string{"lineitem", "orders", "customer"} {
+		want, err := Gen(table, 0.001, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := dir + "/" + TableFile(table, 0.001, 9)
+		if err := SaveTable(path, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadTable(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rows() != want.Rows() {
+			t.Fatalf("%s: rows %d vs %d", table, got.Rows(), want.Rows())
+		}
+		sch := want.Schema()
+		gsch := got.Schema()
+		for c := range sch.Names {
+			if gsch.Names[c] != sch.Names[c] || gsch.Kinds[c] != sch.Kinds[c] {
+				t.Fatalf("%s: schema col %d %s/%v vs %s/%v", table, c,
+					gsch.Names[c], gsch.Kinds[c], sch.Names[c], sch.Kinds[c])
+			}
+			for r := 0; r < want.Rows(); r++ {
+				if !got.Col(c).Get(r).Equal(want.Col(c).Get(r)) {
+					t.Fatalf("%s: col %s row %d differs", table, sch.Names[c], r)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadOrGenReuses(t *testing.T) {
+	dir := t.TempDir()
+	a, err := LoadOrGen(dir, "customer", 0.002, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadOrGen(dir, "customer", 0.002, 3) // second call loads the saved file
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows() != b.Rows() {
+		t.Fatalf("rows %d vs %d", a.Rows(), b.Rows())
+	}
+	if _, err := LoadOrGen(dir, "nope", 0.002, 3); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	// A corrupted cache file is regenerated, not fatal.
+	path := dir + "/" + TableFile("customer", 0.002, 3)
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadOrGen(dir, "customer", 0.002, 3)
+	if err != nil {
+		t.Fatalf("corrupted cache not regenerated: %v", err)
+	}
+	if c.Rows() != a.Rows() {
+		t.Fatalf("regenerated rows %d vs %d", c.Rows(), a.Rows())
+	}
+	if reloaded, err := LoadTable(path); err != nil || reloaded.Rows() != a.Rows() {
+		t.Fatalf("cache not repaired: %v", err)
 	}
 }
 
