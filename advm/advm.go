@@ -64,6 +64,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/dsl"
@@ -95,8 +96,10 @@ type Session struct {
 	queries atomic.Int64
 	closed  atomic.Bool
 
-	mu         sync.Mutex
-	placements []Placement
+	mu               sync.Mutex
+	placements       []Placement
+	morselPlacements map[string]int64
+	morselTransfer   time.Duration
 }
 
 // NewSession creates a standalone query-only session (no compiled program):
@@ -273,6 +276,18 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 	}
 	workers := s.eng.pool.acquire(s.opt.parallelism)
 	b := &builder{s: s, workers: workers}
+	if workers > 1 && s.opt.device != DeviceCPU {
+		// Heterogeneous execution: worker pipelines get a DeviceExec top, so
+		// every dispatched morsel is costed and placed (adaptively for
+		// DeviceAuto, pinned for DeviceGPU) on the engine-global devices.
+		placer, gpuDev := s.eng.placementBackend()
+		b.rec = engine.NewPlacementRecorder()
+		if s.opt.device == DeviceGPU {
+			b.forced = gpuDev
+		} else {
+			b.placer = placer
+		}
+	}
 	op, err := plan.build(b)
 	if err != nil {
 		s.eng.pool.release(workers)
@@ -286,6 +301,10 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 		// Nothing in the plan could fan out; return the permits immediately.
 		s.eng.pool.release(workers)
 	}
+	if b.exchanges == 0 {
+		// Nothing fanned out, so no DeviceExec was instantiated either.
+		b.rec = nil
+	}
 	if err := op.Open(ctx); err != nil {
 		op.Close()
 		if errors.Is(err, engine.ErrExpr) {
@@ -297,7 +316,23 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 		return nil, tagged(ErrBind, err)
 	}
 	s.queries.Add(1)
-	return &Rows{ctx: ctx, op: op, schema: op.Schema()}, nil
+	return &Rows{ctx: ctx, op: op, schema: op.Schema(), sess: s, rec: b.rec}, nil
+}
+
+// mergeMorselPlacements folds one completed query's placement counts into
+// the session's lifetime totals (observable via Stats).
+func (s *Session) mergeMorselPlacements(rec *engine.PlacementRecorder) {
+	counts := rec.Counts()
+	transfer := rec.Transfer()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.morselPlacements == nil {
+		s.morselPlacements = make(map[string]int64, len(counts))
+	}
+	for dev, n := range counts {
+		s.morselPlacements[dev] += n
+	}
+	s.morselTransfer += transfer
 }
 
 // releaseOp returns pooled workers when the pipeline closes.

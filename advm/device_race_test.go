@@ -1,0 +1,131 @@
+package advm_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/advm"
+)
+
+// TestEnginePlacerConcurrentSessions: the device placer is engine-global,
+// so concurrent sessions sharing one Engine feed EWMA bias and decision
+// counts from many goroutines at once — morsel placements from parallel
+// queries and whole-program placements from Session.Run. Run under -race in
+// CI; the assertion is byte-identical results plus a consistent decision
+// total.
+func TestEnginePlacerConcurrentSessions(t *testing.T) {
+	st := deviceTestTable(120_000)
+
+	eng, err := advm.NewEngine(
+		advm.WithParallelism(8),
+		advm.WithMorselLen(8192),
+		advm.WithDevicePolicy(advm.DeviceAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ref, err := advm.NewSession(advm.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, _ := collectAll(t, ref, devicePlanAgg(st))
+
+	const sessions = 6
+	const queriesPerSession = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for sIdx := 0; sIdx < sessions; sIdx++ {
+		wg.Add(1)
+		go func(sIdx int) {
+			defer wg.Done()
+			sess, err := eng.Session()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sess.Close()
+			for q := 0; q < queriesPerSession; q++ {
+				rows, err := sess.Query(context.Background(), devicePlanAgg(st))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var got [][]advm.Value
+				n := len(rows.Columns())
+				for rows.Next() {
+					row := make([]advm.Value, n)
+					dests := make([]any, n)
+					for i := range row {
+						dests[i] = &row[i]
+					}
+					if err := rows.Scan(dests...); err != nil {
+						rows.Close()
+						errs <- err
+						return
+					}
+					got = append(got, row)
+				}
+				err = rows.Err()
+				rows.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !sameValues(want, got) {
+					errs <- errMismatch{sIdx, q}
+					return
+				}
+			}
+			// Program runs exercise the whole-program placement path of the
+			// same engine-global placer.
+			prep, err := sess.Prepare(
+				`let a = map (\x -> (x * 3)) (read 0 d)`+"\nwrite out 0 a",
+				map[string]advm.Kind{"d": advm.I64, "out": advm.I64})
+			if err != nil {
+				errs <- err
+				return
+			}
+			data := make([]int64, 4096)
+			for r := 0; r < 5; r++ {
+				out := advm.NewVector(advm.I64, 0, len(data))
+				if err := sess.RunPrepared(context.Background(), prep, map[string]*advm.Vector{
+					"d": advm.FromI64(data), "out": out,
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(sIdx)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// A query that runs with granted workers dispatches ceil(rows/morselLen)
+	// placed morsels. Spot-check on a fresh, uncontended session.
+	wantMorsels := int64((st.Rows() + 8192 - 1) / 8192)
+	var total int64
+	sess, err := eng.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	_, place := collectAll(t, sess, devicePlanAgg(st))
+	for _, n := range place {
+		total += n
+	}
+	if total != wantMorsels {
+		t.Fatalf("fresh session placed %d morsels, want %d (%v)", total, wantMorsels, place)
+	}
+}
+
+type errMismatch struct{ session, query int }
+
+func (e errMismatch) Error() string {
+	return "session result differs from serial CPU reference"
+}

@@ -1,0 +1,200 @@
+package advm_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/advm"
+)
+
+// deviceTestTable builds a table big enough that morsels are large and the
+// modeled GPU's throughput advantage can beat PCIe transfer.
+func deviceTestTable(rows int) *advm.Table {
+	st := advm.NewTable(advm.NewSchema("k", advm.I64, "v", advm.F64))
+	for i := 0; i < rows; i++ {
+		st.AppendRow(advm.I64Value(int64(i%1000)), advm.F64Value(float64(i%97)*1.5))
+	}
+	return st
+}
+
+func devicePlanAgg(st *advm.Table) *advm.Plan {
+	return advm.Scan(st, "k", "v").
+		Filter(`(\k -> k < 900)`, "k").
+		Compute("w", `(\v -> v * 1.5 + 2.0)`, advm.F64, "v").
+		Aggregate(nil, advm.Agg{Func: advm.AggSum, Col: "w", As: "sum_w"})
+}
+
+func devicePlanStream(st *advm.Table) *advm.Plan {
+	return advm.Scan(st, "k", "v").
+		Filter(`(\k -> k < 500)`, "k").
+		Compute("w", `(\v -> v + 1.0)`, advm.F64, "v")
+}
+
+// collectAll drains a query into boxed values.
+func collectAll(t *testing.T, sess *advm.Session, plan *advm.Plan) ([][]advm.Value, map[string]int64) {
+	t.Helper()
+	rows, err := sess.Query(context.Background(), plan)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	defer rows.Close()
+	n := len(rows.Columns())
+	var out [][]advm.Value
+	for rows.Next() {
+		row := make([]advm.Value, n)
+		dests := make([]any, n)
+		for i := range row {
+			dests[i] = &row[i]
+		}
+		if err := rows.Scan(dests...); err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		out = append(out, row)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	return out, rows.Placements()
+}
+
+// sameValues compares result sets bit-for-bit (floats by their bits).
+func sameValues(a, b [][]advm.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for c := range a[i] {
+			x, y := a[i][c], b[i][c]
+			if x.Kind != y.Kind {
+				return false
+			}
+			if x.Kind == advm.F64 {
+				if math.Float64bits(x.F) != math.Float64bits(y.F) {
+					return false
+				}
+			} else if !x.Equal(y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMorselPlacementAuto: under the adaptive policy, large morsels of a
+// parallel aggregation land on the simulated GPU once columns are resident,
+// results stay byte-identical to CPU-only execution, and the decisions are
+// visible per query (Rows.Placements) and per session (Stats).
+func TestMorselPlacementAuto(t *testing.T) {
+	st := deviceTestTable(200_000)
+
+	ref, err := advm.NewSession(advm.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, refPlace := collectAll(t, ref, devicePlanAgg(st))
+	if refPlace != nil {
+		t.Fatalf("serial CPU query reported placements: %v", refPlace)
+	}
+
+	sess, err := advm.NewSession(
+		advm.WithParallelism(4),
+		advm.WithMorselLen(16384),
+		advm.WithDevicePolicy(advm.DeviceAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	var lastPlace map[string]int64
+	for run := 0; run < 3; run++ {
+		got, place := collectAll(t, sess, devicePlanAgg(st))
+		if !sameValues(want, got) {
+			t.Fatalf("run %d: adaptive-policy result differs from serial CPU", run)
+		}
+		lastPlace = place
+	}
+	if lastPlace == nil {
+		t.Fatal("adaptive parallel query reported no placements")
+	}
+	total := int64(0)
+	for _, n := range lastPlace {
+		total += n
+	}
+	wantMorsels := int64((st.Rows() + 16384 - 1) / 16384)
+	if total != wantMorsels {
+		t.Fatalf("placed %d morsels, want %d (placements %v)", total, wantMorsels, lastPlace)
+	}
+	// By the third run the scanned columns are device-resident and morsels
+	// are large, so the adaptive policy must offload at least some of them.
+	if lastPlace["gpu"] == 0 {
+		t.Fatalf("adaptive policy never offloaded a resident large morsel: %v", lastPlace)
+	}
+	stats := sess.Stats()
+	if stats.MorselPlacements == nil {
+		t.Fatal("Stats.MorselPlacements is nil after placed queries")
+	}
+	var statTotal int64
+	for _, n := range stats.MorselPlacements {
+		statTotal += n
+	}
+	if statTotal != 3*wantMorsels {
+		t.Fatalf("session accumulated %d placements, want %d", statTotal, 3*wantMorsels)
+	}
+}
+
+// TestMorselPlacementForcedGPU: the pinned GPU policy places every morsel on
+// the device, charges modeled transfer, and still produces bytes identical
+// to CPU execution (the device executes on the host).
+func TestMorselPlacementForcedGPU(t *testing.T) {
+	st := deviceTestTable(60_000)
+
+	ref, err := advm.NewSession(advm.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, _ := collectAll(t, ref, devicePlanStream(st))
+
+	sess, err := advm.NewSession(
+		advm.WithParallelism(2),
+		advm.WithMorselLen(8192),
+		advm.WithDevicePolicy(advm.DeviceGPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	got, place := collectAll(t, sess, devicePlanStream(st))
+	if !sameValues(want, got) {
+		t.Fatal("forced-GPU result differs from serial CPU")
+	}
+	wantMorsels := int64((st.Rows() + 8192 - 1) / 8192)
+	if place["gpu"] != wantMorsels || place["cpu"] != 0 {
+		t.Fatalf("forced GPU placed %v, want all %d morsels on gpu", place, wantMorsels)
+	}
+	if tr := sess.Stats().MorselTransfer; tr <= 0 {
+		t.Fatalf("forced GPU accumulated no modeled transfer time (%v)", tr)
+	}
+}
+
+// TestMorselPlacementCPUPolicy: the default CPU policy instantiates no
+// placement machinery at all.
+func TestMorselPlacementCPUPolicy(t *testing.T) {
+	st := deviceTestTable(40_000)
+	sess, err := advm.NewSession(advm.WithParallelism(2), advm.WithMorselLen(8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	_, place := collectAll(t, sess, devicePlanAgg(st))
+	if place != nil {
+		t.Fatalf("CPU-only query reported placements: %v", place)
+	}
+	if st := sess.Stats(); st.MorselPlacements != nil || st.MorselTransfer != 0 {
+		t.Fatalf("CPU-only session accumulated placement state: %+v", st.MorselPlacements)
+	}
+}

@@ -242,6 +242,17 @@ func (e *Engine) Stats() EngineStats {
 	}
 }
 
+// placementBackend returns the engine-global placer and modeled GPU for
+// morsel-level query placement, instantiating them lazily. The returned
+// pointers are immutable once set, so callers use them without holding the
+// engine's lock.
+func (e *Engine) placementBackend() (*device.Placer, device.Device) {
+	e.ensureGPU()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.placer, e.gpu
+}
+
 // choosePlacement runs the engine's placement policy for one execution
 // (guarded: the placer learns from every decision).
 func (e *Engine) choosePlacement(policy DeviceKind, k device.Kernel) string {

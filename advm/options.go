@@ -21,6 +21,7 @@ type options struct {
 	jitEnabled  bool // trace compilation in query expression VMs
 	chunkLen    int  // scan chunk length for queries (0 = DefaultChunkLen)
 	parallelism int  // workers per query (≤1 = serial)
+	morselLen   int  // dispatch granularity for parallel queries (0 = default)
 	device      DeviceKind
 }
 
@@ -171,6 +172,23 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithMorselLen sets the dispatch granularity of parallel queries: the
+// number of rows per morsel handed to a worker (default
+// morsel.DefaultMorselLen). It is also the unit of device placement under
+// WithDevicePolicy — each morsel is costed and placed as one kernel — so
+// smaller morsels give the placer more, finer decisions at higher dispatch
+// overhead. Morsel length never affects results: chunks merge in table
+// order at any granularity.
+func WithMorselLen(n int) Option {
+	return func(o *options) error {
+		if n <= 0 {
+			return fmt.Errorf("morsel length must be positive, got %d", n)
+		}
+		o.morselLen = n
+		return nil
+	}
+}
+
 // WithChunkLen sets the number of rows per chunk pulled by query table
 // scans (default DefaultChunkLen). Smaller chunks tighten cancellation
 // latency and cache footprint; larger chunks amortize interpretation
@@ -223,3 +241,29 @@ func WithDevice(d DeviceKind) Option {
 		return fmt.Errorf("unknown device policy %v", d)
 	}
 }
+
+// WithDevicePolicy selects the device-placement policy for both program
+// runs and relational queries (it is WithDevice under the name the
+// heterogeneous-execution documentation uses).
+//
+// For queries executing with WithParallelism(n) > 1, the policy governs
+// where each dispatched morsel of a streaming segment — a scan with its
+// filters, computes and join probes — runs:
+//
+//   - DeviceCPU (default): every morsel on the host workers; no placement
+//     machinery is instantiated at all.
+//   - DeviceGPU: every morsel is executed under the modeled GPU, which
+//     charges launch overhead, PCIe transfers for non-resident columns and
+//     HBM-bandwidth/throughput-limited compute.
+//   - DeviceAuto: the engine-global placer costs each morsel on both
+//     devices (bias-corrected by EWMA feedback from observed CPU wall time
+//     and modeled GPU time) and picks the cheaper one. Scanned columns that
+//     were transferred become resident on the device, so repeated queries
+//     over the same table shift large scans toward the accelerator while
+//     small or cold morsels stay on the CPU.
+//
+// Results are byte-identical under every policy and every worker count: the
+// modeled GPU executes on the host, so placement only re-schedules work.
+// Decisions are observable per query via Rows.Placements and per session
+// via Stats.MorselPlacements.
+func WithDevicePolicy(d DeviceKind) Option { return WithDevice(d) }

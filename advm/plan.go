@@ -2,7 +2,9 @@ package advm
 
 import (
 	"context"
+	"fmt"
 
+	"repro/internal/device"
 	"repro/internal/engine"
 )
 
@@ -153,12 +155,18 @@ func (p *Plan) TopK(k int, by ...Order) *Plan {
 }
 
 // builder carries per-query instantiation state: the session's options, the
-// granted worker count, and the shared join tables of this query.
+// granted worker count, the shared join tables of this query, and — when the
+// session's device policy is not CPU-only — the placement machinery that
+// wraps worker pipelines in DeviceExec.
 type builder struct {
 	s         *Session
 	workers   int
 	exchanges int // parallel structures instantiated (0 → the grant can be returned)
 	shared    map[*Plan]*engine.SharedJoinTable
+
+	placer *device.Placer            // adaptive policy: choose per morsel
+	forced device.Device             // pinned policy: every morsel on this device
+	rec    *engine.PlacementRecorder // non-nil → device placement is on
 }
 
 // segment walks from p down through streaming stages — filters, computes and
@@ -228,12 +236,16 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 				if err != nil {
 					return nil, err
 				}
-				pa, err := engine.NewParallelAgg(scan.table, scan.columns, b.workers, mk, p.keys, p.aggs)
+				pa, err := engine.NewParallelAgg(scan.table, scan.columns, b.workers,
+					b.placedMaker(mk, scan, stages), p.keys, p.aggs)
 				if err != nil {
 					return nil, err
 				}
 				if b.s.opt.chunkLen > 0 {
 					pa.SetChunkLen(b.s.opt.chunkLen)
+				}
+				if b.s.opt.morselLen > 0 {
+					pa.SetMorselLen(b.s.opt.morselLen)
 				}
 				b.exchanges++
 				return pa, nil
@@ -353,9 +365,9 @@ func (b *builder) sharedJoin(p *Plan) (*engine.SharedJoinTable, error) {
 				return nil, err
 			}
 			store, columns := scan.table, scan.columns
-			workers, chunkLen, key := b.workers, b.s.opt.chunkLen, p.buildKey
+			workers, chunkLen, morselLen, key := b.workers, b.s.opt.chunkLen, b.s.opt.morselLen, p.buildKey
 			s = engine.NewSharedJoinTable(probe.Schema(), func(ctx context.Context) (*engine.JoinTable, error) {
-				return engine.BuildJoinTableParallel(ctx, store, columns, workers, chunkLen, 0, key, mk)
+				return engine.BuildJoinTableParallel(ctx, store, columns, workers, chunkLen, morselLen, key, mk)
 			})
 			b.exchanges++
 		}
@@ -400,12 +412,76 @@ func (p *Plan) buildExchange(b *builder) (engine.Operator, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	ex, err := engine.NewExchange(scan.table, scan.columns, b.workers, mk)
+	ex, err := engine.NewExchange(scan.table, scan.columns, b.workers, b.placedMaker(mk, scan, stages))
 	if err != nil {
 		return nil, false, err
 	}
 	if b.s.opt.chunkLen > 0 {
 		ex.SetChunkLen(b.s.opt.chunkLen)
 	}
+	if b.s.opt.morselLen > 0 {
+		ex.SetMorselLen(b.s.opt.morselLen)
+	}
 	return ex, true, nil
+}
+
+// placedMaker wraps a worker-pipeline maker so every worker's pipeline top
+// is a DeviceExec carrying the segment's kernel spec — the hook through
+// which the exchange dispatch loops place each morsel on a device. With the
+// CPU-only policy (no recorder) the maker passes through untouched and the
+// query runs exactly as before.
+func (b *builder) placedMaker(mk func(int, engine.Operator) (engine.Operator, error),
+	scan *Plan, stages []*Plan) func(int, engine.Operator) (engine.Operator, error) {
+	if b.rec == nil {
+		return mk
+	}
+	spec := kernelSpec(scan, stages)
+	return func(w int, leaf engine.Operator) (engine.Operator, error) {
+		op, err := mk(w, leaf)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewDeviceExec(op, b.placer, b.forced, spec, b.rec), nil
+	}
+}
+
+// kernelSpec derives the per-morsel cost template of a streaming segment
+// from the plan: input volume from the scanned columns' widths, residency
+// keys from the table's identity (so repeated queries over the same table
+// hit the device's residency cache), and arithmetic intensity from the
+// stages stacked on the scan. The identity includes the row count, so a
+// table that grew since its columns became resident re-transfers instead
+// of reading stale residency (and a recycled allocation only aliases an
+// old key if it also matches the old size).
+func kernelSpec(scan *Plan, stages []*Plan) engine.KernelSpec {
+	sch := scan.table.Schema()
+	cols := scan.columns
+	if len(cols) == 0 {
+		cols = sch.Names
+	}
+	key := fmt.Sprintf("tbl%p/r%d", scan.table, scan.table.Rows())
+	spec := engine.KernelSpec{Name: "segment@" + key}
+	for _, c := range cols {
+		spec.Inputs = append(spec.Inputs, key+"."+c)
+		if i := sch.ColumnIndex(c); i >= 0 {
+			spec.RowBytes += sch.Kinds[i].Width()
+		}
+	}
+	// Per-row cost approximation: a scan touches every element once; each
+	// filter evaluates a predicate (≈2 ops), each compute its arithmetic
+	// (≈2 ops + one per extra input), each probe hashes and chases (≈6).
+	ops := 1.0
+	for _, st := range stages {
+		switch st.kind {
+		case planFilter:
+			ops += 2
+		case planCompute:
+			ops += 2 + float64(len(st.cols))
+		case planJoin:
+			ops += 6
+		}
+	}
+	spec.OpsPerElem = ops
+	spec.OutRowBytes = spec.RowBytes
+	return spec
 }

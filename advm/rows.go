@@ -28,6 +28,8 @@ type Rows struct {
 	ctx    context.Context
 	op     engine.Operator
 	schema []engine.ColInfo
+	sess   *Session
+	rec    *engine.PlacementRecorder // non-nil when device placement is on
 
 	chunk *vector.Chunk
 	cols  []*vector.Vector // chunk columns resolved in schema order
@@ -209,6 +211,17 @@ func (r *Rows) Count() (int64, error) {
 // surfaces here as ErrCancelled.
 func (r *Rows) Err() error { return r.err }
 
+// Placements returns this query's morsel placement counts per device
+// ("cpu", "gpu") so far — live while the stream is being consumed, final
+// once it is drained or closed. It returns nil when the query runs without
+// device placement (CPU-only policy, or nothing fanned out).
+func (r *Rows) Placements() map[string]int64 {
+	if r.rec == nil {
+		return nil
+	}
+	return r.rec.Counts()
+}
+
 // Close releases the pipeline's resources. It is idempotent and implied by
 // exhausting Next.
 func (r *Rows) Close() error {
@@ -223,4 +236,7 @@ func (r *Rows) close() {
 	r.done = true
 	r.chunk = nil
 	r.op.Close()
+	if r.rec != nil && r.sess != nil {
+		r.sess.mergeMorselPlacements(r.rec)
+	}
 }

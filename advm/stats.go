@@ -61,8 +61,16 @@ type Stats struct {
 	GuardFailures int64
 	// Instructions is the per-instruction interpreter profile.
 	Instructions []InstrStat
-	// Placements records device decisions, newest last.
+	// Placements records device decisions of program runs, newest last.
 	Placements []Placement
+	// MorselPlacements counts the morsels this session's parallel queries
+	// dispatched to each device ("cpu", "gpu") under WithDevicePolicy,
+	// accumulated as queries complete. Nil when no placed query has
+	// finished.
+	MorselPlacements map[string]int64
+	// MorselTransfer is the modeled PCIe transfer time accumulated by
+	// GPU-placed morsels (zero when everything stayed on the CPU).
+	MorselTransfer time.Duration
 }
 
 // Stats snapshots the session's counters, state machine log,
@@ -76,6 +84,13 @@ func (s *Session) Stats() Stats {
 	}
 	s.mu.Lock()
 	st.Placements = append([]Placement(nil), s.placements...)
+	if s.morselPlacements != nil {
+		st.MorselPlacements = make(map[string]int64, len(s.morselPlacements))
+		for dev, n := range s.morselPlacements {
+			st.MorselPlacements[dev] = n
+		}
+	}
+	st.MorselTransfer = s.morselTransfer
 	s.mu.Unlock()
 	vmStats(s.vm, &st)
 	return st

@@ -42,15 +42,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15) or all")
+	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15,E16) or all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for E1/E15")
-	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3.json perf records into (runs E15 only)")
+	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3/device.json perf records into (runs E15 and E16 only)")
 	data := flag.String("data", os.Getenv("TPCH_DATA_DIR"),
 		"directory of pre-generated TPC-H tables (tpch-gen -binary); generated on the fly when empty or missing")
 	flag.Parse()
 
 	if *benchjson != "" {
 		expE15(*sf, *data, *benchjson)
+		expE16(*sf, *data, *benchjson)
 		return
 	}
 
@@ -86,6 +87,10 @@ func main() {
 	}
 	if all || *exp == "E15" {
 		expE15(*sf, *data, "")
+		ran = true
+	}
+	if all || *exp == "E16" {
+		expE16(*sf, *data, "")
 		ran = true
 	}
 	if !ran {
@@ -461,16 +466,7 @@ func expE15(sf float64, dataDir, outDir string) {
 	} {
 		serialNs, want := measure(serial, q.plan)
 		parallelNs, got := measure(parallel, q.plan)
-		identical := len(got) == len(want)
-		for i := 0; identical && i < len(want); i++ {
-			for c := range want[i] {
-				if !got[i][c].Equal(want[i][c]) {
-					identical = false
-					break
-				}
-			}
-		}
-		if !identical {
+		if !sameResults(want, got) {
 			fatalE15(fmt.Errorf("%s: parallel result differs from serial", q.name))
 		}
 		rec := benchRecord{
@@ -504,6 +500,147 @@ func expE15(sf float64, dataDir, outDir string) {
 
 func fatalE15(err error) {
 	fmt.Fprintln(os.Stderr, "advm-bench: E15:", err)
+	os.Exit(1)
+}
+
+// deviceRecord is the BENCH_device.json perf record: the same parallel Q6
+// measured under the CPU-only policy and under adaptive device placement.
+// Wall times should be close (the modeled GPU executes on the host; the
+// adaptive leg adds only placement bookkeeping), and the morsel counts
+// document where the placer actually sent the work.
+type deviceRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	ScaleFactor  float64 `json:"scale_factor"`
+	Rows         int     `json:"rows"`
+	Workers      int     `json:"workers"`
+	Iters        int     `json:"iters"`
+	CPUNsOp      int64   `json:"cpu_ns_op"`
+	AdaptiveNsOp int64   `json:"adaptive_ns_op"`
+	GPUMorsels   int64   `json:"gpu_morsels"`
+	CPUMorsels   int64   `json:"cpu_morsels"`
+	Identical    bool    `json:"identical"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	CalibNs      int64   `json:"calib_ns"`
+}
+
+// expE16 measures heterogeneous morsel placement on TPC-H Q6: parallel
+// CPU-only vs the adaptive DeviceAuto policy, verifying byte-identical
+// results against serial execution and reporting where the morsels ran.
+// With outDir != "" it writes BENCH_device.json there for the CI gate.
+func expE16(sf float64, dataDir, outDir string) {
+	const workers = 4
+	const iters = 7
+	header(fmt.Sprintf("E16 — adaptive morsel placement on Q6 (SF %.3f, %d workers)", sf, workers))
+	st, err := tpch.LoadOrGen(dataDir, "lineitem", sf, 42)
+	if err != nil {
+		fatalE16(err)
+	}
+	calibNs := calibrate()
+	q6p := tpch.DefaultQ6Params()
+	plan := func(st *advm.Table) *advm.Plan { return tpch.PlanQ6(st, q6p) }
+
+	eng, err := advm.NewEngine(
+		advm.WithParallelism(workers),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		fatalE16(err)
+	}
+	defer eng.Close()
+	serial, err := eng.Session(advm.WithParallelism(1))
+	if err != nil {
+		fatalE16(err)
+	}
+	cpuOnly, err := eng.Session(advm.WithDevicePolicy(advm.DeviceCPU))
+	if err != nil {
+		fatalE16(err)
+	}
+	adaptive, err := eng.Session(advm.WithDevicePolicy(advm.DeviceAuto))
+	if err != nil {
+		fatalE16(err)
+	}
+
+	measure := func(sess *advm.Session) (time.Duration, [][]advm.Value) {
+		var best time.Duration
+		var rows [][]advm.Value
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			r, err := benchCollect(sess, plan(st))
+			d := time.Since(start)
+			if err != nil {
+				fatalE16(err)
+			}
+			if best == 0 || d < best {
+				best, rows = d, r
+			}
+		}
+		return best, rows
+	}
+
+	// One serial run suffices for the reference rows (no timing needed).
+	want, err := benchCollect(serial, plan(st))
+	if err != nil {
+		fatalE16(err)
+	}
+	cpuNs, gotCPU := measure(cpuOnly)
+	// Warm the residency cache and the placer bias before measuring the
+	// adaptive leg: the paper's offload story is about repeated queries
+	// over the same (resident) table.
+	if _, err := benchCollect(adaptive, plan(st)); err != nil {
+		fatalE16(err)
+	}
+	adaptiveNs, gotAdaptive := measure(adaptive)
+
+	identical := sameResults(want, gotCPU) && sameResults(want, gotAdaptive)
+	if !identical {
+		fatalE16(fmt.Errorf("device-policy results differ from serial"))
+	}
+	place := adaptive.Stats().MorselPlacements
+	rec := deviceRecord{
+		Benchmark: "device_q6", ScaleFactor: sf, Rows: st.Rows(),
+		Workers: workers, Iters: iters,
+		CPUNsOp: cpuNs.Nanoseconds(), AdaptiveNsOp: adaptiveNs.Nanoseconds(),
+		GPUMorsels: place["gpu"], CPUMorsels: place["cpu"],
+		Identical:  true,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CalibNs:    calibNs,
+	}
+	fmt.Printf("  q6   cpu-only %12v   adaptive %12v   morsels cpu=%d gpu=%d   identical=%v\n",
+		cpuNs.Round(time.Microsecond), adaptiveNs.Round(time.Microsecond),
+		rec.CPUMorsels, rec.GPUMorsels, rec.Identical)
+	fmt.Printf("       modeled transfer %v\n", adaptive.Stats().MorselTransfer.Round(time.Microsecond))
+	if outDir != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatalE16(err)
+		}
+		path := filepath.Join(outDir, "BENCH_device.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatalE16(err)
+		}
+		fmt.Printf("       wrote %s\n", path)
+	}
+}
+
+// sameResults compares two collected result sets exactly.
+func sameResults(a, b [][]advm.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for c := range a[i] {
+			if !a[i][c].Equal(b[i][c]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func fatalE16(err error) {
+	fmt.Fprintln(os.Stderr, "advm-bench: E16:", err)
 	os.Exit(1)
 }
 

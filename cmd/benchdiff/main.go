@@ -21,7 +21,10 @@ import (
 	"strings"
 )
 
-// benchRecord mirrors the BENCH_*.json schema written by advm-bench.
+// benchRecord mirrors the BENCH_*.json schema written by advm-bench. Two
+// record flavors share it: query records carry serial vs parallel ns/op,
+// device records (BENCH_device.json) carry CPU-only vs adaptive-placement
+// ns/op for the same parallel query.
 type benchRecord struct {
 	Benchmark     string  `json:"benchmark"`
 	ScaleFactor   float64 `json:"scale_factor"`
@@ -33,6 +36,12 @@ type benchRecord struct {
 	Identical     bool    `json:"identical"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 	CalibNs       int64   `json:"calib_ns"`
+
+	// Device-record fields (non-zero CPUNsOp marks the flavor).
+	CPUNsOp      int64 `json:"cpu_ns_op,omitempty"`
+	AdaptiveNsOp int64 `json:"adaptive_ns_op,omitempty"`
+	GPUMorsels   int64 `json:"gpu_morsels,omitempty"`
+	CPUMorsels   int64 `json:"cpu_morsels,omitempty"`
 }
 
 // diffRow is one benchmark × metric comparison. Ratio is
@@ -146,15 +155,31 @@ func diffRecords(base, cur benchRecord, maxRegress float64) []diffRow {
 		}
 		return r
 	}
-	parallel := mk(fmt.Sprintf("parallel%d", base.Workers), base.Parallel4NsOp, cur.Parallel4NsOp)
-	if base.GOMAXPROCS != cur.GOMAXPROCS {
-		// Calibration normalizes single-thread speed, not core count: a
-		// parallel measurement from a host with a different GOMAXPROCS says
-		// nothing about a regression. Gate the serial leg only.
-		parallel.Regressed = false
-		parallel.Skipped = fmt.Sprintf("cores differ (%d vs %d)", base.GOMAXPROCS, cur.GOMAXPROCS)
+	// Calibration normalizes single-thread speed, not core count: a parallel
+	// measurement from a host with a different GOMAXPROCS says nothing about
+	// a regression, so such legs are reported but not gated.
+	skipParallel := func(r diffRow) diffRow {
+		if base.GOMAXPROCS != cur.GOMAXPROCS {
+			r.Regressed = false
+			r.Skipped = fmt.Sprintf("cores differ (%d vs %d)", base.GOMAXPROCS, cur.GOMAXPROCS)
+		}
+		return r
 	}
-	rows := []diffRow{mk("serial", base.SerialNsOp, cur.SerialNsOp), parallel}
+
+	var rows []diffRow
+	if base.CPUNsOp > 0 || cur.CPUNsOp > 0 {
+		// Device record: both legs run the parallel query (CPU-only policy
+		// vs adaptive placement), so both are parallel measurements.
+		rows = []diffRow{
+			skipParallel(mk("cpu-only", base.CPUNsOp, cur.CPUNsOp)),
+			skipParallel(mk("adaptive", base.AdaptiveNsOp, cur.AdaptiveNsOp)),
+		}
+	} else {
+		rows = []diffRow{
+			mk("serial", base.SerialNsOp, cur.SerialNsOp),
+			skipParallel(mk(fmt.Sprintf("parallel%d", base.Workers), base.Parallel4NsOp, cur.Parallel4NsOp)),
+		}
+	}
 	if !cur.Identical {
 		rows[0].NotReproducing = true
 	}

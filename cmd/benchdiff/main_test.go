@@ -131,3 +131,48 @@ func TestDiffDirsNonIdenticalFails(t *testing.T) {
 		t.Fatal("non-identical current record not flagged")
 	}
 }
+
+// TestDiffRecordsDeviceFlavor: BENCH_device.json records gate the CPU-only
+// and adaptive legs instead of serial/parallel, and both legs skip on a
+// core-count mismatch (they are parallel measurements).
+func TestDiffRecordsDeviceFlavor(t *testing.T) {
+	base := benchRecord{
+		Benchmark: "device_q6", Workers: 4, GOMAXPROCS: 8, Identical: true,
+		CPUNsOp: 1000, AdaptiveNsOp: 1100, CalibNs: 100,
+	}
+	cur := base
+	cur.AdaptiveNsOp = 1500 // adaptive leg regressed ~36%
+	rows := diffRecords(base, cur, 0.25)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	byMetric := map[string]diffRow{}
+	for _, r := range rows {
+		byMetric[r.Metric] = r
+	}
+	if r := byMetric["cpu-only"]; r.Regressed {
+		t.Fatalf("cpu-only leg wrongly regressed: %+v", r)
+	}
+	if r := byMetric["adaptive"]; !r.Regressed {
+		t.Fatalf("adaptive leg not flagged: %+v", r)
+	}
+
+	cur.GOMAXPROCS = 2
+	for _, r := range diffRecords(base, cur, 0.25) {
+		if r.Regressed || r.Skipped == "" {
+			t.Fatalf("device leg should skip on core mismatch: %+v", r)
+		}
+	}
+}
+
+// TestDiffRecordsDeviceNotReproducing: a device record reporting
+// non-identical results fails the gate.
+func TestDiffRecordsDeviceNotReproducing(t *testing.T) {
+	base := benchRecord{Benchmark: "device_q6", Workers: 4, Identical: true, CPUNsOp: 1000, AdaptiveNsOp: 1000}
+	cur := base
+	cur.Identical = false
+	rows := diffRecords(base, cur, 0.25)
+	if !rows[0].NotReproducing {
+		t.Fatal("non-identical device record not flagged")
+	}
+}

@@ -14,6 +14,7 @@
 package device
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/profile"
@@ -102,11 +103,20 @@ func maxf(a, b float64) float64 {
 // Placer picks a device per kernel: model-based with EWMA feedback from the
 // costs devices actually report, so a mis-calibrated model self-corrects —
 // the cross-hardware generalization of micro-adaptivity.
+//
+// A Placer is safe for concurrent use: morsel-parallel query execution
+// places kernels from many workers at once, and an engine-global placer is
+// shared by every session, so Choose, Execute and DecisionCounts
+// synchronize internally. Reading the Devices slice or the Decisions map
+// directly is only safe while no placements are in flight.
 type Placer struct {
 	Devices []Device
+
+	mu sync.Mutex
 	// bias[deviceName] multiplies the device's estimates (learned).
 	bias map[string]*profile.EWMA
-	// Decisions counts placements per device for reports.
+	// Decisions counts placements per device for reports (guarded by mu;
+	// use DecisionCounts for a concurrent-safe snapshot).
 	Decisions map[string]int
 }
 
@@ -123,6 +133,8 @@ func NewPlacer(devices ...Device) *Placer {
 func (p *Placer) Choose(k Kernel) Device {
 	var best Device
 	var bestCost float64
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, d := range p.Devices {
 		est := float64(d.Estimate(k).Modeled)
 		est *= p.bias[d.Name()].Value(1)
@@ -135,21 +147,52 @@ func (p *Placer) Choose(k Kernel) Device {
 }
 
 // Execute places and runs the kernel, feeding the observed/modeled cost
-// back into the bias for that device.
+// back into the bias for that device. The work itself runs outside the
+// placer's lock, so concurrent workers execute their kernels in parallel
+// and only the decision and the feedback serialize.
 func (p *Placer) Execute(k Kernel, work func()) (Device, Cost) {
 	d := p.Choose(k)
 	est := d.Estimate(k).Modeled
 	cost := d.Run(k, work)
 	if est > 0 && cost.Modeled > 0 {
-		p.bias[d.Name()].Observe(float64(cost.Modeled) / float64(est))
+		p.observe(d.Name(), float64(cost.Modeled)/float64(est))
 	}
 	return d, cost
+}
+
+// observe feeds one observed/estimated cost ratio into a device's bias.
+func (p *Placer) observe(deviceName string, ratio float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.bias[deviceName]; ok {
+		e.Observe(ratio)
+	}
+}
+
+// Bias returns the current learned bias multiplier for a device (1 when the
+// device is unknown or has no feedback yet).
+func (p *Placer) Bias(deviceName string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.bias[deviceName]; ok {
+		return e.Value(1)
+	}
+	return 1
+}
+
+// DecisionCounts returns a snapshot of placements per device.
+func (p *Placer) DecisionCounts() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.Decisions))
+	for name, n := range p.Decisions {
+		out[name] = n
+	}
+	return out
 }
 
 // ObserveForTest feeds a raw observed/estimated cost ratio into a device's
 // bias, for tests that simulate mis-calibrated models.
 func (p *Placer) ObserveForTest(deviceName string, ratio float64) {
-	if e, ok := p.bias[deviceName]; ok {
-		e.Observe(ratio)
-	}
+	p.observe(deviceName, ratio)
 }

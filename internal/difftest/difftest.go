@@ -1,0 +1,380 @@
+// Package difftest is a differential-testing harness for the relational
+// layer: a seeded random plan generator over generated tables, plus a
+// canonical byte encoding of query results. The invariant under test is the
+// engine's core determinism guarantee — every execution strategy the
+// session options can select (serial, WithParallelism(1..n), any
+// WithDevicePolicy, any morsel/chunk granularity) must produce results
+// byte-identical to serial CPU execution, floating-point aggregates
+// included.
+//
+// The generator favours plan shapes that stress the parallel structures:
+// scan→filter/compute chains (exchange), hash-join probes against a second
+// table (shared build + worker probes), grouped aggregation with
+// order-sensitive f64 sums (partitioned parallel fold), and top-k (stable
+// merge under ties).
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/advm"
+)
+
+// Case is one generated differential scenario: a plan over generated
+// tables, with a human-readable description for failure reports.
+type Case struct {
+	Probe *advm.Table
+	Build *advm.Table
+	Plan  *advm.Plan
+	Desc  string
+}
+
+// col tracks one column available at the current plan position.
+type col struct {
+	name string
+	kind advm.Kind
+}
+
+// gen carries generator state.
+type gen struct {
+	rng  *rand.Rand
+	desc []string
+	// lastAggSchema remembers the output columns of the last generated
+	// aggregate, so a stacked top-k can sort on them.
+	lastAggSchema []col
+}
+
+func (g *gen) note(format string, args ...any) {
+	g.desc = append(g.desc, fmt.Sprintf(format, args...))
+}
+
+// NewCase generates the scenario for one seed. The same seed always yields
+// the same tables and plan.
+func NewCase(seed int64) *Case {
+	g := &gen{rng: rand.New(rand.NewSource(seed))}
+	probe := g.genProbeTable()
+	build := g.genBuildTable()
+	c := &Case{Probe: probe, Build: build}
+	c.Plan = g.genPlan(probe, build)
+	c.Desc = fmt.Sprintf("seed=%d rows=%d/%d: %s", seed, probe.Rows(), build.Rows(), strings.Join(g.desc, " → "))
+	return c
+}
+
+// genProbeTable builds the scan-side table: small-domain i64 group keys, a
+// wide i64, an f64 measure, a short string, and an i64 join key.
+func (g *gen) genProbeTable() *advm.Table {
+	rows := 2000 + g.rng.Intn(18000)
+	st := advm.NewTable(advm.NewSchema(
+		"a", advm.I64, "b", advm.I64, "x", advm.F64, "s", advm.Str, "k", advm.I64))
+	groups := []string{"red", "green", "blue", "teal", "plum"}
+	for i := 0; i < rows; i++ {
+		st.AppendRow(
+			advm.I64Value(g.rng.Int63n(40)),
+			advm.I64Value(g.rng.Int63n(100000)-50000),
+			advm.F64Value((g.rng.Float64()-0.5)*1e4),
+			advm.StrValue(groups[g.rng.Intn(len(groups))]),
+			advm.I64Value(g.rng.Int63n(600)),
+		)
+	}
+	return st
+}
+
+// genBuildTable builds the join build side: keys overlapping the probe's k
+// domain (with duplicates, so probes hit multi-match lists) and two payload
+// columns.
+func (g *gen) genBuildTable() *advm.Table {
+	rows := 200 + g.rng.Intn(800)
+	st := advm.NewTable(advm.NewSchema("bk", advm.I64, "p", advm.I64, "q", advm.F64))
+	for i := 0; i < rows; i++ {
+		st.AppendRow(
+			advm.I64Value(g.rng.Int63n(500)),
+			advm.I64Value(g.rng.Int63n(1000)),
+			advm.F64Value(g.rng.Float64()*100),
+		)
+	}
+	return st
+}
+
+// genPlan assembles a random plan over the tables: streaming stages, maybe
+// a join, then one of {stream, aggregate, top-k, aggregate→top-k}.
+func (g *gen) genPlan(probe, build *advm.Table) *advm.Plan {
+	cols := []col{{"a", advm.I64}, {"b", advm.I64}, {"x", advm.F64}, {"s", advm.Str}, {"k", advm.I64}}
+	g.note("scan(a,b,x,s,k)")
+	p := advm.Scan(probe, "a", "b", "x", "s", "k")
+
+	p, cols = g.genStages(p, cols, 2)
+	if g.rng.Intn(100) < 50 {
+		p, cols = g.genJoin(p, cols, build)
+		p, cols = g.genStages(p, cols, 1)
+	}
+
+	switch g.rng.Intn(4) {
+	case 0: // plain stream
+		g.note("stream")
+		return p
+	case 1:
+		return g.genTopK(p, cols)
+	case 2:
+		return g.genAggregate(p, cols)
+	default:
+		p = g.genAggregate(p, cols)
+		// Aggregate output: re-derive the column set for the sort.
+		aggCols := []col{}
+		// The aggregate's schema is keys then aggregate outputs; TopK resolves
+		// names at build time, so ordering by revenue-style outputs works.
+		for _, c := range g.lastAggSchema {
+			aggCols = append(aggCols, c)
+		}
+		return g.genTopK(p, aggCols)
+	}
+}
+
+// genStages appends up to max random filter/compute stages.
+func (g *gen) genStages(p *advm.Plan, cols []col, max int) (*advm.Plan, []col) {
+	n := g.rng.Intn(max + 1)
+	for i := 0; i < n; i++ {
+		if g.rng.Intn(100) < 50 {
+			p = g.genFilter(p, cols)
+		} else {
+			p, cols = g.genCompute(p, cols)
+		}
+	}
+	return p, cols
+}
+
+// pickNumeric returns a random numeric column.
+func (g *gen) pickNumeric(cols []col) col {
+	var numeric []col
+	for _, c := range cols {
+		if c.kind == advm.I64 || c.kind == advm.F64 {
+			numeric = append(numeric, c)
+		}
+	}
+	return numeric[g.rng.Intn(len(numeric))]
+}
+
+// genFilter appends a random predicate over a numeric column. Selectivities
+// vary from near-0 to near-1, including predicates that empty the stream.
+func (g *gen) genFilter(p *advm.Plan, cols []col) *advm.Plan {
+	c := g.pickNumeric(cols)
+	var lambda string
+	if c.kind == advm.I64 {
+		switch g.rng.Intn(3) {
+		case 0:
+			cut := g.rng.Int63n(120000) - 60000
+			lambda = fmt.Sprintf(`(\v -> v < %d)`, cut)
+		case 1:
+			m := int64(2 + g.rng.Intn(7))
+			r := g.rng.Int63n(m)
+			lambda = fmt.Sprintf(`(\v -> (v %% %d) == %d)`, m, r)
+		default:
+			lo := g.rng.Int63n(400)
+			lambda = fmt.Sprintf(`(\v -> (v >= %d) && (v < %d))`, lo, lo+g.rng.Int63n(300))
+		}
+	} else {
+		cut := (g.rng.Float64() - 0.5) * 1.2e4
+		if g.rng.Intn(2) == 0 {
+			lambda = fmt.Sprintf(`(\v -> v < %g)`, cut)
+		} else {
+			lambda = fmt.Sprintf(`(\v -> v > %g)`, cut)
+		}
+	}
+	g.note("filter[%s %s]", c.name, lambda)
+	mode := []advm.EvalMode{advm.EvalAdaptive, advm.EvalFull, advm.EvalSelective}[g.rng.Intn(3)]
+	return p.FilterMode(mode, lambda, c.name)
+}
+
+// genCompute appends a random arithmetic compute over 1–2 numeric columns.
+func (g *gen) genCompute(p *advm.Plan, cols []col) (*advm.Plan, []col) {
+	c1 := g.pickNumeric(cols)
+	out := fmt.Sprintf("c%d_%d", len(cols), g.rng.Intn(1000))
+	var lambda string
+	var kind advm.Kind
+	var inputs []string
+	if c1.kind == advm.I64 {
+		kind = advm.I64
+		switch g.rng.Intn(3) {
+		case 0:
+			lambda = fmt.Sprintf(`(\v -> v * %d + %d)`, 1+g.rng.Int63n(5), g.rng.Int63n(100))
+			inputs = []string{c1.name}
+		case 1:
+			lambda = fmt.Sprintf(`(\v -> (v %% %d) * 3)`, 2+g.rng.Int63n(9))
+			inputs = []string{c1.name}
+		default:
+			// Two-input compute over i64 columns.
+			c2 := g.pickNumeric(cols)
+			for c2.kind != advm.I64 {
+				c2 = g.pickNumeric(cols)
+			}
+			lambda = `(\u v -> u + v * 2)`
+			inputs = []string{c1.name, c2.name}
+		}
+	} else {
+		kind = advm.F64
+		switch g.rng.Intn(2) {
+		case 0:
+			lambda = fmt.Sprintf(`(\v -> v * %g + %g)`, 0.5+g.rng.Float64(), g.rng.Float64()*10)
+			inputs = []string{c1.name}
+		default:
+			lambda = `(\v -> v * v)`
+			inputs = []string{c1.name}
+		}
+	}
+	g.note("compute[%s=%s(%s)]", out, lambda, strings.Join(inputs, ","))
+	mode := []advm.EvalMode{advm.EvalAdaptive, advm.EvalFull, advm.EvalSelective}[g.rng.Intn(3)]
+	return p.ComputeMode(mode, out, lambda, kind, inputs...), append(cols, col{out, kind})
+}
+
+// genJoin probes the build table on k = bk, carrying payload columns. The
+// build side gets its own random filter about half the time.
+func (g *gen) genJoin(p *advm.Plan, cols []col, build *advm.Table) (*advm.Plan, []col) {
+	b := advm.Scan(build, "bk", "p", "q")
+	note := "join[k=bk"
+	if g.rng.Intn(2) == 0 {
+		cut := g.rng.Int63n(900) + 50
+		b = b.Filter(fmt.Sprintf(`(\v -> v < %d)`, cut), "p")
+		note += fmt.Sprintf(" | build p<%d", cut)
+	}
+	payload := [][]string{{"p"}, {"q"}, {"p", "q"}}[g.rng.Intn(3)]
+	g.note("%s payload=%v]", note, payload)
+	p = p.Join(b, "k", "bk", payload...)
+	for _, pay := range payload {
+		kind := advm.I64
+		if pay == "q" {
+			kind = advm.F64
+		}
+		cols = append(cols, col{pay, kind})
+	}
+	return p, cols
+}
+
+func (g *gen) genAggregate(p *advm.Plan, cols []col) *advm.Plan {
+	keyChoices := [][]string{nil, {"a"}, {"s"}, {"a", "s"}}
+	// Keys must still be present in the stream (they always are: a and s are
+	// never dropped — plans only append columns).
+	keys := keyChoices[g.rng.Intn(len(keyChoices))]
+
+	var aggs []advm.Agg
+	var out []col
+	for _, k := range keys {
+		kind := advm.I64
+		if k == "s" {
+			kind = advm.Str
+		}
+		out = append(out, col{k, kind})
+	}
+	// Always include an order-sensitive f64 sum — the hardest identity case.
+	fcol := g.pickF64(cols)
+	aggs = append(aggs, advm.Agg{Func: advm.AggSum, Col: fcol, As: "sum_f"})
+	out = append(out, col{"sum_f", advm.F64})
+	if g.rng.Intn(2) == 0 {
+		icol := g.pickI64(cols)
+		aggs = append(aggs, advm.Agg{Func: advm.AggSum, Col: icol, As: "sum_i"})
+		out = append(out, col{"sum_i", advm.I64})
+	}
+	if g.rng.Intn(2) == 0 {
+		aggs = append(aggs, advm.Agg{Func: advm.AggCount, As: "n"})
+		out = append(out, col{"n", advm.I64})
+	}
+	if g.rng.Intn(2) == 0 {
+		icol := g.pickI64(cols)
+		fn := []advm.AggFunc{advm.AggMin, advm.AggMax}[g.rng.Intn(2)]
+		aggs = append(aggs, advm.Agg{Func: fn, Col: icol, As: "mm"})
+		out = append(out, col{"mm", advm.I64})
+	}
+	if g.rng.Intn(3) == 0 {
+		fcol2 := g.pickF64(cols)
+		aggs = append(aggs, advm.Agg{Func: advm.AggAvg, Col: fcol2, As: "avg_f"})
+		out = append(out, col{"avg_f", advm.F64})
+	}
+	g.note("aggregate[keys=%v aggs=%d]", keys, len(aggs))
+	g.lastAggSchema = out
+	return p.Aggregate(keys, aggs...)
+}
+
+func (g *gen) pickF64(cols []col) string {
+	var fs []string
+	for _, c := range cols {
+		if c.kind == advm.F64 {
+			fs = append(fs, c.name)
+		}
+	}
+	return fs[g.rng.Intn(len(fs))]
+}
+
+func (g *gen) pickI64(cols []col) string {
+	var is []string
+	for _, c := range cols {
+		if c.kind == advm.I64 {
+			is = append(is, c.name)
+		}
+	}
+	return is[g.rng.Intn(len(is))]
+}
+
+// genTopK appends a top-k with 1–2 random sort columns. Low-cardinality
+// sort keys (group keys, strings) produce heavy ties, exercising the
+// stable-merge determinism.
+func (g *gen) genTopK(p *advm.Plan, cols []col) *advm.Plan {
+	k := 1 + g.rng.Intn(60)
+	nOrd := 1 + g.rng.Intn(2)
+	var by []advm.Order
+	used := map[string]bool{}
+	for i := 0; i < nOrd; i++ {
+		c := cols[g.rng.Intn(len(cols))]
+		if used[c.name] {
+			continue
+		}
+		used[c.name] = true
+		by = append(by, advm.Order{Col: c.name, Desc: g.rng.Intn(2) == 0})
+	}
+	g.note("topk[k=%d by=%v]", k, by)
+	return p.TopK(k, by...)
+}
+
+// Collect drains a plan through sess and returns every result row in a
+// canonical byte encoding: integers in decimal, strings raw, and floats as
+// the hex of their IEEE-754 bits — so two executions agree iff their
+// results are byte-identical.
+func Collect(ctx context.Context, sess *advm.Session, plan *advm.Plan) ([]string, error) {
+	rows, err := sess.Query(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	n := len(rows.Columns())
+	var out []string
+	var sb strings.Builder
+	for rows.Next() {
+		vals := make([]advm.Value, n)
+		dests := make([]any, n)
+		for i := range vals {
+			dests[i] = &vals[i]
+		}
+		if err := rows.Scan(dests...); err != nil {
+			return nil, err
+		}
+		sb.Reset()
+		for i, v := range vals {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			switch v.Kind {
+			case advm.F64:
+				fmt.Fprintf(&sb, "f:%016x", math.Float64bits(v.F))
+			case advm.Str:
+				sb.WriteString("s:" + v.S)
+			case advm.Bool:
+				fmt.Fprintf(&sb, "b:%v", v.B)
+			default:
+				fmt.Fprintf(&sb, "i:%d", v.I)
+			}
+		}
+		out = append(out, sb.String())
+	}
+	return out, rows.Err()
+}

@@ -1,0 +1,114 @@
+package difftest
+
+import (
+	"context"
+	"testing"
+
+	"repro/advm"
+)
+
+// execConfig is one execution strategy to pit against the serial CPU
+// reference.
+type execConfig struct {
+	name      string
+	workers   int
+	morselLen int
+	device    advm.DeviceKind
+}
+
+// configs covers the strategy space: every parallel structure (exchange,
+// parallel agg, shared join build), several worker counts and morsel
+// granularities, and every device policy.
+var configs = []execConfig{
+	{"par1-auto", 1, 0, advm.DeviceAuto},
+	{"par2-cpu", 2, 1024, advm.DeviceCPU},
+	{"par3-gpu", 3, 2048, advm.DeviceGPU},
+	{"par4-auto", 4, 1024, advm.DeviceAuto},
+	{"par8-auto", 8, 4096, advm.DeviceAuto},
+	{"par8-gpu-fine", 8, 512, advm.DeviceGPU},
+}
+
+// TestDifferential: for a spread of seeds, every execution strategy must
+// produce results byte-identical to serial CPU execution.
+func TestDifferential(t *testing.T) {
+	seeds := int64(24)
+	if testing.Short() {
+		seeds = 6
+	}
+	ctx := context.Background()
+	for seed := int64(1); seed <= seeds; seed++ {
+		c := NewCase(seed)
+		ref, err := advm.NewSession(
+			advm.WithParallelism(1),
+			advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Collect(ctx, ref, c.Plan)
+		ref.Close()
+		if err != nil {
+			t.Fatalf("%s: reference: %v", c.Desc, err)
+		}
+		for _, cfg := range configs {
+			opts := []advm.Option{
+				advm.WithParallelism(cfg.workers),
+				advm.WithDevicePolicy(cfg.device),
+				advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}),
+			}
+			if cfg.morselLen > 0 {
+				opts = append(opts, advm.WithMorselLen(cfg.morselLen))
+			}
+			sess, err := advm.NewSession(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Collect(ctx, sess, c.Plan)
+			sess.Close()
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", c.Desc, cfg.name, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s [%s]: %d rows, serial produced %d", c.Desc, cfg.name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s [%s]: row %d differs\n got: %s\nwant: %s", c.Desc, cfg.name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCaseDeterministic: the generator itself must be a pure function of
+// the seed, or failures would not reproduce.
+func TestCaseDeterministic(t *testing.T) {
+	a, b := NewCase(42), NewCase(42)
+	if a.Desc != b.Desc {
+		t.Fatalf("same seed, different cases:\n%s\n%s", a.Desc, b.Desc)
+	}
+	if a.Probe.Rows() != b.Probe.Rows() || a.Build.Rows() != b.Build.Rows() {
+		t.Fatal("same seed, different tables")
+	}
+	ctx := context.Background()
+	s1, err := advm.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	r1, err := Collect(ctx, s1, a.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Collect(ctx, s1, b.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("same seed, different results: %d vs %d rows", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("same seed, row %d differs", i)
+		}
+	}
+}

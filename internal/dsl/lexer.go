@@ -2,6 +2,7 @@ package dsl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -163,8 +164,11 @@ func (lx *lexer) next() (token, error) {
 
 	// strings
 	if c == '"' {
+		// Scan the raw literal (backslash escapes the next byte) and decode
+		// it with Go's string syntax, so everything the canonical printer
+		// emits via strconv.Quote — \xNN, \uNNNN, … — round-trips.
+		start := lx.off
 		lx.advance()
-		var sb strings.Builder
 		for {
 			if lx.off >= len(lx.src) {
 				return token{}, lx.errorf(pos, "unterminated string literal")
@@ -173,26 +177,21 @@ func (lx *lexer) next() (token, error) {
 			if ch == '"' {
 				break
 			}
+			if ch == '\n' {
+				return token{}, lx.errorf(pos, "newline in string literal")
+			}
 			if ch == '\\' {
 				if lx.off >= len(lx.src) {
 					return token{}, lx.errorf(pos, "unterminated escape")
 				}
-				esc := lx.advance()
-				switch esc {
-				case 'n':
-					sb.WriteByte('\n')
-				case 't':
-					sb.WriteByte('\t')
-				case '\\', '"':
-					sb.WriteByte(esc)
-				default:
-					return token{}, lx.errorf(pos, "unknown escape \\%c", esc)
-				}
-				continue
+				lx.advance()
 			}
-			sb.WriteByte(ch)
 		}
-		return token{kind: tokString, text: sb.String(), pos: pos}, nil
+		text, err := strconv.Unquote(lx.src[start:lx.off])
+		if err != nil {
+			return token{}, lx.errorf(pos, "bad string literal: %v", err)
+		}
+		return token{kind: tokString, text: text, pos: pos}, nil
 	}
 
 	// multi-char operators

@@ -36,7 +36,7 @@ func Parse(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, funcs: map[string]bool{}}
+	p := &parser{toks: toks, funcs: map[string]bool{}, depth: parenDepths(toks)}
 	prog := &Program{Funcs: map[string]*FuncDef{}}
 	for !p.at(tokEOF, "") {
 		if p.at(tokKeyword, "fn") {
@@ -72,14 +72,53 @@ func MustParse(src string) *Program {
 type parser struct {
 	toks []token
 	pos  int
+	// depth[i] is the number of unclosed "(" before token i (see
+	// parenDepths); contiguous() consults it.
+	depth []int
 	// funcs tracks fn names defined so far: an identifier followed by "("
 	// is a call only for known functions, resolving the juxtaposition
 	// ambiguity in skeleton argument lists (e.g. "write o i (map ...)").
 	funcs map[string]bool
 }
 
+// parenDepths computes, for each token, how many "(" are unclosed before
+// it. Inside an open paren no statement can begin, so the line-contiguity
+// rule (which only exists to keep expressions from absorbing the next
+// statement) is suspended there and parenthesized expressions may span
+// lines freely.
+func parenDepths(toks []token) []int {
+	depth := make([]int, len(toks))
+	d := 0
+	for i, t := range toks {
+		if t.kind == tokOp && t.text == ")" && d > 0 {
+			d--
+		}
+		depth[i] = d
+		if t.kind == tokOp && t.text == "(" {
+			d++
+		}
+	}
+	return depth
+}
+
 func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+// contiguous reports whether the current token may continue the construct
+// the previous token belongs to. Juxtaposition continuations — a call's
+// "(", variable-arity skeleton arguments, read's optional count, scatter's
+// optional conflict, an infix operator — are only taken when contiguous,
+// so such constructs never swallow the opening tokens of the next
+// statement (the statement list itself has no separator tokens). A token
+// is contiguous when it starts on the same source line as the previous
+// token, or when it sits inside an unclosed "(" — no statement can begin
+// there, so parenthesized expressions still span lines freely.
+func (p *parser) contiguous() bool {
+	if p.pos == 0 || p.depth[p.pos] > 0 {
+		return true
+	}
+	return p.cur().pos.Line == p.toks[p.pos-1].pos.Line
+}
 
 func (p *parser) at(kind tokKind, text string) bool {
 	t := p.cur()
@@ -277,7 +316,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 			return nil, err
 		}
 		conflict := "last"
-		if p.at(tokIdent, "") || p.at(tokKeyword, "min") || p.at(tokKeyword, "max") {
+		if (p.at(tokIdent, "") || p.at(tokKeyword, "min") || p.at(tokKeyword, "max")) && p.contiguous() {
 			conflict = p.cur().text
 			p.pos++
 		}
@@ -331,6 +370,12 @@ func (p *parser) parseExpr(minPrec int) (Expr, error) {
 		}
 		prec, ok := binPrec[t.text]
 		if !ok || prec < minPrec {
+			break
+		}
+		// An infix operator must start on the line its left operand ended
+		// on (its right operand may continue on the next line), so an
+		// expression statement never absorbs the next statement.
+		if !p.contiguous() {
 			break
 		}
 		p.pos++
@@ -387,7 +432,7 @@ func (p *parser) parseSkeletonOrAtom() (Expr, error) {
 				return nil, err
 			}
 			var count Expr
-			if p.atAtomStart() {
+			if p.atAtomStart() && p.contiguous() {
 				count, err = p.parseAtom()
 				if err != nil {
 					return nil, err
@@ -402,7 +447,7 @@ func (p *parser) parseSkeletonOrAtom() (Expr, error) {
 				return nil, err
 			}
 			var args []Expr
-			for p.atAtomStart() {
+			for p.atAtomStart() && p.contiguous() {
 				a, err := p.parseAtom()
 				if err != nil {
 					return nil, err
@@ -712,7 +757,7 @@ func (p *parser) parseAtomOpts(callJuxt bool) (Expr, error) {
 
 	case t.kind == tokIdent:
 		p.pos++
-		if p.at(tokOp, "(") && (callJuxt || p.funcs[t.text]) {
+		if p.at(tokOp, "(") && p.contiguous() && (callJuxt || p.funcs[t.text]) {
 			// user function call f(a, b)
 			p.pos++
 			var args []Expr

@@ -222,6 +222,31 @@ func TestParseErrors(t *testing.T) {
 }
 
 // Round trip: print then re-parse then re-print must be a fixed point.
+// TestParseMultilineParens: inside parentheses, expressions span lines
+// freely (leading operators included) — the line-contiguity rule only
+// guards unparenthesized statement boundaries.
+func TestParseMultilineParens(t *testing.T) {
+	for _, src := range []string{
+		"let a = (1\n+ 2)",
+		"let a = map (\\x ->\n(x\n* 2)) (read 0 d)",
+		"fn f(x) = (x + 1)\nlet a = f(\n2\n)",
+		"let a = min(1,\n2)",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("multi-line parenthesized expression rejected: %v\n%s", err, src)
+		}
+	}
+	// Without parens the next statement must not be absorbed: "a" and "-2"
+	// stay separate statements instead of merging into "(a - 2)".
+	p, err := Parse("let a = 1 in a\n-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Body) != 3 {
+		t.Fatalf("statement absorbed across lines: %d stmts\n%s", len(p.Body), p.String())
+	}
+}
+
 func TestPrintRoundTrip(t *testing.T) {
 	srcs := []string{
 		Figure2Source,

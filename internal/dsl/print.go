@@ -5,12 +5,17 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/vector"
 )
 
 // Fprint writes p in canonical surface syntax to w. The output re-parses to
 // an equivalent program (round-trip property tested in parser_test.go).
 func Fprint(w io.Writer, p *Program) {
-	pr := &printer{w: w}
+	pr := &printer{w: w, funcs: map[string]bool{}}
+	for name := range p.Funcs {
+		pr.funcs[name] = true
+	}
 	names := make([]string, 0, len(p.Funcs))
 	for name := range p.Funcs {
 		names = append(names, name)
@@ -28,6 +33,10 @@ func Fprint(w io.Writer, p *Program) {
 type printer struct {
 	w      io.Writer
 	indent int
+	// funcs are the program's fn names: a call prints as an atom only for
+	// declared functions, since that is the only call form the parser
+	// accepts in atom (juxtaposition) position.
+	funcs map[string]bool
 }
 
 func (pr *printer) printf(format string, args ...any) {
@@ -108,22 +117,32 @@ func (pr *printer) stmt(s Stmt) {
 // atom prints an expression, parenthesizing anything that is not already an
 // atom, so it can appear as a skeleton argument.
 func (pr *printer) atom(e Expr) {
-	switch e.(type) {
-	case *Const, *VarRef, *CallExpr, *LenExpr, *CastExpr, *Lambda:
+	switch e := e.(type) {
+	case *CallExpr:
+		// Only declared functions call by juxtaposition in atom position.
+		if pr.funcs[e.Name] {
+			pr.expr(e)
+			return
+		}
+	case *Const, *VarRef, *LenExpr, *CastExpr, *Lambda:
 		pr.expr(e)
-	default:
-		pr.printf("(")
-		pr.expr(e)
-		pr.printf(")")
+		return
 	}
+	pr.printf("(")
+	pr.expr(e)
+	pr.printf(")")
 }
 
 func (pr *printer) expr(e Expr) {
 	switch e := e.(type) {
 	case *Const:
-		if s := e.Val.String(); true {
-			pr.printf("%s", s)
+		s := e.Val.String()
+		if e.Val.Kind == vector.F64 && !strings.ContainsAny(s, ".eE") {
+			// Keep float constants lexically float: "-0" or "100" would
+			// re-parse as integers.
+			s += ".0"
 		}
+		pr.printf("%s", s)
 	case *VarRef:
 		pr.printf("%s", e.Name)
 	case *Bin:

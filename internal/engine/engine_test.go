@@ -206,6 +206,42 @@ func TestHashJoinDuplicateBuildKeys(t *testing.T) {
 	}
 }
 
+// TestComputeOverWideJoinChunks: multi-match joins emit chunks wider than
+// the expression VM's default read count (every probe row fans out to its
+// whole match list), so a compute stacked on the probe must window its
+// evaluation instead of truncating at DefaultChunkLen. Regression test for
+// a bug found by the differential harness.
+func TestComputeOverWideJoinChunks(t *testing.T) {
+	dim := vector.NewDSMStore(vector.NewSchema("k", vector.I64, "p", vector.I64))
+	for i := 0; i < 12; i++ {
+		// Every key matches 4 build rows → probe chunks quadruple on emit.
+		dim.AppendRow(vector.I64Value(int64(i%3)), vector.I64Value(int64(i)))
+	}
+	fact := vector.NewDSMStore(vector.NewSchema("fk", vector.I64, "x", vector.I64))
+	for i := 0; i < 3000; i++ {
+		fact.AppendRow(vector.I64Value(int64(i%3)), vector.I64Value(int64(i)))
+	}
+	probe, _ := NewScan(fact, "fk", "x")
+	build, _ := NewScan(dim, "k", "p")
+	j := NewHashJoin(probe, build, "fk", "k", "p")
+	c := NewCompute(j, "y", `(\x p -> x * 10 + p)`, vector.I64, "x", "p")
+	out, err := Collect(t.Context(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 12000 {
+		t.Fatalf("join×compute rows = %d, want 12000", out.Rows())
+	}
+	xs := out.Col(out.Schema().ColumnIndex("x")).I64()
+	ps := out.Col(out.Schema().ColumnIndex("p")).I64()
+	ys := out.Col(out.Schema().ColumnIndex("y")).I64()
+	for i := range ys {
+		if ys[i] != xs[i]*10+ps[i] {
+			t.Fatalf("row %d: y=%d, want %d", i, ys[i], xs[i]*10+ps[i])
+		}
+	}
+}
+
 func TestBloomAdaptiveToggle(t *testing.T) {
 	dim := vector.NewDSMStore(vector.NewSchema("k", vector.I64))
 	for i := 0; i < 100; i++ {

@@ -85,7 +85,42 @@ func newExprVM(lambda string, inCols []string, inKinds []vector.Kind, outKind ve
 // length, no selection) and returns the result vector (valid until the next
 // call). ctx flows into the expression VM, whose interpreter checks it at
 // segment boundaries.
+//
+// The generated program reads its inputs with the VM's default chunk count,
+// so one run covers at most vector.DefaultChunkLen rows. Operator chunks
+// are normally within that bound, but join probes can emit wider chunks
+// (every probe row fans out to its whole match list), so oversized inputs
+// are evaluated in windows and stitched — element-wise maps make the
+// windowing invisible, bit-for-bit.
 func (e *exprVM) eval(ctx context.Context, inputs []*vector.Vector) (*vector.Vector, error) {
+	n := 0
+	if len(inputs) > 0 {
+		n = inputs[0].Len()
+	}
+	if n <= vector.DefaultChunkLen {
+		return e.evalWindow(ctx, inputs)
+	}
+	res := vector.New(e.kind, 0, n)
+	wins := make([]*vector.Vector, len(inputs))
+	for lo := 0; lo < n; lo += vector.DefaultChunkLen {
+		hi := lo + vector.DefaultChunkLen
+		if hi > n {
+			hi = n
+		}
+		for i := range inputs {
+			wins[i] = inputs[i].Slice(lo, hi)
+		}
+		out, err := e.evalWindow(ctx, wins)
+		if err != nil {
+			return nil, err
+		}
+		res.AppendVector(out)
+	}
+	return res, nil
+}
+
+// evalWindow runs the VM once over inputs of ≤ DefaultChunkLen rows.
+func (e *exprVM) evalWindow(ctx context.Context, inputs []*vector.Vector) (*vector.Vector, error) {
 	for i, col := range e.inCols {
 		e.ext[col] = inputs[i]
 	}

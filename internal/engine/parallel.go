@@ -223,17 +223,10 @@ func (e *Exchange) produce(ctx context.Context, rows int) {
 			default:
 			}
 			e.leaves[worker].SetRange(lo, hi)
-			var chunks []*vector.Chunk
-			for {
-				c, err := e.pipes[worker].Next(ctx)
-				if err != nil {
-					e.fail(err)
-					return
-				}
-				if c == nil {
-					break
-				}
-				chunks = append(chunks, c)
+			chunks, err := drainMorsel(ctx, e.pipes[worker], lo, hi)
+			if err != nil {
+				e.fail(err)
+				return
 			}
 			select {
 			case e.out <- exMorsel{seq: lo / e.morselLen, chunks: chunks}:
@@ -244,6 +237,26 @@ func (e *Exchange) produce(ctx context.Context, rows int) {
 	e.stats = st
 	e.mu.Unlock()
 	close(e.out)
+}
+
+// drainMorsel pulls every chunk the armed morsel [lo, hi) produces from a
+// worker pipeline. A MorselRunner top (DeviceExec) executes the drain as one
+// placed unit; anything else is drained inline on the calling worker.
+func drainMorsel(ctx context.Context, pipe Operator, lo, hi int) ([]*vector.Chunk, error) {
+	if mr, ok := pipe.(MorselRunner); ok {
+		return mr.RunMorsel(ctx, lo, hi)
+	}
+	var chunks []*vector.Chunk
+	for {
+		c, err := pipe.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			return chunks, nil
+		}
+		chunks = append(chunks, c)
+	}
 }
 
 // fail records the first worker error and unblocks everyone.
@@ -833,16 +846,32 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 			}
 			a.leaves[worker].SetRange(lo, hi)
 			buckets := make([][]*vector.Chunk, aggPartitions)
-			for {
-				c, err := a.pipes[worker].Next(ctx)
+			if mr, ok := a.pipes[worker].(MorselRunner); ok {
+				// Device-placed pipeline: the whole morsel drain executes as
+				// one placed unit, then partitions.
+				chunks, err := mr.RunMorsel(ctx, lo, hi)
 				if err != nil {
 					fail(err)
 					return
 				}
-				if c == nil {
-					break
+				for _, c := range chunks {
+					a.partitionChunk(c, buckets)
 				}
-				a.partitionChunk(c, buckets)
+			} else {
+				// Plain pipeline: partition chunk-by-chunk while draining, so
+				// a morsel's output (join fan-out included) never buffers
+				// unpartitioned.
+				for {
+					c, err := a.pipes[worker].Next(ctx)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if c == nil {
+						break
+					}
+					a.partitionChunk(c, buckets)
+				}
 			}
 			out <- aggMorsel{seq: lo / a.morselLen, buckets: buckets}
 		})

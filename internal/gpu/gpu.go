@@ -18,6 +18,7 @@
 package gpu
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/device"
@@ -47,14 +48,20 @@ func DefaultConfig() Config {
 	}
 }
 
-// Device is the simulated GPU.
+// Device is the simulated GPU. It is safe for concurrent use: morsel
+// workers run kernels (and update residency) from many goroutines at once,
+// so the residency cache and the transfer accounting synchronize
+// internally.
 type Device struct {
-	cfg      Config
+	cfg Config
+
+	mu       sync.Mutex
 	resident map[string]int
 	used     int
 	order    []string // FIFO eviction order
 
-	// TotalTransfer accumulates modeled transfer time for reports.
+	// TotalTransfer accumulates modeled transfer time for reports (guarded
+	// by mu; use TransferTotal for a concurrent-safe read).
 	TotalTransfer time.Duration
 }
 
@@ -68,7 +75,7 @@ var _ device.Device = (*Device)(nil)
 // Name implements device.Device.
 func (d *Device) Name() string { return "gpu" }
 
-// transferBytes sums the sizes of non-resident inputs.
+// transferBytes sums the sizes of non-resident inputs (caller holds mu).
 func (d *Device) transferBytes(k device.Kernel) int {
 	if len(k.Inputs) == 0 {
 		// Unnamed inputs: charge the full input volume unless nothing is
@@ -87,7 +94,9 @@ func (d *Device) transferBytes(k device.Kernel) int {
 
 // Estimate implements device.Device.
 func (d *Device) Estimate(k device.Kernel) device.Cost {
+	d.mu.Lock()
 	transfer := time.Duration(float64(d.transferBytes(k)+k.BytesOut) / d.cfg.PCIeBytesPerNs)
+	d.mu.Unlock()
 	compute := float64(k.Elems) * maxf(k.OpsPerElem, 1) / d.cfg.ElemOpsPerNs
 	hbm := float64(k.BytesIn+k.BytesOut) / d.cfg.HBMBytesPerNs
 	total := d.cfg.LaunchOverhead + transfer + time.Duration(maxf(compute, hbm))
@@ -96,21 +105,38 @@ func (d *Device) Estimate(k device.Kernel) device.Cost {
 
 // Run implements device.Device: executes the host-side work for correctness
 // and returns the modeled cost (not wall time — this is the documented
-// simulation substitution).
+// simulation substitution). The work runs outside the device's lock, so
+// concurrent kernels overlap like streams on real hardware.
 func (d *Device) Run(k device.Kernel, work func()) device.Cost {
 	work()
 	cost := d.Estimate(k)
+	d.mu.Lock()
 	d.TotalTransfer += cost.Transfer
 	// Inputs transferred for a kernel become resident (simple cache).
 	per := k.BytesIn / max(len(k.Inputs), 1)
 	for _, in := range k.Inputs {
-		d.MakeResident(in, per)
+		d.makeResident(in, per)
 	}
+	d.mu.Unlock()
 	return cost
+}
+
+// TransferTotal returns the accumulated modeled transfer time.
+func (d *Device) TransferTotal() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.TotalTransfer
 }
 
 // MakeResident implements device.Device with FIFO eviction.
 func (d *Device) MakeResident(name string, bytes int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.makeResident(name, bytes)
+}
+
+// makeResident is MakeResident with mu held.
+func (d *Device) makeResident(name string, bytes int) {
 	if _, ok := d.resident[name]; ok {
 		return
 	}
@@ -130,12 +156,16 @@ func (d *Device) MakeResident(name string, bytes int) {
 
 // Resident implements device.Device.
 func (d *Device) Resident(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	_, ok := d.resident[name]
 	return ok
 }
 
 // Evict drops an array from device memory (for failure-injection tests).
 func (d *Device) Evict(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if b, ok := d.resident[name]; ok {
 		d.used -= b
 		delete(d.resident, name)

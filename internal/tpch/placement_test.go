@@ -1,0 +1,151 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"repro/advm"
+)
+
+// collectPlan drains a plan through the public cursor into boxed values and
+// returns the query's morsel placement counts.
+func collectPlan(t *testing.T, sess *advm.Session, plan *advm.Plan) ([][]advm.Value, map[string]int64) {
+	t.Helper()
+	rows, err := sess.Query(t.Context(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := len(rows.Columns())
+	var out [][]advm.Value
+	for rows.Next() {
+		row := make([]advm.Value, n)
+		dests := make([]any, n)
+		for i := range row {
+			dests[i] = &row[i]
+		}
+		if err := rows.Scan(dests...); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, row)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out, rows.Placements()
+}
+
+// assertBytesEqual compares result sets bit-for-bit (floats by bits).
+func assertBytesEqual(t *testing.T, label string, want, got [][]advm.Value) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		for c := range want[i] {
+			x, y := want[i][c], got[i][c]
+			ok := x.Kind == y.Kind
+			if ok && x.Kind == advm.F64 {
+				ok = math.Float64bits(x.F) == math.Float64bits(y.F)
+			} else if ok {
+				ok = x.Equal(y)
+			}
+			if !ok {
+				t.Fatalf("%s: row %d col %d: got %v, want %v (bit-exact)", label, i, c, y, x)
+			}
+		}
+	}
+}
+
+// TestQueriesUnderDevicePlacement: Q1, Q3 and Q6 produce byte-identical
+// results under every device policy and worker count — placement is purely
+// a scheduling concern because the modeled GPU executes on the host.
+func TestQueriesUnderDevicePlacement(t *testing.T) {
+	li := GenLineitem(0.01, 42)
+	ord := GenOrders(0.01, 42)
+	cust := GenCustomer(0.01, 42)
+	q6p := DefaultQ6Params()
+	q3p := DefaultQ3Params()
+	plans := []struct {
+		name string
+		plan *advm.Plan
+	}{
+		{"q1", PlanQ1(li)},
+		{"q3", PlanQ3(li, ord, cust, q3p)},
+		{"q6", PlanQ6(li, q6p)},
+	}
+
+	ref, err := advm.NewSession(advm.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := make(map[string][][]advm.Value)
+	for _, q := range plans {
+		want[q.name], _ = collectPlan(t, ref, q.plan)
+		if len(want[q.name]) == 0 {
+			t.Fatalf("%s: empty reference result", q.name)
+		}
+	}
+
+	workerCounts := []int{1, 4, 8}
+	if testing.Short() {
+		workerCounts = []int{4}
+	}
+	for _, policy := range []advm.DeviceKind{advm.DeviceCPU, advm.DeviceGPU, advm.DeviceAuto} {
+		for _, workers := range workerCounts {
+			sess, err := advm.NewSession(
+				advm.WithParallelism(workers),
+				advm.WithMorselLen(8192),
+				advm.WithDevicePolicy(policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range plans {
+				got, _ := collectPlan(t, sess, q.plan)
+				assertBytesEqual(t, q.name+"/"+policy.String(), want[q.name], got)
+			}
+			sess.Close()
+		}
+	}
+}
+
+// TestQ6AdaptiveOffloadsResidentMorsels reproduces the paper's crossover on
+// a real query pipeline: once lineitem's scanned columns are resident on
+// the simulated GPU, the adaptive policy offloads Q6's large morsels there,
+// visibly in Stats, with results still byte-identical to CPU execution.
+func TestQ6AdaptiveOffloadsResidentMorsels(t *testing.T) {
+	li := GenLineitem(0.02, 42)
+	p := DefaultQ6Params()
+
+	ref, err := advm.NewSession(advm.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, _ := collectPlan(t, ref, PlanQ6(li, p))
+
+	sess, err := advm.NewSession(
+		advm.WithParallelism(4),
+		advm.WithDevicePolicy(advm.DeviceAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	// Three rounds: the first warms the residency cache and the placer's
+	// bias; later rounds place with hot state.
+	var place map[string]int64
+	for i := 0; i < 3; i++ {
+		got, pl := collectPlan(t, sess, PlanQ6(li, p))
+		assertBytesEqual(t, "q6 adaptive", want, got)
+		place = pl
+	}
+	if place["gpu"] == 0 {
+		t.Fatalf("adaptive policy placed no Q6 morsel on the GPU: %v (stats %v)",
+			place, sess.Stats().MorselPlacements)
+	}
+	st := sess.Stats()
+	if st.MorselPlacements["gpu"] == 0 {
+		t.Fatalf("Stats does not show GPU morsels: %v", st.MorselPlacements)
+	}
+}
