@@ -305,7 +305,12 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 		// Nothing fanned out, so no DeviceExec was instantiated either.
 		b.rec = nil
 	}
-	if err := op.Open(ctx); err != nil {
+	// The query gets a private, cancellable context: Rows.Close cancels it,
+	// so abandoning a stream mid-way aborts in-flight parallel workers at
+	// their next chunk boundary and returns pooled workers promptly.
+	qctx, qcancel := context.WithCancel(ctx)
+	if err := op.Open(qctx); err != nil {
+		qcancel()
 		op.Close()
 		if errors.Is(err, engine.ErrExpr) {
 			return nil, tagged(ErrCompile, err)
@@ -316,7 +321,7 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 		return nil, tagged(ErrBind, err)
 	}
 	s.queries.Add(1)
-	return &Rows{ctx: ctx, op: op, schema: op.Schema(), sess: s, rec: b.rec}, nil
+	return &Rows{ctx: qctx, cancel: qcancel, op: op, schema: op.Schema(), sess: s, rec: b.rec}, nil
 }
 
 // mergeMorselPlacements folds one completed query's placement counts into

@@ -1,0 +1,94 @@
+package advm_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/advm"
+)
+
+// closeTestTable builds a table big enough that a parallel query over it is
+// still mid-stream after one row has been read.
+func closeTestTable(rows int) *advm.Table {
+	t := advm.NewTable(advm.NewSchema("k", advm.I64, "v", advm.I64))
+	for i := 0; i < rows; i++ {
+		t.AppendRow(advm.I64Value(int64(i%1000)), advm.I64Value(int64(i)))
+	}
+	return t
+}
+
+// TestRowsCloseReleasesPoolWorkers is the regression test for abandoning a
+// streaming result mid-way: closing the cursor after one row must cancel the
+// query's private context — aborting in-flight morsel workers at their next
+// chunk boundary — and return every granted pool worker before Close
+// returns. A leak here would starve every later parallel query on the shared
+// engine.
+func TestRowsCloseReleasesPoolWorkers(t *testing.T) {
+	eng, err := advm.NewEngine(advm.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	sess, err := eng.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := closeTestTable(1 << 20)
+	plan := advm.Scan(table, "k", "v").
+		Filter(`(\k -> k < 999)`, "k").
+		Compute("w", `(\v -> (v * 3 + 7) * (v - 1))`, advm.I64, "v")
+
+	for iter := 0; iter < 3; iter++ {
+		rows, err := sess.Query(context.Background(), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatalf("iter %d: no rows before close: %v", iter, rows.Err())
+		}
+		start := time.Now()
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if inUse := eng.Stats().PoolInUse; inUse != 0 {
+			t.Fatalf("iter %d: %d pool workers still granted after Rows.Close (elapsed %v)", iter, inUse, elapsed)
+		}
+	}
+}
+
+// TestRowsCloseUnderCancelledParent exercises the interaction of a parent
+// cancellation with the cursor teardown: the stream errors with
+// ErrCancelled, and the teardown still returns all pool workers.
+func TestRowsCloseUnderCancelledParent(t *testing.T) {
+	eng, err := advm.NewEngine(advm.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	sess, err := eng.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := closeTestTable(1 << 19)
+	plan := advm.Scan(table, "k", "v").Filter(`(\k -> k < 999)`, "k")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := sess.Query(ctx, plan)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no rows before cancel: %v", rows.Err())
+	}
+	cancel()
+	for rows.Next() {
+		// Drain until the cancellation lands at a chunk boundary.
+	}
+	rows.Close()
+	if inUse := eng.Stats().PoolInUse; inUse != 0 {
+		t.Fatalf("%d pool workers still granted after cancelled stream closed", inUse)
+	}
+}

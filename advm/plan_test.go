@@ -206,3 +206,57 @@ func TestPlanValidationErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelGlobalCountOnly is the regression test for a pure COUNT(*)
+// under morsel-parallel aggregation: with no key columns and no aggregate
+// inputs, the parallel fold's bucket projection carried zero columns, so
+// every bucket chunk had length zero and the count silently came out empty
+// (serial execution returned the row). Parallel and serial must agree.
+func TestParallelGlobalCountOnly(t *testing.T) {
+	table := advm.NewTable(advm.NewSchema("k", advm.I64))
+	const rows = 1 << 18
+	ks := make([]int64, rows)
+	for i := range ks {
+		ks[i] = int64(i % 97)
+	}
+	c := &advm.Chunk{}
+	c.Add("k", advm.FromI64(ks))
+	table.AppendChunk(c)
+
+	plan := advm.Scan(table).
+		Filter(`(\k -> k < 90)`, "k").
+		Aggregate(nil, advm.Agg{Func: advm.AggCount, As: "n"})
+	var want int64
+	for _, workers := range []int{1, 4} {
+		sess, err := advm.NewSession(advm.WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := sess.Query(context.Background(), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got int64
+		emitted := 0
+		for rs.Next() {
+			if err := rs.Scan(&got); err != nil {
+				t.Fatal(err)
+			}
+			emitted++
+		}
+		if err := rs.Err(); err != nil {
+			t.Fatal(err)
+		}
+		sess.Close()
+		if emitted != 1 {
+			t.Fatalf("workers=%d emitted %d rows, want 1", workers, emitted)
+		}
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d count=%d, serial=%d", workers, got, want)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 // Rows is not safe for concurrent use.
 type Rows struct {
 	ctx    context.Context
+	cancel context.CancelFunc // cancels the query-private context on close
 	op     engine.Operator
 	schema []engine.ColInfo
 	sess   *Session
@@ -47,6 +48,15 @@ func (r *Rows) Columns() []string {
 		names[i] = ci.Name
 	}
 	return names
+}
+
+// ColumnKinds returns the result column element kinds in schema order.
+func (r *Rows) ColumnKinds() []Kind {
+	kinds := make([]Kind, len(r.schema))
+	for i, ci := range r.schema {
+		kinds[i] = ci.Kind
+	}
+	return kinds
 }
 
 // Next advances to the next result row, fetching the next chunk from the
@@ -222,8 +232,10 @@ func (r *Rows) Placements() map[string]int64 {
 	return r.rec.Counts()
 }
 
-// Close releases the pipeline's resources. It is idempotent and implied by
-// exhausting Next.
+// Close releases the pipeline's resources: it cancels the query's private
+// context — so in-flight parallel workers abort at their next chunk boundary
+// instead of draining their current morsels — then tears the pipeline down,
+// returning pooled workers. It is idempotent and implied by exhausting Next.
 func (r *Rows) Close() error {
 	r.close()
 	return nil
@@ -235,6 +247,11 @@ func (r *Rows) close() {
 	}
 	r.done = true
 	r.chunk = nil
+	if r.cancel != nil {
+		// Cancel before Close: Exchange.Close waits for in-flight workers,
+		// and cancellation is what makes them exit promptly mid-morsel.
+		r.cancel()
+	}
 	r.op.Close()
 	if r.rec != nil && r.sess != nil {
 		r.sess.mergeMorselPlacements(r.rec)

@@ -13,6 +13,7 @@
 //	advm-bench -exp E3    # selectivity specialization series
 //	advm-bench -exp E5    # compressed execution with scheme drift
 //	advm-bench -exp E6    # CPU/GPU placement series (modeled costs)
+//	advm-bench -exp E17   # advm-serve throughput, 1 vs 8 concurrent clients
 //	advm-bench -exp all   # everything
 package main
 
@@ -21,10 +22,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/advm"
@@ -37,14 +43,15 @@ import (
 	"repro/internal/interp"
 	"repro/internal/jit"
 	"repro/internal/nir"
+	"repro/internal/server"
 	"repro/internal/tpch"
 	"repro/internal/vector"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15,E16) or all")
+	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15,E16,E17) or all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for E1/E15")
-	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3/device.json perf records into (runs E15 and E16 only)")
+	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3/device/server.json perf records into (runs E15, E16 and E17 only)")
 	data := flag.String("data", os.Getenv("TPCH_DATA_DIR"),
 		"directory of pre-generated TPC-H tables (tpch-gen -binary); generated on the fly when empty or missing")
 	flag.Parse()
@@ -52,6 +59,7 @@ func main() {
 	if *benchjson != "" {
 		expE15(*sf, *data, *benchjson)
 		expE16(*sf, *data, *benchjson)
+		expE17(*sf, *data, *benchjson)
 		return
 	}
 
@@ -91,6 +99,10 @@ func main() {
 	}
 	if all || *exp == "E16" {
 		expE16(*sf, *data, "")
+		ran = true
+	}
+	if all || *exp == "E17" {
+		expE17(*sf, *data, "")
 		ran = true
 	}
 	if !ran {
@@ -641,6 +653,124 @@ func sameResults(a, b [][]advm.Value) bool {
 
 func fatalE16(err error) {
 	fmt.Fprintln(os.Stderr, "advm-bench: E16:", err)
+	os.Exit(1)
+}
+
+// expE17 measures advm-serve end to end over loopback HTTP: TPC-H Q6
+// through POST /v1/query with 1 client and with 8 concurrent clients
+// against one engine, checking that every streamed response is
+// byte-identical to the single-client reference. With outDir != "" it
+// writes BENCH_server.json (query-record flavor: serial = 1-client ns per
+// query, parallel = per-query ns at 8 clients) for the CI gate.
+func expE17(sf float64, dataDir, outDir string) {
+	const clients = 8
+	const itersPerClient = 12
+	header(fmt.Sprintf("E17 — advm-serve throughput (SF %.3f, 1 vs %d clients)", sf, clients))
+	li, err := tpch.LoadOrGen(dataDir, "lineitem", sf, 42)
+	if err != nil {
+		fatalE17(err)
+	}
+	calibNs := calibrate()
+
+	eng, err := advm.NewEngine(
+		advm.WithParallelism(4),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		fatalE17(err)
+	}
+	defer eng.Close()
+	srv := server.New(eng, server.Config{MaxConcurrent: clients, MaxQueue: 4 * clients})
+	srv.RegisterTable("lineitem", li)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const reqBody = `{"query":"q6","opts":{"parallelism":4}}`
+	query := func() (string, error) {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("status %d: %s", resp.StatusCode, b)
+		}
+		return string(b), nil
+	}
+
+	// Warm up (JIT, residency, connection pool), and fix the reference body.
+	want, err := query()
+	if err != nil {
+		fatalE17(err)
+	}
+
+	run := func(clients int) (nsPerQuery int64, identical bool) {
+		identical = true
+		bodies := make([][]string, clients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < itersPerClient; i++ {
+					b, err := query()
+					if err != nil {
+						fatalE17(err)
+					}
+					bodies[c] = append(bodies[c], b)
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for _, bs := range bodies {
+			for _, b := range bs {
+				if b != want {
+					identical = false
+				}
+			}
+		}
+		return wall.Nanoseconds() / int64(clients*itersPerClient), identical
+	}
+
+	oneNs, oneSame := run(1)
+	eightNs, eightSame := run(clients)
+	identical := oneSame && eightSame
+	if !identical {
+		fatalE17(fmt.Errorf("concurrent responses differ from the single-client reference"))
+	}
+	rec := benchRecord{
+		Benchmark: "server_q6", ScaleFactor: sf, Rows: li.Rows(),
+		Workers: clients, Iters: itersPerClient,
+		SerialNsOp: oneNs, Parallel4NsOp: eightNs,
+		Speedup:    float64(oneNs) / float64(eightNs),
+		Identical:  identical,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CalibNs:    calibNs,
+	}
+	fmt.Printf("  q6   1 client %12v/query   %d clients %12v/query   throughput ×%.2f   identical=%v\n",
+		time.Duration(oneNs).Round(time.Microsecond), clients,
+		time.Duration(eightNs).Round(time.Microsecond), rec.Speedup, identical)
+	fmt.Printf("       engine: %+v\n", eng.Stats())
+	if outDir != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatalE17(err)
+		}
+		path := filepath.Join(outDir, "BENCH_server.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatalE17(err)
+		}
+		fmt.Printf("       wrote %s\n", path)
+	}
+}
+
+func fatalE17(err error) {
+	fmt.Fprintln(os.Stderr, "advm-bench: E17:", err)
 	os.Exit(1)
 }
 

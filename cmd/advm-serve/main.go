@@ -1,0 +1,100 @@
+// Command advm-serve puts the adaptive VM behind a socket: one process-wide
+// advm.Engine — worker pool, device placer, fingerprint-keyed prepared
+// cache — served over HTTP to many concurrent clients, with admission
+// control, streaming NDJSON results and adaptive-telemetry endpoints.
+//
+//	advm-serve -addr :8080 -sf 0.01 -parallelism 8
+//
+//	curl -s localhost:8080/v1/query -d '{"query":"q6"}'
+//	curl -s localhost:8080/v1/query -d '{"query":"q3","opts":{"parallelism":4,"device":"auto"}}'
+//	curl -s localhost:8080/v1/prepare -d '{"src":"...","externals":{"data":"i64"}}'
+//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
+//
+// The TPC-H tables (lineitem, orders, customer) are registered at startup —
+// loaded from -data / $TPCH_DATA_DIR when pre-generated, generated at the
+// given scale factor otherwise. SIGTERM/SIGINT drains gracefully: new
+// queries get 503 while in-flight streams finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/advm"
+	"repro/internal/server"
+	"repro/internal/tpch"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for the registered tables")
+	data := flag.String("data", os.Getenv("TPCH_DATA_DIR"),
+		"directory of pre-generated TPC-H tables (tpch-gen -binary); generated on the fly when empty or missing")
+	parallelism := flag.Int("parallelism", 4, "default per-query worker fan-out (engine pool sizes to max(this, GOMAXPROCS))")
+	maxConcurrent := flag.Int("max-concurrent", 0, "queries executing simultaneously (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "admission queue bound (0 = 4× max-concurrent)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "max admission wait before 429")
+	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "deadline for requests that carry none")
+	drainTimeout := flag.Duration("drain-timeout", 20*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	eng, err := advm.NewEngine(advm.WithParallelism(*parallelism))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	srv := server.New(eng, server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *defaultTimeout,
+	})
+	for _, table := range []string{"lineitem", "orders", "customer"} {
+		st, err := tpch.LoadOrGen(*data, table, *sf, 42)
+		if err != nil {
+			log.Fatalf("loading %s: %v", table, err)
+		}
+		srv.RegisterTable(table, st)
+		log.Printf("registered table %s (%d rows)", table, st.Rows())
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("advm-serve listening on %s (parallelism %d, sf %.3f)", *addr, *parallelism, *sf)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("%v: draining (budget %v)", got, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain: %v (in-flight queries abandoned)", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	st := eng.Stats()
+	fmt.Printf("served: sessions=%d prepares=%d cache_hits=%d parallel_queries=%d\n",
+		st.Sessions, st.Prepares, st.CacheHits, st.ParallelQueries)
+}

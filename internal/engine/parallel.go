@@ -123,6 +123,7 @@ type Exchange struct {
 	quit     chan struct{}
 	quitOnce *sync.Once
 	done     chan struct{}
+	cancel   context.CancelFunc
 	opened   bool
 
 	mu     sync.Mutex
@@ -207,7 +208,11 @@ func (e *Exchange) Open(ctx context.Context) error {
 	e.quitOnce = new(sync.Once)
 	e.done = make(chan struct{})
 	e.opened = true
-	go e.produce(ctx, rows)
+	// The workers run under a private, cancellable context so Close can
+	// abort them mid-morsel instead of waiting for their current drains.
+	wctx, cancel := context.WithCancel(ctx)
+	e.cancel = cancel
+	go e.produce(wctx, rows)
 	return nil
 }
 
@@ -215,6 +220,7 @@ func (e *Exchange) Open(ctx context.Context) error {
 // merge. It owns the out channel: closing it signals end of production.
 func (e *Exchange) produce(ctx context.Context, rows int) {
 	defer close(e.done)
+	defer e.cancel() // release the private context once production ends
 	st := morsel.RunInstrumented(rows, morsel.Options{Workers: e.workers, MorselLen: e.morselLen},
 		func(worker, lo, hi int) {
 			select {
@@ -306,12 +312,15 @@ func (e *Exchange) Next(ctx context.Context) (*vector.Chunk, error) {
 	}
 }
 
-// Close implements Operator: it stops the dispatcher (draining workers that
+// Close implements Operator: it cancels the workers' private context (so
+// drains in flight abort at their next chunk boundary rather than running
+// their morsels to completion), stops the dispatcher (draining workers that
 // are mid-push), waits for them to exit, and closes the worker pipelines.
 // Safe to call without draining Next first, and idempotent.
 func (e *Exchange) Close() error {
 	if e.opened {
 		e.opened = false
+		e.cancel()
 		e.quitOnce.Do(func() { close(e.quit) })
 		for range e.out {
 			// Discard: unblocks workers stuck pushing finished morsels.
@@ -711,6 +720,14 @@ func NewParallelAgg(store vector.Store, columns []string, workers int,
 		if ag.Func != AggCount && !seen[ag.Col] {
 			seen[ag.Col] = true
 			a.needed = append(a.needed, ag.Col)
+		}
+	}
+	if len(a.needed) == 0 {
+		// A pure global COUNT(*) needs no columns, but a bucket chunk with
+		// zero columns has length zero and would lose the row count; carry
+		// one pipeline column so every bucket keeps its cardinality.
+		if sch := a.pipes[0].Schema(); len(sch) > 0 {
+			a.needed = append(a.needed, sch[0].Name)
 		}
 	}
 	return a, nil

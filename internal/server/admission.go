@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission errors, mapped onto HTTP statuses by the handlers.
+var (
+	// ErrOverloaded marks a request rejected because the wait queue is full
+	// or the queue wait expired — the server is saturated (429 Retry-After).
+	ErrOverloaded = errors.New("server: overloaded")
+	// ErrDraining marks a request rejected because the server is shutting
+	// down (503).
+	ErrDraining = errors.New("server: draining")
+)
+
+// admission is the server's admission controller: a bounded count of
+// concurrently running queries plus a bounded FIFO wait queue. A request
+// acquires a slot before any query work starts and releases it when the
+// response stream finishes; requests beyond both bounds are rejected
+// immediately so overload surfaces as fast 429s instead of unbounded
+// queueing and memory growth.
+//
+// Admission is deliberately a layer above the engine's worker pool: this
+// bound says how many queries may be in flight, while the pool decides how
+// many morsel workers each of them gets (degrading toward serial under
+// contention). Together they keep p99 latency bounded without idling the
+// host when queries arrive in bursts.
+type admission struct {
+	mu      sync.Mutex
+	max     int
+	maxWait int
+	running int
+	queue   []*waiter // FIFO: queue[0] is granted first
+	closed  bool
+	idle    chan struct{} // non-nil while a drain waits for running == 0
+
+	// Lifetime counters (under mu; read via snapshot).
+	admitted int64 // acquired a slot (immediately or after queueing)
+	queued   int64 // went through the wait queue
+	rejected int64 // bounced with ErrOverloaded
+	expired  int64 // left the queue on context expiry
+}
+
+// waiter is one queued request. granted is written under admission.mu
+// before ch is closed, so the woken goroutine reads it without races.
+type waiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+func newAdmission(maxRunning, maxQueue int) *admission {
+	return &admission{max: maxRunning, maxWait: maxQueue}
+}
+
+// acquire obtains an execution slot, waiting in FIFO order behind earlier
+// requests when the server is at capacity. It returns ErrOverloaded when the
+// wait queue is full, ErrDraining after close, and the context error when
+// ctx expires first (callers bound ctx by the queue wait and the request
+// deadline, so expiry means the request timed out while queued).
+func (a *admission) acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrDraining
+	}
+	if a.running < a.max && len(a.queue) == 0 {
+		a.running++
+		a.admitted++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxWait {
+		a.rejected++
+		a.mu.Unlock()
+		return ErrOverloaded
+	}
+	w := &waiter{ch: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.queued++
+	a.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		if !w.granted {
+			return ErrDraining
+		}
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, q := range a.queue {
+			if q == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.expired++
+				a.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		a.mu.Unlock()
+		// Already dequeued: a grant (or drain) raced the expiry and the
+		// channel is closed or about to be. Honor whichever it was.
+		<-w.ch
+		if !w.granted {
+			return ErrDraining
+		}
+		if err := ctx.Err(); err != nil {
+			// Granted but the request is already dead: hand the slot on.
+			a.release()
+			return err
+		}
+		return nil
+	}
+}
+
+// release returns a slot, handing it to the head of the wait queue when one
+// is waiting (FIFO — the slot transfers, running stays constant).
+func (a *admission) release() {
+	a.mu.Lock()
+	if len(a.queue) > 0 && !a.closed {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.admitted++
+		w.granted = true
+		close(w.ch)
+		a.mu.Unlock()
+		return
+	}
+	a.running--
+	if a.closed && a.running == 0 && a.idle != nil {
+		close(a.idle)
+		a.idle = nil
+	}
+	a.mu.Unlock()
+}
+
+// drain closes admission — subsequent acquires fail with ErrDraining and
+// every queued waiter is bounced — then waits until the running queries
+// finish or ctx expires.
+func (a *admission) drain(ctx context.Context) error {
+	a.mu.Lock()
+	a.closed = true
+	for _, w := range a.queue {
+		close(w.ch) // granted stays false → ErrDraining
+	}
+	a.queue = nil
+	if a.running == 0 {
+		a.mu.Unlock()
+		return nil
+	}
+	if a.idle == nil {
+		a.idle = make(chan struct{})
+	}
+	idle := a.idle
+	a.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admissionStats is a point-in-time snapshot of the controller.
+type admissionStats struct {
+	Running  int   `json:"running"`
+	Queued   int   `json:"queued"`
+	Admitted int64 `json:"admitted"`
+	Waited   int64 `json:"waited"`
+	Rejected int64 `json:"rejected"`
+	Expired  int64 `json:"expired"`
+	Draining bool  `json:"draining"`
+}
+
+func (a *admission) snapshot() admissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return admissionStats{
+		Running:  a.running,
+		Queued:   len(a.queue),
+		Admitted: a.admitted,
+		Waited:   a.queued,
+		Rejected: a.rejected,
+		Expired:  a.expired,
+		Draining: a.closed,
+	}
+}

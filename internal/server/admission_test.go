@@ -1,0 +1,165 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionFIFOOrdering proves queued requests are granted in arrival
+// order: with the single slot held, four waiters enqueue one at a time, and
+// four releases must wake them strictly first-in-first-out.
+func TestAdmissionFIFOOrdering(t *testing.T) {
+	a := newAdmission(1, 8)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 4
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := a.acquire(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+		}(i)
+		// Each waiter must be enqueued before the next starts, so arrival
+		// order is deterministic.
+		deadline := time.Now().Add(time.Second)
+		for a.snapshot().Queued != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never enqueued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	for i := 0; i < waiters; i++ {
+		a.release()
+		select {
+		case got := <-order:
+			if got != i {
+				t.Fatalf("release %d woke waiter %d (not FIFO)", i, got)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("release %d woke nobody", i)
+		}
+	}
+	a.release() // the last grant
+	wg.Wait()
+	if snap := a.snapshot(); snap.Running != 0 || snap.Queued != 0 {
+		t.Fatalf("final snapshot %+v, want idle", snap)
+	}
+}
+
+// TestAdmissionOverload: a full queue rejects instantly with ErrOverloaded.
+func TestAdmissionOverload(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	go a.acquire(context.Background()) // fills the queue
+	deadline := time.Now().Add(time.Second)
+	for a.snapshot().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue returned %v, want ErrOverloaded", err)
+	}
+	if snap := a.snapshot(); snap.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", snap.Rejected)
+	}
+	a.release() // grant the queued waiter
+	a.release() // and return its slot
+}
+
+// TestAdmissionQueueExpiry: a waiter whose context ends while queued leaves
+// the queue (no ghost grants) and reports the context error.
+func TestAdmissionQueueExpiry(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired waiter returned %v", err)
+	}
+	snap := a.snapshot()
+	if snap.Expired != 1 || snap.Queued != 0 {
+		t.Fatalf("snapshot %+v, want expired=1 queued=0", snap)
+	}
+	// The slot must still be transferable to a live waiter.
+	got := make(chan error, 1)
+	go func() { got <- a.acquire(context.Background()) }()
+	deadline := time.Now().Add(time.Second)
+	for a.snapshot().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("live waiter never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.release()
+	if err := <-got; err != nil {
+		t.Fatalf("live waiter: %v", err)
+	}
+	a.release()
+}
+
+// TestAdmissionDrain: drain bounces queued waiters with ErrDraining,
+// rejects new arrivals, and unblocks once running work releases.
+func TestAdmissionDrain(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- a.acquire(context.Background()) }()
+	deadline := time.Now().Add(time.Second)
+	for a.snapshot().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- a.drain(context.Background()) }()
+	if err := <-waiterErr; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter got %v, want ErrDraining", err)
+	}
+	if err := a.acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain acquire got %v, want ErrDraining", err)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned %v with work still running", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.release()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("drain never completed after release")
+	}
+
+	// A second drain of an idle controller returns immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := a.drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

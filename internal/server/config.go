@@ -1,0 +1,87 @@
+package server
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config tunes the serving machinery of a Server. The zero value is usable:
+// every field has a production-leaning default resolved against the engine
+// when the server is created.
+type Config struct {
+	// MaxConcurrent bounds how many queries (and program executions) run
+	// simultaneously. Admission beyond it queues; default GOMAXPROCS. This
+	// bound protects the morsel pool: each admitted query independently
+	// negotiates workers with the engine's pool, which degrades toward
+	// serial under contention, so MaxConcurrent × per-query parallelism may
+	// exceed the pool without oversubscribing the host.
+	MaxConcurrent int
+
+	// MaxQueue bounds how many requests may wait for admission. A request
+	// arriving to a full queue is rejected immediately with 429 and a
+	// Retry-After hint instead of queueing unboundedly. Default
+	// 4×MaxConcurrent.
+	MaxQueue int
+
+	// QueueWait caps how long a request waits for admission. A request
+	// whose own deadline expires sooner waits only that long. Requests
+	// still queued when the wait expires get 429 (the server is saturated,
+	// not failing). Default 2s.
+	QueueWait time.Duration
+
+	// DefaultTimeout applies to requests that carry no deadline of their
+	// own. Default 30s.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout clamps per-request deadlines. Default 5m.
+	MaxTimeout time.Duration
+
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+
+	// MaxParallelism clamps the per-request parallelism session option.
+	// Default: the engine pool's capacity.
+	MaxParallelism int
+
+	// MaxBodyBytes caps request body size. Default 16 MiB (program
+	// executions carry inline arrays).
+	MaxBodyBytes int64
+
+	// FlushRows is how often, in result rows, the NDJSON stream is flushed
+	// to the client (the stream is always flushed after the header and at
+	// the end). Default 1024 — one flush per default chunk.
+	FlushRows int
+}
+
+// withDefaults resolves zero fields; poolCapacity is the engine's worker
+// pool capacity (the MaxParallelism default).
+func (c Config) withDefaults(poolCapacity int) Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = poolCapacity
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.FlushRows <= 0 {
+		c.FlushRows = 1024
+	}
+	return c
+}

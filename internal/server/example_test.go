@@ -1,0 +1,54 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/advm"
+	"repro/internal/server"
+)
+
+// ExampleConfig shows a fully specified server configuration fronting a
+// shared engine: admission bounded at 2 concurrent queries with a queue of
+// 8, a 1-second queue wait, and per-request deadlines defaulting to 10s.
+// Queries stream NDJSON: one meta record, one array per row, one trailer.
+func ExampleConfig() {
+	eng, err := advm.NewEngine(advm.WithParallelism(2))
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	srv := server.New(eng, server.Config{
+		MaxConcurrent:  2,                // queries running at once
+		MaxQueue:       8,                // waiting beyond that → 429
+		QueueWait:      time.Second,      // max wait for admission
+		DefaultTimeout: 10 * time.Second, // deadline when the request has none
+	})
+
+	table := advm.NewTable(advm.NewSchema("k", advm.I64))
+	for _, k := range []int64{1, 2, 3} {
+		table.AppendRow(advm.I64Value(k))
+	}
+	srv.RegisterTable("t", table)
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(
+		`{"table":"t","pipeline":[{"op":"aggregate","aggs":[{"func":"sum","col":"k","as":"total"}]}]}`))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Print(string(body))
+	// Output:
+	// {"columns":["total"],"kinds":["i64"]}
+	// [6]
+	// {"rows":1}
+}

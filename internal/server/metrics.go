@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/advm"
+)
+
+// statsResponse is the body of GET /v1/stats: the adaptive telemetry that
+// makes the shared-VM amortization observable from outside — the engine's
+// cache and pool counters, the admission controller, per-program VM stats
+// (one profile and trace set per distinct program, however many clients),
+// and where morsels actually ran.
+type statsResponse struct {
+	UptimeMS  int64           `json:"uptime_ms"`
+	Engine    engineStatsJSON `json:"engine"`
+	Admission admissionStats  `json:"admission"`
+	Server    serverCounters  `json:"server"`
+	Prepared  []preparedInfo  `json:"prepared"`
+	// Placements counts morsels dispatched per device ("cpu", "gpu")
+	// across every cached tenant session; TransferMS is the modeled PCIe
+	// time GPU-placed morsels paid.
+	Placements map[string]int64 `json:"placements,omitempty"`
+	TransferMS float64          `json:"transfer_ms,omitempty"`
+}
+
+type engineStatsJSON struct {
+	Sessions         int64 `json:"sessions"`
+	Prepares         int64 `json:"prepares"`
+	CacheHits        int64 `json:"cache_hits"`
+	CacheEvictions   int64 `json:"cache_evictions"`
+	PreparedPrograms int   `json:"prepared_programs"`
+	PoolCapacity     int   `json:"pool_capacity"`
+	PoolInUse        int   `json:"pool_in_use"`
+	ParallelQueries  int64 `json:"parallel_queries"`
+}
+
+type serverCounters struct {
+	QueriesOK    int64 `json:"queries_ok"`
+	QueriesErr   int64 `json:"queries_err"`
+	ExecsOK      int64 `json:"execs_ok"`
+	ExecsErr     int64 `json:"execs_err"`
+	RowsStreamed int64 `json:"rows_streamed"`
+	Disconnects  int64 `json:"disconnects"`
+}
+
+type preparedInfo struct {
+	Fingerprint    string `json:"fingerprint"`
+	Runs           int64  `json:"runs"`
+	InjectedTraces int    `json:"injected_traces"`
+	RevertedTraces int    `json:"reverted_traces"`
+	State          string `json:"state"`
+}
+
+func engineJSON(st advm.EngineStats) engineStatsJSON {
+	return engineStatsJSON{
+		Sessions:         st.Sessions,
+		Prepares:         st.Prepares,
+		CacheHits:        st.CacheHits,
+		CacheEvictions:   st.CacheEvictions,
+		PreparedPrograms: st.PreparedPrograms,
+		PoolCapacity:     st.PoolCapacity,
+		PoolInUse:        st.PoolInUse,
+		ParallelQueries:  st.ParallelQueries,
+	}
+}
+
+// snapshotStats assembles the full stats response.
+func (s *Server) snapshotStats() statsResponse {
+	resp := statsResponse{
+		UptimeMS:  time.Since(s.start).Milliseconds(),
+		Engine:    engineJSON(s.eng.Stats()),
+		Admission: s.adm.snapshot(),
+		Server: serverCounters{
+			QueriesOK:    s.queriesOK.Load(),
+			QueriesErr:   s.queriesErr.Load(),
+			ExecsOK:      s.execsOK.Load(),
+			ExecsErr:     s.execsErr.Load(),
+			RowsStreamed: s.rowsStreamed.Load(),
+			Disconnects:  s.disconnects.Load(),
+		},
+	}
+
+	s.mu.Lock()
+	prepared := make([]*advm.Prepared, 0, len(s.prepared))
+	for _, e := range s.prepared {
+		prepared = append(prepared, e.p)
+	}
+	sessions := make([]*advm.Session, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		sessions = append(sessions, e.sess)
+	}
+	s.mu.Unlock()
+
+	for _, p := range prepared {
+		st := p.Stats()
+		resp.Prepared = append(resp.Prepared, preparedInfo{
+			Fingerprint:    p.Fingerprint(),
+			Runs:           st.Runs,
+			InjectedTraces: st.InjectedTraces,
+			RevertedTraces: st.RevertedTraces,
+			State:          st.State,
+		})
+	}
+	sort.Slice(resp.Prepared, func(i, j int) bool {
+		return resp.Prepared[i].Fingerprint < resp.Prepared[j].Fingerprint
+	})
+
+	var transfer time.Duration
+	for _, sess := range sessions {
+		st := sess.Stats()
+		for dev, n := range st.MorselPlacements {
+			if resp.Placements == nil {
+				resp.Placements = make(map[string]int64)
+			}
+			resp.Placements[dev] += n
+		}
+		transfer += st.MorselTransfer
+	}
+	resp.TransferMS = float64(transfer) / float64(time.Millisecond)
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.snapshotStats())
+}
+
+// handleMetrics serves the same telemetry in Prometheus text exposition
+// format (version 0.0.4), hand-rendered so the repo needs no client
+// library.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.snapshotStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	gauge("advm_pool_capacity", "Morsel worker pool capacity.", st.Engine.PoolCapacity)
+	gauge("advm_pool_in_use", "Morsel workers currently granted to queries.", st.Engine.PoolInUse)
+	gauge("advm_prepared_programs", "Programs in the prepared-statement cache.", st.Engine.PreparedPrograms)
+	counter("advm_prepares_total", "Prepare calls.", st.Engine.Prepares)
+	counter("advm_prepare_cache_hits_total", "Prepare calls answered from the cache.", st.Engine.CacheHits)
+	counter("advm_prepare_cache_evictions_total", "LRU evictions from the prepared cache.", st.Engine.CacheEvictions)
+	counter("advm_sessions_total", "Sessions handed out by the engine.", st.Engine.Sessions)
+	counter("advm_parallel_queries_total", "Queries that executed with more than one worker.", st.Engine.ParallelQueries)
+
+	gauge("advm_server_inflight", "Queries currently executing.", st.Admission.Running)
+	gauge("advm_server_queue_depth", "Requests currently queued for admission.", st.Admission.Queued)
+	counter("advm_server_admitted_total", "Requests granted an execution slot.", st.Admission.Admitted)
+	counter("advm_server_queued_total", "Requests that waited in the admission queue.", st.Admission.Waited)
+	counter("advm_server_rejected_total", "Requests rejected with 429 (queue full or wait expired).", st.Admission.Rejected)
+	counter("advm_server_queue_expired_total", "Requests whose deadline expired while queued.", st.Admission.Expired)
+
+	fmt.Fprintf(w, "# HELP advm_server_queries_total Completed /v1/query requests.\n# TYPE advm_server_queries_total counter\n")
+	fmt.Fprintf(w, "advm_server_queries_total{status=\"ok\"} %d\n", st.Server.QueriesOK)
+	fmt.Fprintf(w, "advm_server_queries_total{status=\"error\"} %d\n", st.Server.QueriesErr)
+	fmt.Fprintf(w, "# HELP advm_server_execs_total Completed /v1/exec requests.\n# TYPE advm_server_execs_total counter\n")
+	fmt.Fprintf(w, "advm_server_execs_total{status=\"ok\"} %d\n", st.Server.ExecsOK)
+	fmt.Fprintf(w, "advm_server_execs_total{status=\"error\"} %d\n", st.Server.ExecsErr)
+	counter("advm_server_rows_streamed_total", "Result rows streamed to clients.", st.Server.RowsStreamed)
+	counter("advm_server_disconnects_total", "Streams abandoned by clients mid-query.", st.Server.Disconnects)
+
+	fmt.Fprintf(w, "# HELP advm_morsel_placements_total Morsels dispatched per device.\n# TYPE advm_morsel_placements_total counter\n")
+	devices := make([]string, 0, len(st.Placements))
+	for dev := range st.Placements {
+		devices = append(devices, dev)
+	}
+	sort.Strings(devices)
+	for _, dev := range devices {
+		fmt.Fprintf(w, "advm_morsel_placements_total{device=%q} %d\n", dev, st.Placements[dev])
+	}
+	counter("advm_morsel_transfer_seconds", "Modeled PCIe transfer time of GPU-placed morsels.", st.TransferMS/1000)
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/advm"
+)
+
+// TestClientDisconnectCancelsQuery is the regression test for abandoning a
+// streaming response mid-stream: the client reads a handful of NDJSON lines
+// from a query that would stream hundreds of thousands of rows, then slams
+// the connection. The server must observe the disconnect, cancel the
+// underlying query, and return every morsel-pool worker promptly — a leak
+// here would let abandoned streams starve the engine for every tenant.
+// Run under -race (CI does): the teardown crosses the handler, the cursor
+// and the exchange workers.
+func TestClientDisconnectCancelsQuery(t *testing.T) {
+	s, eng := newTestServer(t, Config{FlushRows: 64}, 1<<20, false, advm.WithParallelism(4))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for iter := 0; iter < 3; iter++ {
+		req, err := http.NewRequest("POST", ts.URL+"/v1/query", strings.NewReader(`{"table":"t",
+			"opts":{"parallelism":4},
+			"pipeline":[
+				{"op":"filter","lambda":"(\\k -> k >= 0)","col":"k"},
+				{"op":"compute","out":"w","lambda":"(\\v -> (v * 3 + 7) * (v - 1))","kind":"i64","cols":["v"]}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultTransport.RoundTrip(req) // no pooling: Close really severs the connection
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("iter %d: status %d", iter, resp.StatusCode)
+		}
+		lines, err := readLines(resp.Body, 8)
+		if err != nil || len(lines) < 8 {
+			t.Fatalf("iter %d: read %d lines, err %v", iter, len(lines), err)
+		}
+		// Abandon the stream mid-query.
+		resp.Body.Close()
+
+		// The handler must notice, cancel, and release the pool workers
+		// promptly (well under the time the full stream would take).
+		waitFor(t, 3*time.Second, func() bool {
+			return eng.Stats().PoolInUse == 0 && s.adm.snapshot().Running == 0
+		})
+	}
+	// The engine must be fully usable afterwards: same query, drained.
+	resp := postJSON(t, ts.URL+"/v1/query", `{"table":"t","opts":{"parallelism":4},"pipeline":[
+		{"op":"filter","lambda":"(\\k -> k >= 0)","col":"k"},
+		{"op":"aggregate","aggs":[{"func":"count","as":"n"}]}]}`)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "[1048576]") {
+		t.Fatalf("follow-up query after disconnects: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestLimitAbandonsCursorAndReleasesWorkers: a row limit makes the server
+// abandon the cursor deliberately — the same teardown path as a disconnect,
+// observable end to end because the response terminates with a truncated
+// trailer and the pool returns to idle.
+func TestLimitAbandonsCursorAndReleasesWorkers(t *testing.T) {
+	s, eng := newTestServer(t, Config{}, 1<<19, false, advm.WithParallelism(4))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/query", `{"table":"t","limit":10,
+		"opts":{"parallelism":4},
+		"pipeline":[{"op":"filter","lambda":"(\\k -> k >= 0)","col":"k"}]}`)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 12 { // meta + 10 rows + trailer
+		t.Fatalf("got %d lines, want 12", len(lines))
+	}
+	var trailer streamTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if trailer.Rows != 10 || !trailer.Truncated || trailer.Error != "" {
+		t.Fatalf("trailer %+v, want rows=10 truncated", trailer)
+	}
+	waitFor(t, 3*time.Second, func() bool { return eng.Stats().PoolInUse == 0 })
+}
