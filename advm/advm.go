@@ -62,6 +62,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,9 +93,11 @@ type Session struct {
 	prog *nir.Program
 	vm   *vm.VM
 
-	runs    atomic.Int64
-	queries atomic.Int64
-	closed  atomic.Bool
+	runs            atomic.Int64
+	queries         atomic.Int64
+	segmentsScanned atomic.Int64
+	segmentsSkipped atomic.Int64
+	closed          atomic.Bool
 
 	mu               sync.Mutex
 	placements       []Placement
@@ -190,6 +193,26 @@ func (s *Session) Prepare(src string, externals map[string]Kind) (*Prepared, err
 	return s.eng.Prepare(src, externals)
 }
 
+// OpenTable opens the named disk-backed stored table: with WithTableDir the
+// name resolves below that root, otherwise it is used as the colstore
+// directory path directly. The table is cached engine-wide (see
+// Engine.OpenTable) and is a TableSource, so it plugs straight into Scan:
+//
+//	sess, _ := advm.NewSession(advm.WithTableDir("testdata/tpch-sf1"))
+//	lineitem, _ := sess.OpenTable("lineitem")
+//	rows, _ := sess.Query(ctx, advm.Scan(lineitem, "l_shipdate", "l_quantity").
+//	        Filter(`(\d -> d < 2400)`, "l_shipdate"))
+func (s *Session) OpenTable(name string) (*StoredTable, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	dir := name
+	if s.opt.tableDir != "" {
+		dir = filepath.Join(s.opt.tableDir, name)
+	}
+	return s.eng.OpenTable(dir)
+}
+
 // Run executes the compiled program once against the given external arrays.
 // The context is honored at chunk boundaries: a cancelled or expired ctx
 // aborts the run within one chunk and Run returns an error matching
@@ -276,6 +299,9 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 	}
 	workers := s.eng.pool.acquire(s.opt.parallelism)
 	b := &builder{s: s, workers: workers}
+	// Zone-map pruning: derive interval predicates from the plan's filters
+	// and give prunable stored-table scans a segment-skipping view.
+	b.annotatePruning(plan)
 	if workers > 1 && s.opt.device != DeviceCPU {
 		// Heterogeneous execution: worker pipelines get a DeviceExec top, so
 		// every dispatched morsel is costed and placed (adaptively for
@@ -321,7 +347,7 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 		return nil, tagged(ErrBind, err)
 	}
 	s.queries.Add(1)
-	return &Rows{ctx: qctx, cancel: qcancel, op: op, schema: op.Schema(), sess: s, rec: b.rec}, nil
+	return &Rows{ctx: qctx, cancel: qcancel, op: op, schema: op.Schema(), sess: s, rec: b.rec, views: b.views}, nil
 }
 
 // mergeMorselPlacements folds one completed query's placement counts into

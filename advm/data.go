@@ -1,6 +1,9 @@
 package advm
 
-import "repro/internal/vector"
+import (
+	"repro/internal/colstore"
+	"repro/internal/vector"
+)
 
 // The data-plane types are shared with the internal execution layers by
 // alias, so embedding applications hand vectors to the VM without copies and
@@ -20,6 +23,18 @@ type (
 	Chunk = vector.Chunk
 	// Table is a decomposed (column-wise) store queryable with Scan.
 	Table = vector.DSMStore
+	// TableSource is any columnar row source a Scan plan can read: an
+	// in-RAM Table, a disk-backed StoredTable opened from a colstore
+	// directory, or any other implementation of the columnar Store
+	// contract.
+	TableSource = vector.Store
+	// StoredTable is a disk-backed compressed columnar table, opened from a
+	// colstore directory via Engine.OpenTable or Session.OpenTable (see
+	// WithTableDir). Scans over stored tables decode per chunk from the
+	// memory-mapped segment files, and filters whose predicates imply an
+	// interval on a scanned column skip whole segments via the per-segment
+	// zone maps (see WithScanPruning).
+	StoredTable = colstore.Table
 	// Schema describes a Table's column names and kinds.
 	Schema = vector.Schema
 )

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/colstore"
 	"repro/internal/device"
 	"repro/internal/dsl"
 	"repro/internal/gpu"
@@ -46,6 +47,9 @@ type Engine struct {
 	useClock int64
 
 	pool *workerPool
+
+	tablesMu sync.Mutex
+	tables   map[string]*colstore.Table // open stored tables by directory
 
 	sessions        atomic.Int64
 	prepares        atomic.Int64
@@ -192,15 +196,52 @@ func (e *Engine) evictLRU() {
 	}
 }
 
+// OpenTable opens the disk-backed compressed columnar table stored in the
+// colstore directory dir. Tables are cached by directory and shared
+// engine-wide — concurrent sessions querying the same table share one set of
+// mapped segment files — and are released by Engine.Close. Corrupt or
+// truncated table files are classified under ErrBind.
+func (e *Engine) OpenTable(dir string) (*StoredTable, error) {
+	if e.closed.Load() {
+		return nil, errClosed("engine")
+	}
+	e.tablesMu.Lock()
+	defer e.tablesMu.Unlock()
+	if t, ok := e.tables[dir]; ok {
+		return t, nil
+	}
+	t, err := colstore.Open(dir)
+	if err != nil {
+		return nil, tagged(ErrBind, err)
+	}
+	if e.tables == nil {
+		e.tables = make(map[string]*colstore.Table)
+	}
+	e.tables[dir] = t
+	return t, nil
+}
+
 // Close marks the engine closed: subsequent Prepare, Session, Run and Query
 // calls — including on sessions and prepared statements already handed out —
 // return an error matching ErrClosed, and the worker pool stops granting
-// parallel workers. Executions already in flight finish normally. Close is
-// idempotent.
+// parallel workers. Executions already in flight finish normally, with one
+// exception: stored tables opened through OpenTable have their file mappings
+// released by Close, so queries streaming from them must be drained first.
+// Close is idempotent.
 func (e *Engine) Close() error {
 	e.closed.Store(true)
 	e.pool.close()
-	return nil
+	e.tablesMu.Lock()
+	tables := e.tables
+	e.tables = nil
+	e.tablesMu.Unlock()
+	var err error
+	for _, t := range tables {
+		if cerr := t.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // EngineStats is a point-in-time snapshot of the engine's shared state.

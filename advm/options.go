@@ -23,10 +23,12 @@ type options struct {
 	parallelism int  // workers per query (≤1 = serial)
 	morselLen   int  // dispatch granularity for parallel queries (0 = default)
 	device      DeviceKind
+	tableDir    string // root directory Session.OpenTable resolves names under
+	pruning     bool   // zone-map segment skipping on stored-table scans
 }
 
 func defaultOptions() options {
-	return options{cfg: vm.DefaultConfig(), jitEnabled: true, parallelism: 1, device: DeviceCPU}
+	return options{cfg: vm.DefaultConfig(), jitEnabled: true, parallelism: 1, device: DeviceCPU, pruning: true}
 }
 
 // finalize resolves interactions after every option has applied, so the
@@ -199,6 +201,34 @@ func WithChunkLen(n int) Option {
 			return fmt.Errorf("chunk length must be positive, got %d", n)
 		}
 		o.chunkLen = n
+		return nil
+	}
+}
+
+// WithTableDir sets the root directory under which Session.OpenTable
+// resolves table names: OpenTable("lineitem") opens the colstore directory
+// <dir>/lineitem. Without it, OpenTable treats the name as a path. Opened
+// tables are cached and shared engine-wide, and released by Engine.Close.
+func WithTableDir(dir string) Option {
+	return func(o *options) error {
+		if dir == "" {
+			return fmt.Errorf("table directory must be non-empty")
+		}
+		o.tableDir = dir
+		return nil
+	}
+}
+
+// WithScanPruning toggles zone-map segment skipping on scans over
+// disk-backed stored tables (default on). When on, a query's filters are
+// analyzed for interval predicates on scanned columns, and segments whose
+// stored zone maps (or dictionary/run-length value domains) prove that no
+// row can satisfy them are skipped without being read. The filters still
+// run over every surviving row, so results are byte-identical either way;
+// the outcome is observable via Rows.ScanStats and Stats.SegmentsSkipped.
+func WithScanPruning(on bool) Option {
+	return func(o *options) error {
+		o.pruning = on
 		return nil
 	}
 }

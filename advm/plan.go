@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/colstore"
 	"repro/internal/device"
 	"repro/internal/engine"
 )
@@ -73,7 +74,7 @@ type Plan struct {
 	child *Plan
 
 	// Scan.
-	table   *Table
+	table   TableSource
 	columns []string
 
 	// Filter / Compute.
@@ -98,9 +99,12 @@ type Plan struct {
 	by []Order
 }
 
-// Scan starts a plan reading the named columns of a table (all columns when
-// none are given).
-func Scan(t *Table, columns ...string) *Plan {
+// Scan starts a plan reading the named columns of a table source (all
+// columns when none are given). The source may be an in-RAM Table or a
+// disk-backed StoredTable; scans over stored tables decode lazily, chunk by
+// chunk, and — when the session's scan pruning is on — skip whole segments
+// that the plan's own filters prove irrelevant via the stored zone maps.
+func Scan(t TableSource, columns ...string) *Plan {
 	return &Plan{kind: planScan, table: t, columns: columns}
 }
 
@@ -167,6 +171,9 @@ type builder struct {
 	placer *device.Placer            // adaptive policy: choose per morsel
 	forced device.Device             // pinned policy: every morsel on this device
 	rec    *engine.PlacementRecorder // non-nil → device placement is on
+
+	pruned map[*Plan]TableSource   // scan leaf → store it should read
+	views  []*colstore.PrunedTable // pruned views created for this query
 }
 
 // segment walks from p down through streaming stages — filters, computes and
@@ -205,7 +212,7 @@ func (p *Plan) segment() (stages []*Plan, scan *Plan, ok bool) {
 func (p *Plan) build(b *builder) (engine.Operator, error) {
 	switch p.kind {
 	case planScan:
-		sc, err := engine.NewScan(p.table, p.columns...)
+		sc, err := engine.NewScan(b.storeFor(p), p.columns...)
 		if err != nil {
 			return nil, err
 		}
@@ -236,7 +243,7 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 				if err != nil {
 					return nil, err
 				}
-				pa, err := engine.NewParallelAgg(scan.table, scan.columns, b.workers,
+				pa, err := engine.NewParallelAgg(b.storeFor(scan), scan.columns, b.workers,
 					b.placedMaker(mk, scan, stages), p.keys, p.aggs)
 				if err != nil {
 					return nil, err
@@ -356,7 +363,7 @@ func (b *builder) sharedJoin(p *Plan) (*engine.SharedJoinTable, error) {
 				return nil, err
 			}
 			// One scratch pipeline resolves the build side's static schema.
-			scratch, err := engine.NewPartScan(scan.table, scan.columns...)
+			scratch, err := engine.NewPartScan(b.storeFor(scan), scan.columns...)
 			if err != nil {
 				return nil, err
 			}
@@ -364,7 +371,7 @@ func (b *builder) sharedJoin(p *Plan) (*engine.SharedJoinTable, error) {
 			if err != nil {
 				return nil, err
 			}
-			store, columns := scan.table, scan.columns
+			store, columns := b.storeFor(scan), scan.columns
 			workers, chunkLen, morselLen, key := b.workers, b.s.opt.chunkLen, b.s.opt.morselLen, p.buildKey
 			s = engine.NewSharedJoinTable(probe.Schema(), func(ctx context.Context) (*engine.JoinTable, error) {
 				return engine.BuildJoinTableParallel(ctx, store, columns, workers, chunkLen, morselLen, key, mk)
@@ -412,7 +419,7 @@ func (p *Plan) buildExchange(b *builder) (engine.Operator, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	ex, err := engine.NewExchange(scan.table, scan.columns, b.workers, b.placedMaker(mk, scan, stages))
+	ex, err := engine.NewExchange(b.storeFor(scan), scan.columns, b.workers, b.placedMaker(mk, scan, stages))
 	if err != nil {
 		return nil, false, err
 	}
@@ -435,7 +442,7 @@ func (b *builder) placedMaker(mk func(int, engine.Operator) (engine.Operator, er
 	if b.rec == nil {
 		return mk
 	}
-	spec := kernelSpec(scan, stages)
+	spec := kernelSpec(b.storeFor(scan), scan, stages)
 	return func(w int, leaf engine.Operator) (engine.Operator, error) {
 		op, err := mk(w, leaf)
 		if err != nil {
@@ -453,18 +460,37 @@ func (b *builder) placedMaker(mk func(int, engine.Operator) (engine.Operator, er
 // table that grew since its columns became resident re-transfers instead
 // of reading stale residency (and a recycled allocation only aliases an
 // old key if it also matches the old size).
-func kernelSpec(scan *Plan, stages []*Plan) engine.KernelSpec {
-	sch := scan.table.Schema()
+//
+// Stored tables refine both halves: the residency key unwraps pruned views
+// to the underlying table (pruning never changes which bytes are resident),
+// and the per-row transfer cost uses the real compressed segment bytes on
+// disk instead of the decoded element width.
+func kernelSpec(store TableSource, scan *Plan, stages []*Plan) engine.KernelSpec {
+	sch := store.Schema()
 	cols := scan.columns
 	if len(cols) == 0 {
 		cols = sch.Names
 	}
-	key := fmt.Sprintf("tbl%p/r%d", scan.table, scan.table.Rows())
+	ident := any(store)
+	if base, ok := store.(interface{ Base() *colstore.Table }); ok {
+		ident = base.Base()
+	}
+	rows := store.Rows()
+	key := fmt.Sprintf("tbl%p/r%d", ident, rows)
 	spec := engine.KernelSpec{Name: "segment@" + key}
+	sized, _ := store.(interface{ ColumnBytes(string) int64 })
 	for _, c := range cols {
 		spec.Inputs = append(spec.Inputs, key+"."+c)
 		if i := sch.ColumnIndex(c); i >= 0 {
-			spec.RowBytes += sch.Kinds[i].Width()
+			w := sch.Kinds[i].Width()
+			if sized != nil && rows > 0 {
+				if bts := sized.ColumnBytes(c); bts > 0 {
+					if w = int((bts + int64(rows) - 1) / int64(rows)); w < 1 {
+						w = 1
+					}
+				}
+			}
+			spec.RowBytes += w
 		}
 	}
 	// Per-row cost approximation: a scan touches every element once; each

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/colstore"
 	"repro/internal/engine"
 	"repro/internal/vector"
 )
@@ -31,6 +32,7 @@ type Rows struct {
 	schema []engine.ColInfo
 	sess   *Session
 	rec    *engine.PlacementRecorder // non-nil when device placement is on
+	views  []*colstore.PrunedTable   // pruned stored-table views of this query
 
 	chunk *vector.Chunk
 	cols  []*vector.Vector // chunk columns resolved in schema order
@@ -232,6 +234,20 @@ func (r *Rows) Placements() map[string]int64 {
 	return r.rec.Counts()
 }
 
+// ScanStats reports the zone-map pruning outcome of this query over its
+// disk-backed tables: how many distinct stored segments its scans read and
+// how many they skipped without touching. Live while the stream is being
+// consumed, final once it is drained or closed; both are zero when the query
+// reads no prunable stored table (or pruning is off).
+func (r *Rows) ScanStats() (segmentsScanned, segmentsSkipped int64) {
+	for _, v := range r.views {
+		sc, sk := v.Stats()
+		segmentsScanned += sc
+		segmentsSkipped += sk
+	}
+	return segmentsScanned, segmentsSkipped
+}
+
 // Close releases the pipeline's resources: it cancels the query's private
 // context — so in-flight parallel workers abort at their next chunk boundary
 // instead of draining their current morsels — then tears the pipeline down,
@@ -255,5 +271,12 @@ func (r *Rows) close() {
 	r.op.Close()
 	if r.rec != nil && r.sess != nil {
 		r.sess.mergeMorselPlacements(r.rec)
+	}
+	if len(r.views) > 0 && r.sess != nil {
+		// close runs at most once (guarded by r.done), so the session's
+		// lifetime counters absorb each query's totals exactly once.
+		sc, sk := r.ScanStats()
+		r.sess.segmentsScanned.Add(sc)
+		r.sess.segmentsSkipped.Add(sk)
 	}
 }

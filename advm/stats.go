@@ -71,6 +71,10 @@ type Stats struct {
 	// MorselTransfer is the modeled PCIe transfer time accumulated by
 	// GPU-placed morsels (zero when everything stayed on the CPU).
 	MorselTransfer time.Duration
+	// SegmentsScanned and SegmentsSkipped count the distinct stored-table
+	// segments this session's completed queries read versus skipped via
+	// zone-map pruning (see WithScanPruning and Rows.ScanStats).
+	SegmentsScanned, SegmentsSkipped int64
 }
 
 // Stats snapshots the session's counters, state machine log,
@@ -78,9 +82,11 @@ type Stats struct {
 // concurrently with Run and Query.
 func (s *Session) Stats() Stats {
 	st := Stats{
-		Runs:    s.runs.Load(),
-		Queries: s.queries.Load(),
-		Kernels: KernelCount(),
+		Runs:            s.runs.Load(),
+		Queries:         s.queries.Load(),
+		Kernels:         KernelCount(),
+		SegmentsScanned: s.segmentsScanned.Load(),
+		SegmentsSkipped: s.segmentsSkipped.Load(),
 	}
 	s.mu.Lock()
 	st.Placements = append([]Placement(nil), s.placements...)

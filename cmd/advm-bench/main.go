@@ -14,6 +14,7 @@
 //	advm-bench -exp E5    # compressed execution with scheme drift
 //	advm-bench -exp E6    # CPU/GPU placement series (modeled costs)
 //	advm-bench -exp E17   # advm-serve throughput, 1 vs 8 concurrent clients
+//	advm-bench -exp E18   # disk-backed colstore scans vs in-RAM, zone-map skipping
 //	advm-bench -exp all   # everything
 package main
 
@@ -49,9 +50,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15,E16,E17) or all")
+	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15,E16,E17,E18) or all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for E1/E15")
-	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3/device/server.json perf records into (runs E15, E16 and E17 only)")
+	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3/device/server/colstore.json perf records into (runs E15–E18 only)")
 	data := flag.String("data", os.Getenv("TPCH_DATA_DIR"),
 		"directory of pre-generated TPC-H tables (tpch-gen -binary); generated on the fly when empty or missing")
 	flag.Parse()
@@ -60,6 +61,7 @@ func main() {
 		expE15(*sf, *data, *benchjson)
 		expE16(*sf, *data, *benchjson)
 		expE17(*sf, *data, *benchjson)
+		expE18(*data, *benchjson)
 		return
 	}
 
@@ -103,6 +105,10 @@ func main() {
 	}
 	if all || *exp == "E17" {
 		expE17(*sf, *data, "")
+		ran = true
+	}
+	if all || *exp == "E18" {
+		expE18(*data, "")
 		ran = true
 	}
 	if !ran {
@@ -449,7 +455,7 @@ func expE15(sf float64, dataDir, outDir string) {
 		fatalE15(err)
 	}
 
-	measure := func(sess *advm.Session, plan func(*advm.Table) *advm.Plan) (time.Duration, [][]advm.Value) {
+	measure := func(sess *advm.Session, plan func(advm.TableSource) *advm.Plan) (time.Duration, [][]advm.Value) {
 		var best time.Duration
 		var rows [][]advm.Value
 		for i := 0; i < iters; i++ {
@@ -470,11 +476,11 @@ func expE15(sf float64, dataDir, outDir string) {
 	q3p := tpch.DefaultQ3Params()
 	for _, q := range []struct {
 		name string
-		plan func(*advm.Table) *advm.Plan
+		plan func(advm.TableSource) *advm.Plan
 	}{
 		{"q1", tpch.PlanQ1},
-		{"q6", func(st *advm.Table) *advm.Plan { return tpch.PlanQ6(st, q6p) }},
-		{"q3", func(st *advm.Table) *advm.Plan { return tpch.PlanQ3(st, ord, cust, q3p) }},
+		{"q6", func(st advm.TableSource) *advm.Plan { return tpch.PlanQ6(st, q6p) }},
+		{"q3", func(st advm.TableSource) *advm.Plan { return tpch.PlanQ3(st, ord, cust, q3p) }},
 	} {
 		serialNs, want := measure(serial, q.plan)
 		parallelNs, got := measure(parallel, q.plan)
@@ -771,6 +777,164 @@ func expE17(sf float64, dataDir, outDir string) {
 
 func fatalE17(err error) {
 	fmt.Fprintln(os.Stderr, "advm-bench: E17:", err)
+	os.Exit(1)
+}
+
+// colstoreRecord is the BENCH_colstore.json perf record: TPC-H Q1 and Q6
+// measured serially over the in-RAM generated table, over the compressed
+// colstore directory with zone-map pruning disabled (every segment decoded
+// from disk), and with pruning on — documenting what disk-backed execution
+// costs and what the zone maps claw back. All six legs are serial, so
+// benchdiff gates them all (calibration-normalized).
+type colstoreRecord struct {
+	Benchmark       string  `json:"benchmark"`
+	ScaleFactor     float64 `json:"scale_factor"`
+	Rows            int     `json:"rows"`
+	Iters           int     `json:"iters"`
+	Q1RAMNsOp       int64   `json:"q1_ram_ns_op"`
+	Q1ColdNsOp      int64   `json:"q1_cold_ns_op"`
+	Q1SkipNsOp      int64   `json:"q1_skip_ns_op"`
+	Q6RAMNsOp       int64   `json:"q6_ram_ns_op"`
+	Q6ColdNsOp      int64   `json:"q6_cold_ns_op"`
+	Q6SkipNsOp      int64   `json:"q6_skip_ns_op"`
+	SegmentsScanned int64   `json:"segments_scanned"`
+	SegmentsSkipped int64   `json:"segments_skipped"`
+	Identical       bool    `json:"identical"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	CalibNs         int64   `json:"calib_ns"`
+}
+
+// expE18 measures disk-backed columnar execution: Q1 and Q6 over the in-RAM
+// lineitem table vs the same queries streaming from a compressed colstore
+// directory, with zone-map segment skipping off ("cold": every segment is
+// decoded) and on. The scale factor is pinned at 0.1 so the record tracks a
+// fixed workload regardless of -sf. Results must be byte-identical across
+// all legs, and the skipping legs must actually prune segments. With
+// outDir != "" it writes BENCH_colstore.json there for the CI gate.
+func expE18(dataDir, outDir string) {
+	const sf = 0.1
+	// Best-of-7, matching E15: the records feed the ±25% CI gate and the
+	// serial legs need the repetitions to keep scheduler noise out of the
+	// minimum.
+	const iters = 7
+	header(fmt.Sprintf("E18 — disk-backed colstore scans (SF %.3f, serial)", sf))
+	root := dataDir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "advm-colstore")
+		if err != nil {
+			fatalE18(err)
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+	st, err := tpch.LoadOrGen(root, "lineitem", sf, 42)
+	if err != nil {
+		fatalE18(err)
+	}
+	dir, err := tpch.LoadOrGenColstore(root, "lineitem", sf, 42)
+	if err != nil {
+		fatalE18(err)
+	}
+	calibNs := calibrate()
+
+	eng, err := advm.NewEngine(
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		fatalE18(err)
+	}
+	defer eng.Close()
+	ram, err := eng.Session(advm.WithParallelism(1))
+	if err != nil {
+		fatalE18(err)
+	}
+	cold, err := eng.Session(advm.WithParallelism(1), advm.WithScanPruning(false))
+	if err != nil {
+		fatalE18(err)
+	}
+	skip, err := eng.Session(advm.WithParallelism(1))
+	if err != nil {
+		fatalE18(err)
+	}
+	stored, err := eng.OpenTable(dir)
+	if err != nil {
+		fatalE18(err)
+	}
+	fmt.Printf("%d lineitem rows, colstore %s\n\n", st.Rows(), dir)
+
+	measure := func(sess *advm.Session, plan *advm.Plan) (time.Duration, [][]advm.Value) {
+		var best time.Duration
+		var rows [][]advm.Value
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			r, err := benchCollect(sess, plan)
+			d := time.Since(start)
+			if err != nil {
+				fatalE18(err)
+			}
+			if best == 0 || d < best {
+				best, rows = d, r
+			}
+		}
+		return best, rows
+	}
+
+	q6p := tpch.DefaultQ6Params()
+	rec := colstoreRecord{
+		Benchmark: "colstore", ScaleFactor: sf, Rows: st.Rows(), Iters: iters,
+		Identical:  true,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CalibNs:    calibNs,
+	}
+	for _, q := range []struct {
+		name            string
+		plan            func(advm.TableSource) *advm.Plan
+		ramNs, coldNs   *int64
+		skipNs          *int64
+		wantSkipSkipped bool
+	}{
+		{"q1", tpch.PlanQ1, &rec.Q1RAMNsOp, &rec.Q1ColdNsOp, &rec.Q1SkipNsOp, false},
+		{"q6", func(src advm.TableSource) *advm.Plan { return tpch.PlanQ6(src, q6p) },
+			&rec.Q6RAMNsOp, &rec.Q6ColdNsOp, &rec.Q6SkipNsOp, true},
+	} {
+		ramD, want := measure(ram, q.plan(st))
+		coldD, gotCold := measure(cold, q.plan(stored))
+		before := sessSkipped(skip)
+		skipD, gotSkip := measure(skip, q.plan(stored))
+		if !sameResults(want, gotCold) || !sameResults(want, gotSkip) {
+			fatalE18(fmt.Errorf("%s: colstore result differs from in-RAM", q.name))
+		}
+		if q.wantSkipSkipped && sessSkipped(skip) == before {
+			fatalE18(fmt.Errorf("%s: zone maps skipped no segments", q.name))
+		}
+		*q.ramNs, *q.coldNs, *q.skipNs = ramD.Nanoseconds(), coldD.Nanoseconds(), skipD.Nanoseconds()
+		fmt.Printf("  %-4s ram %12v   colstore %12v   +skipping %12v\n",
+			q.name, ramD.Round(time.Microsecond), coldD.Round(time.Microsecond),
+			skipD.Round(time.Microsecond))
+	}
+	sst := skip.Stats()
+	rec.SegmentsScanned, rec.SegmentsSkipped = sst.SegmentsScanned, sst.SegmentsSkipped
+	fmt.Printf("       skipping legs: %d segments decoded, %d pruned by zone maps\n",
+		rec.SegmentsScanned, rec.SegmentsSkipped)
+	if outDir != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatalE18(err)
+		}
+		path := filepath.Join(outDir, "BENCH_colstore.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatalE18(err)
+		}
+		fmt.Printf("       wrote %s\n", path)
+	}
+}
+
+// sessSkipped reads a session's lifetime zone-map skip counter.
+func sessSkipped(sess *advm.Session) int64 {
+	return sess.Stats().SegmentsSkipped
+}
+
+func fatalE18(err error) {
+	fmt.Fprintln(os.Stderr, "advm-bench: E18:", err)
 	os.Exit(1)
 }
 

@@ -21,10 +21,11 @@ import (
 	"strings"
 )
 
-// benchRecord mirrors the BENCH_*.json schema written by advm-bench. Two
+// benchRecord mirrors the BENCH_*.json schema written by advm-bench. Three
 // record flavors share it: query records carry serial vs parallel ns/op,
 // device records (BENCH_device.json) carry CPU-only vs adaptive-placement
-// ns/op for the same parallel query.
+// ns/op for the same parallel query, and colstore records
+// (BENCH_colstore.json) carry serial in-RAM vs disk-backed legs of Q1/Q6.
 type benchRecord struct {
 	Benchmark     string  `json:"benchmark"`
 	ScaleFactor   float64 `json:"scale_factor"`
@@ -42,6 +43,15 @@ type benchRecord struct {
 	AdaptiveNsOp int64 `json:"adaptive_ns_op,omitempty"`
 	GPUMorsels   int64 `json:"gpu_morsels,omitempty"`
 	CPUMorsels   int64 `json:"cpu_morsels,omitempty"`
+
+	// Colstore-record fields (non-zero Q6SkipNsOp marks the flavor). All
+	// legs are serial measurements, so every one is gated.
+	Q1RAMNsOp  int64 `json:"q1_ram_ns_op,omitempty"`
+	Q1ColdNsOp int64 `json:"q1_cold_ns_op,omitempty"`
+	Q1SkipNsOp int64 `json:"q1_skip_ns_op,omitempty"`
+	Q6RAMNsOp  int64 `json:"q6_ram_ns_op,omitempty"`
+	Q6ColdNsOp int64 `json:"q6_cold_ns_op,omitempty"`
+	Q6SkipNsOp int64 `json:"q6_skip_ns_op,omitempty"`
 }
 
 // diffRow is one benchmark × metric comparison. Ratio is
@@ -173,6 +183,17 @@ func diffRecords(base, cur benchRecord, maxRegress float64) []diffRow {
 		rows = []diffRow{
 			skipParallel(mk("cpu-only", base.CPUNsOp, cur.CPUNsOp)),
 			skipParallel(mk("adaptive", base.AdaptiveNsOp, cur.AdaptiveNsOp)),
+		}
+	} else if base.Q6SkipNsOp > 0 || cur.Q6SkipNsOp > 0 {
+		// Colstore record: serial Q1/Q6 over the in-RAM table, the colstore
+		// directory decoding every segment, and with zone-map skipping on.
+		rows = []diffRow{
+			mk("q1-ram", base.Q1RAMNsOp, cur.Q1RAMNsOp),
+			mk("q1-colstore", base.Q1ColdNsOp, cur.Q1ColdNsOp),
+			mk("q1-skipping", base.Q1SkipNsOp, cur.Q1SkipNsOp),
+			mk("q6-ram", base.Q6RAMNsOp, cur.Q6RAMNsOp),
+			mk("q6-colstore", base.Q6ColdNsOp, cur.Q6ColdNsOp),
+			mk("q6-skipping", base.Q6SkipNsOp, cur.Q6SkipNsOp),
 		}
 	} else {
 		rows = []diffRow{

@@ -1,10 +1,12 @@
 // Command tpch-gen generates the synthetic TPC-H-style tables — as CSV on
-// stdout for inspection, or as binary table files for reuse across the
+// stdout for inspection, as binary table files for reuse across the
 // benchmark binaries (CI generates each scale factor once per job instead of
-// re-deriving it in every invocation).
+// re-deriving it in every invocation), or as compressed colstore directories
+// that queries open with advm.WithTableDir and scan with zone-map pruning.
 //
 //	tpch-gen -sf 0.01 -table lineitem > lineitem.csv
 //	tpch-gen -sf 0.02 -binary -out /tmp/tpch        # lineitem+orders+customer
+//	tpch-gen -sf 1 -colstore -out /tmp/tpch         # disk-backed columnar
 package main
 
 import (
@@ -23,12 +25,29 @@ func main() {
 	table := flag.String("table", "lineitem", "table to generate: lineitem, orders, customer or all")
 	seed := flag.Int64("seed", 42, "generator seed")
 	binary := flag.Bool("binary", false, "write binary table files instead of CSV on stdout")
-	out := flag.String("out", ".", "output directory for -binary")
+	colstoreOut := flag.Bool("colstore", false, "write compressed colstore directories instead of CSV on stdout")
+	out := flag.String("out", ".", "output directory for -binary/-colstore")
 	flag.Parse()
 
 	tables := []string{*table}
 	if *table == "all" {
 		tables = []string{"lineitem", "orders", "customer"}
+	}
+
+	if *colstoreOut {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, tb := range tables {
+			// LoadOrGenColstore reuses the cached binary table (writing it on
+			// first run) and skips re-encoding when the directory exists.
+			dir, err := tpch.LoadOrGenColstore(*out, tb, *sf, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tpch-gen: colstore %s ready\n", dir)
+		}
+		return
 	}
 
 	if *binary {

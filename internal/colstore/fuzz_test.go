@@ -1,0 +1,102 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+// FuzzTableRoundTrip drives the full write → map → decode cycle from raw
+// bytes: the input seeds the table contents and one corrupting mutation.
+// Properties: (1) a freshly written table reads back byte-identical;
+// (2) after flipping an arbitrary byte of an arbitrary column file, open +
+// scan either succeed or fail with ErrCorrupt — never a panic.
+func FuzzTableRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint16(64), uint32(12), byte(0xff))
+	f.Add([]byte("run run run run run run run run"), uint16(3), uint32(0), byte(0))
+	f.Add(make([]byte, 512), uint16(16), uint32(99), byte(7))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef}, uint16(1), uint32(8), byte(1))
+
+	f.Fuzz(func(t *testing.T, raw []byte, segRows uint16, mutPos uint32, mutXor byte) {
+		if len(raw) == 0 || len(raw) > 1<<16 {
+			return
+		}
+		// Interpret the raw bytes as rows of a three-kind table.
+		st := vector.NewDSMStore(vector.NewSchema(
+			"i", vector.I64, "f", vector.F64, "s", vector.Str,
+		))
+		tags := []string{"x", "yy", "", "zzz"}
+		for pos := 0; pos < len(raw); pos += 8 {
+			var word [8]byte
+			copy(word[:], raw[pos:])
+			v := int64(binary.LittleEndian.Uint64(word[:]))
+			st.AppendRow(
+				vector.I64Value(v),
+				vector.F64Value(float64(v)/3),
+				vector.StrValue(tags[int(uint8(word[0]))%len(tags)]),
+			)
+		}
+		dir := t.TempDir()
+		if err := Write(dir, st, WriteOptions{SegmentRows: int(segRows%512) + 1}); err != nil {
+			t.Fatal(err)
+		}
+		tb, err := Open(dir)
+		if err != nil {
+			t.Fatalf("open freshly written table: %v", err)
+		}
+		sch := st.Schema()
+		n := st.Rows()
+		cols := []int{0, 1, 2}
+		mk := func() []*vector.Vector {
+			out := make([]*vector.Vector, len(cols))
+			for i, ci := range cols {
+				out[i] = vector.NewLen(sch.Kinds[ci], n)
+			}
+			return out
+		}
+		want, got := mk(), mk()
+		st.Scan(0, n, cols, want)
+		if gn, err := tb.ScanChecked(0, n, cols, got); err != nil || gn != n {
+			t.Fatalf("scan fresh table: %d rows, %v", gn, err)
+		}
+		for c := range cols {
+			for r := 0; r < n; r++ {
+				if !want[c].Get(r).Equal(got[c].Get(r)) {
+					t.Fatalf("col %d row %d: %v vs %v", c, r, got[c].Get(r), want[c].Get(r))
+				}
+			}
+		}
+		tb.Close()
+
+		// Corrupt one byte of one column file; any outcome but a panic or a
+		// non-typed decode error is acceptable.
+		files := []string{"i.col", "f.col", "s.col"}
+		path := filepath.Join(dir, files[int(mutPos)%len(files)])
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 || mutXor == 0 {
+			return
+		}
+		data[int(mutPos)%len(data)] ^= mutXor
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tb, err = Open(dir)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("open corrupted: %v (not ErrCorrupt)", err)
+			}
+			return
+		}
+		defer tb.Close()
+		if _, err := tb.ScanChecked(0, n, cols, got); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("scan corrupted: %v (not ErrCorrupt)", err)
+		}
+	})
+}

@@ -1,0 +1,33 @@
+//go:build linux
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only. The returned release function unmaps;
+// empty files return a nil slice and a no-op release. Columns are decoded
+// straight out of the mapping, so cold scans fault pages in on demand
+// instead of reading whole files upfront.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int(st.Size())
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

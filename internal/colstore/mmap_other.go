@@ -1,0 +1,15 @@
+//go:build !linux
+
+package colstore
+
+import "os"
+
+// mapFile reads the whole file on platforms without the mmap fast path; the
+// reader's lazy per-segment decode works identically either way.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

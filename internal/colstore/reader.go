@@ -1,0 +1,303 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/compress"
+	"repro/internal/vector"
+)
+
+// Table is an opened colstore table. It implements vector.Store, decoding
+// lazily one segment at a time: the first touch of a segment parses its
+// compress.Block (and, for strings, its local dictionary) out of the mapped
+// file and caches the parsed form — roughly the compressed footprint, never
+// the decoded column — so chunked scans pay one parse per segment and then
+// cheap range decodes per chunk.
+type Table struct {
+	dir     string
+	schema  vector.Schema
+	rows    int
+	segRows int
+	cols    []*column
+}
+
+// column is one opened column file.
+type column struct {
+	kind  vector.Kind
+	data  []byte // whole file, mapped or read
+	unmap func() error
+	segs  []segMeta
+	// cache[i] holds segment i's parsed form once first touched.
+	cache []atomic.Pointer[segHandle]
+}
+
+// segHandle is the parsed (still compressed) form of one segment.
+type segHandle struct {
+	block *compress.Block
+	dict  []string // string columns: local dictionary the block's codes index
+}
+
+// Open opens a colstore table directory for reading.
+func Open(dir string) (*Table, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{dir: dir, rows: m.Rows, segRows: m.SegmentRows}
+	for _, mc := range m.Columns {
+		kind, err := kindFromName(mc.Kind)
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		col, err := openColumn(columnFile(dir, mc.Name), kind, m)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("column %q: %w", mc.Name, err)
+		}
+		t.schema.Names = append(t.schema.Names, mc.Name)
+		t.schema.Kinds = append(t.schema.Kinds, kind)
+		t.cols = append(t.cols, col)
+	}
+	return t, nil
+}
+
+// openColumn maps one column file and parses its footer against the
+// manifest's row geometry.
+func openColumn(path string, kind vector.Kind, m *manifest) (*column, error) {
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	col := &column{kind: kind, data: data, unmap: unmap}
+	fail := func(format string, args ...any) (*column, error) {
+		col.close()
+		return nil, fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+	if len(data) < 2*len(magic)+8+4 {
+		return fail("file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic || string(data[len(data)-len(magic):]) != magic {
+		return fail("bad magic")
+	}
+	footerOff := binary.LittleEndian.Uint64(data[len(data)-len(magic)-8:])
+	footerEnd := uint64(len(data) - len(magic) - 8)
+	if footerOff < uint64(len(magic)) || footerOff > footerEnd-4 {
+		return fail("footer offset %d out of range", footerOff)
+	}
+	nsegs := binary.LittleEndian.Uint32(data[footerOff:])
+	if uint64(nsegs)*segMetaBytes != footerEnd-footerOff-4 {
+		return fail("footer holds %d segments in %d bytes", nsegs, footerEnd-footerOff-4)
+	}
+	pos := footerOff + 4
+	rows := 0
+	for i := uint32(0); i < nsegs; i++ {
+		var s segMeta
+		s.rows = int(binary.LittleEndian.Uint32(data[pos:]))
+		s.off = binary.LittleEndian.Uint64(data[pos+4:])
+		s.len = binary.LittleEndian.Uint64(data[pos+12:])
+		s.scheme = data[pos+20]
+		s.min = int64(binary.LittleEndian.Uint64(data[pos+21:]))
+		s.max = int64(binary.LittleEndian.Uint64(data[pos+29:]))
+		s.nulls = binary.LittleEndian.Uint32(data[pos+37:])
+		s.distinct = binary.LittleEndian.Uint32(data[pos+41:])
+		pos += segMetaBytes
+		if s.off < uint64(len(magic)) || s.len > footerOff || s.off > footerOff-s.len {
+			return fail("segment %d spans [%d,+%d) outside data region", i, s.off, s.len)
+		}
+		if s.rows <= 0 || s.rows > m.SegmentRows {
+			return fail("segment %d has %d rows (segment_rows %d)", i, s.rows, m.SegmentRows)
+		}
+		if i+1 < nsegs && s.rows != m.SegmentRows {
+			return fail("non-final segment %d has %d rows", i, s.rows)
+		}
+		rows += s.rows
+		col.segs = append(col.segs, s)
+	}
+	if rows != m.Rows {
+		return fail("segments hold %d rows, manifest says %d", rows, m.Rows)
+	}
+	col.cache = make([]atomic.Pointer[segHandle], len(col.segs))
+	return col, nil
+}
+
+func (c *column) close() {
+	if c.unmap != nil {
+		c.unmap()
+		c.unmap = nil
+	}
+	c.data = nil
+}
+
+// DiskBytes returns the encoded size of the column file, footer included.
+func (c *column) diskBytes() int64 { return int64(len(c.data)) }
+
+// segment returns segment i's parsed handle, decoding it on first touch.
+// Concurrent first touches may both parse; the duplicate is discarded.
+func (c *column) segment(i int) (*segHandle, error) {
+	if h := c.cache[i].Load(); h != nil {
+		return h, nil
+	}
+	s := c.segs[i]
+	payload := c.data[s.off : s.off+s.len]
+	h := &segHandle{}
+	if c.kind == vector.Str {
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("%w: segment %d dictionary truncated", ErrCorrupt, i)
+		}
+		nd := int(binary.LittleEndian.Uint32(payload))
+		if nd > len(payload) {
+			return nil, fmt.Errorf("%w: segment %d dictionary count %d", ErrCorrupt, i, nd)
+		}
+		pos := 4
+		for j := 0; j < nd; j++ {
+			l, n := binary.Uvarint(payload[pos:])
+			if n <= 0 || uint64(pos+n)+l > uint64(len(payload)) {
+				return nil, fmt.Errorf("%w: segment %d dictionary truncated", ErrCorrupt, i)
+			}
+			pos += n
+			h.dict = append(h.dict, string(payload[pos:pos+int(l)]))
+			pos += int(l)
+		}
+		payload = payload[pos:]
+	}
+	b, used, err := compress.DecodeBlock(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: segment %d: %v", ErrCorrupt, i, err)
+	}
+	if used != len(payload) || b.Len() != s.rows {
+		return nil, fmt.Errorf("%w: segment %d decodes %d rows in %d of %d bytes",
+			ErrCorrupt, i, b.Len(), used, len(payload))
+	}
+	if c.kind == vector.Str {
+		for _, v := range b.RunValues() {
+			if v < 0 || v >= int64(len(h.dict)) {
+				return nil, fmt.Errorf("%w: segment %d code %d outside dictionary", ErrCorrupt, i, v)
+			}
+		}
+	}
+	h.block = b
+	c.cache[i].Store(h)
+	return h, nil
+}
+
+// Schema implements vector.Store.
+func (t *Table) Schema() vector.Schema { return t.schema }
+
+// Rows implements vector.Store.
+func (t *Table) Rows() int { return t.rows }
+
+// SegmentRows returns the table's segment height.
+func (t *Table) SegmentRows() int { return t.segRows }
+
+// Segments returns the number of segments per column.
+func (t *Table) Segments() int {
+	if t.rows == 0 {
+		return 0
+	}
+	return (t.rows + t.segRows - 1) / t.segRows
+}
+
+// ColumnBytes returns the on-disk encoded size of the named column, or 0 if
+// absent. Placement costing uses this to see real bytes-moved per column.
+func (t *Table) ColumnBytes(name string) int64 {
+	i := t.schema.ColumnIndex(name)
+	if i < 0 {
+		return 0
+	}
+	return t.cols[i].diskBytes()
+}
+
+// Dir returns the directory the table was opened from.
+func (t *Table) Dir() string { return filepath.Clean(t.dir) }
+
+// Close releases the table's mappings. The table must not be scanned after.
+func (t *Table) Close() error {
+	for _, c := range t.cols {
+		c.close()
+	}
+	return nil
+}
+
+// Scan implements vector.Store by decoding the requested row window out of
+// each touched segment. A scan error (corrupt segment discovered lazily)
+// panics, matching how in-RAM stores treat impossible states; Open validates
+// geometry upfront so this only triggers on data-region corruption. Callers
+// that cannot trust the data region (fuzzing, recovery) use ScanChecked.
+func (t *Table) Scan(lo, n int, cols []int, dst []*vector.Vector) int {
+	got, err := t.ScanChecked(lo, n, cols, dst)
+	if err != nil {
+		panic(fmt.Sprintf("colstore: %v", err))
+	}
+	return got
+}
+
+// ScanChecked is Scan with lazily discovered corruption surfaced as an
+// ErrCorrupt-wrapped error instead of a panic.
+func (t *Table) ScanChecked(lo, n int, cols []int, dst []*vector.Vector) (int, error) {
+	if lo >= t.rows {
+		return 0, nil
+	}
+	if lo+n > t.rows {
+		n = t.rows - lo
+	}
+	for k, ci := range cols {
+		dst[k].SetLen(n)
+		if err := t.scanColumn(ci, lo, n, dst[k]); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// scanColumn fills dst with rows [lo, lo+n) of column ci.
+func (t *Table) scanColumn(ci, lo, n int, dst *vector.Vector) error {
+	c := t.cols[ci]
+	filled := 0
+	for filled < n {
+		row := lo + filled
+		si := row / t.segRows
+		from := row - si*t.segRows
+		take := t.segRows - from
+		if take > n-filled {
+			take = n - filled
+		}
+		h, err := c.segment(si)
+		if err != nil {
+			return err
+		}
+		switch c.kind {
+		case vector.I64:
+			if got := h.block.DecompressRange(dst.I64()[filled:filled+take], from, take); got != take {
+				return fmt.Errorf("%w: segment %d range decode %d/%d", ErrCorrupt, si, got, take)
+			}
+		case vector.F64:
+			out := dst.F64()[filled : filled+take]
+			tmp := make([]int64, take)
+			if got := h.block.DecompressRange(tmp, from, take); got != take {
+				return fmt.Errorf("%w: segment %d range decode %d/%d", ErrCorrupt, si, got, take)
+			}
+			for i, v := range tmp {
+				out[i] = math.Float64frombits(uint64(v))
+			}
+		case vector.Str:
+			out := dst.Str()[filled : filled+take]
+			tmp := make([]int64, take)
+			if got := h.block.DecompressRange(tmp, from, take); got != take {
+				return fmt.Errorf("%w: segment %d range decode %d/%d", ErrCorrupt, si, got, take)
+			}
+			for i, code := range tmp {
+				if code < 0 || code >= int64(len(h.dict)) {
+					return fmt.Errorf("%w: segment %d code %d outside dictionary", ErrCorrupt, si, code)
+				}
+				out[i] = h.dict[code]
+			}
+		}
+		filled += take
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/compress"
+	"repro/internal/vector"
+)
+
+// WriteOptions configure table layout.
+type WriteOptions struct {
+	// SegmentRows is the fixed row count per segment (last segment may be
+	// short). Zero selects DefaultSegmentRows.
+	SegmentRows int
+}
+
+// Write persists a table into dir (created if needed), one file per column
+// plus a manifest written last, all via atomic renames. Columns are encoded
+// in parallel — each worker runs the adaptive scheme chooser on its own
+// segments, which is exactly the concurrent use the chooser must survive.
+func Write(dir string, st vector.Store, opts WriteOptions) error {
+	segRows := opts.SegmentRows
+	if segRows <= 0 {
+		segRows = DefaultSegmentRows
+	}
+	sch := st.Schema()
+	for i, name := range sch.Names {
+		if !validColumnName(name) {
+			return fmt.Errorf("colstore: column name %q not writable", name)
+		}
+		if _, ok := kindNames[sch.Kinds[i]]; !ok {
+			return fmt.Errorf("colstore: column %q has unsupported kind %v", name, sch.Kinds[i])
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(sch.Names))
+	for ci := range sch.Names {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			errs[ci] = writeColumn(dir, st, ci, segRows)
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	m := manifest{Version: 1, Rows: st.Rows(), SegmentRows: segRows}
+	for i, name := range sch.Names {
+		m.Columns = append(m.Columns, manifestCol{Name: name, Kind: kindNames[sch.Kinds[i]]})
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, manifestName), data)
+}
+
+// writeColumn encodes one column into its segment file.
+func writeColumn(dir string, st vector.Store, ci, segRows int) error {
+	sch := st.Schema()
+	kind := sch.Kinds[ci]
+	rows := st.Rows()
+
+	buf := []byte(magic)
+	var metas []segMeta
+	vals := make([]int64, segRows)
+	vec := vector.NewLen(kind, segRows)
+	for lo := 0; lo < rows; lo += segRows {
+		n := segRows
+		if lo+n > rows {
+			n = rows - lo
+		}
+		vec.SetLen(n)
+		if got := st.Scan(lo, n, []int{ci}, []*vector.Vector{vec}); got != n {
+			return fmt.Errorf("colstore: scan of %q returned %d rows, want %d", sch.Names[ci], got, n)
+		}
+		meta := segMeta{rows: n, off: uint64(len(buf))}
+		var err error
+		switch kind {
+		case vector.I64:
+			buf, meta, err = appendI64Segment(buf, meta, vec.I64()[:n], vals)
+		case vector.F64:
+			iv := vals[:n]
+			for i, f := range vec.F64()[:n] {
+				iv[i] = int64(math.Float64bits(f))
+			}
+			buf, meta, err = appendF64Segment(buf, meta, iv, vec.F64()[:n])
+		case vector.Str:
+			buf, meta, err = appendStrSegment(buf, meta, vec.Str()[:n], vals)
+		}
+		if err != nil {
+			return fmt.Errorf("colstore: column %q: %w", sch.Names[ci], err)
+		}
+		meta.len = uint64(len(buf)) - meta.off
+		metas = append(metas, meta)
+	}
+
+	// Footer + trailer.
+	footerOff := uint64(len(buf))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(metas)))
+	for _, m := range metas {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.rows))
+		buf = binary.LittleEndian.AppendUint64(buf, m.off)
+		buf = binary.LittleEndian.AppendUint64(buf, m.len)
+		buf = append(buf, m.scheme)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.min))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.max))
+		buf = binary.LittleEndian.AppendUint32(buf, m.nulls)
+		buf = binary.LittleEndian.AppendUint32(buf, m.distinct)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, footerOff)
+	buf = append(buf, magic...)
+	return writeFileAtomic(columnFile(dir, sch.Names[ci]), buf)
+}
+
+// appendI64Segment encodes one int64 segment: analyze → compress → append,
+// recording the zone map off the encoded block.
+func appendI64Segment(buf []byte, meta segMeta, data, _ []int64) ([]byte, segMeta, error) {
+	b, err := compress.Compress(data, compress.Analyze(data))
+	if err != nil {
+		return nil, meta, err
+	}
+	buf = compress.AppendBlock(buf, b)
+	meta.scheme = uint8(b.Scheme())
+	if lo, hi, ok := b.MinMax(); ok {
+		meta.min, meta.max = lo, hi
+	}
+	meta.distinct = distinctEstimate(b)
+	return buf, meta, nil
+}
+
+// appendF64Segment encodes a float64 segment as the compress.Block of its
+// bit images; the zone map stores the bit images of the true float min/max.
+func appendF64Segment(buf []byte, meta segMeta, bits []int64, floats []float64) ([]byte, segMeta, error) {
+	b, err := compress.Compress(bits, compress.Analyze(bits))
+	if err != nil {
+		return nil, meta, err
+	}
+	buf = compress.AppendBlock(buf, b)
+	meta.scheme = uint8(b.Scheme())
+	if len(floats) > 0 {
+		mn, mx := floats[0], floats[0]
+		for _, f := range floats[1:] {
+			if f < mn {
+				mn = f
+			}
+			if f > mx {
+				mx = f
+			}
+		}
+		meta.min = int64(math.Float64bits(mn))
+		meta.max = int64(math.Float64bits(mx))
+	}
+	meta.distinct = distinctEstimate(b)
+	return buf, meta, nil
+}
+
+// appendStrSegment dictionary-encodes a string segment locally: the segment
+// dictionary in first-occurrence order, then the codes as a compressed
+// int64 block. The zone map's distinct count is exact.
+func appendStrSegment(buf []byte, meta segMeta, data []string, codes []int64) ([]byte, segMeta, error) {
+	index := map[string]int64{}
+	var dict []string
+	for i, s := range data {
+		code, ok := index[s]
+		if !ok {
+			code = int64(len(dict))
+			index[s] = code
+			dict = append(dict, s)
+		}
+		codes[i] = code
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(dict)))
+	for _, s := range dict {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	b, err := compress.Compress(codes[:len(data)], compress.Analyze(codes[:len(data)]))
+	if err != nil {
+		return nil, meta, err
+	}
+	buf = compress.AppendBlock(buf, b)
+	meta.scheme = uint8(b.Scheme())
+	meta.distinct = uint32(len(dict))
+	return buf, meta, nil
+}
+
+// distinctEstimate reads a cheap distinct bound off the encoded block,
+// capped for the u32 footer field.
+func distinctEstimate(b *compress.Block) uint32 {
+	d := b.DistinctUpperBound()
+	if d > math.MaxUint32 {
+		d = math.MaxUint32
+	}
+	return uint32(d)
+}

@@ -1,8 +1,17 @@
 package compress
 
 import (
+	"sync"
 	"time"
 )
+
+// compileBlockQuantum converts a modeled compile latency into a block count:
+// a pending specialization stays unavailable for ceil(latency / quantum)
+// further blocks of its scheme. Counting blocks instead of wall-clock time
+// keeps the fallback/specialized split reproducible run to run — the seed
+// version compared time.Since(started) against the latency, so the split
+// depended on scheduler timing and the stats were unstable under load.
+const compileBlockQuantum = 100 * time.Microsecond
 
 // AdaptiveScanner mirrors the VM's compressed-execution behaviour (§III-C)
 // at the storage layer: for each block it looks up a specialized executor
@@ -10,12 +19,16 @@ import (
 // "falls back to decompression and interpretation" and starts a (simulated)
 // compilation of the specialized path; once compiled, subsequent blocks of
 // that scheme run the compressed-execution kernel directly.
+//
+// A scanner is safe for concurrent use; parallel segment writers analyzing
+// and scanning blocks share one instance without racing on its state.
 type AdaptiveScanner struct {
 	// CompileLatency models specialization cost per scheme (nil = free).
 	CompileLatency func() time.Duration
 
+	mu          sync.Mutex
 	specialized map[Scheme]bool
-	pending     map[Scheme]time.Time
+	pending     map[Scheme]int // blocks remaining until the compile lands
 	scratch     []int64
 
 	// Stats.
@@ -29,12 +42,14 @@ func NewAdaptiveScanner(compileLatency func() time.Duration) *AdaptiveScanner {
 	return &AdaptiveScanner{
 		CompileLatency: compileLatency,
 		specialized:    map[Scheme]bool{},
-		pending:        map[Scheme]time.Time{},
+		pending:        map[Scheme]int{},
 	}
 }
 
 // SumGreater computes Σ{v : v > x} over the column, adaptively per block.
 func (s *AdaptiveScanner) SumGreater(col *Column, x int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var total int64
 	for _, b := range col.blocks {
 		if s.ready(b.Scheme()) {
@@ -58,34 +73,43 @@ func (s *AdaptiveScanner) SumGreater(col *Column, x int64) int64 {
 	return total
 }
 
+// Stats returns the scanner's counters under the lock, for readers
+// concurrent with scans.
+func (s *AdaptiveScanner) Stats() (fallbacks, specialized, compiles int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Fallbacks, s.Specialized, s.Compiles
+}
+
 // ready reports whether the specialized path for a scheme is available,
 // starting (and accounting) the specialization when the scheme is new.
+// Callers hold s.mu.
 func (s *AdaptiveScanner) ready(sc Scheme) bool {
 	if s.specialized[sc] {
 		return true
 	}
-	if started, ok := s.pending[sc]; ok {
-		// Asynchronous compilation finishes after the latency elapses.
-		var d time.Duration
-		if s.CompileLatency != nil {
-			d = s.CompileLatency()
-		}
-		if time.Since(started) >= d {
+	if left, ok := s.pending[sc]; ok {
+		if left <= 1 {
 			s.specialized[sc] = true
 			delete(s.pending, sc)
 			s.Compiles++
 			return true
 		}
+		s.pending[sc] = left - 1
 		return false
 	}
-	s.pending[sc] = time.Now()
-	if s.CompileLatency == nil || s.CompileLatency() == 0 {
+	// First block of the scheme always pays the fallback (the specialization
+	// is injected for a *later* block, matching the VM's interpret-then-
+	// inject cycle); the modeled latency decides how much later.
+	var d time.Duration
+	if s.CompileLatency != nil {
+		d = s.CompileLatency()
+	}
+	if d <= 0 {
 		s.specialized[sc] = true
-		delete(s.pending, sc)
 		s.Compiles++
-		// First block of the scheme still pays the fallback (the
-		// specialization is injected for the *next* block), matching the
-		// VM's interpret-then-inject cycle.
+	} else {
+		s.pending[sc] = int((d + compileBlockQuantum - 1) / compileBlockQuantum)
 	}
 	return false
 }

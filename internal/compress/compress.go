@@ -233,6 +233,121 @@ func (b *Block) Decompress(dst []int64) int {
 	return b.n
 }
 
+// DecompressRange writes values [from, from+n) into dst (length ≥ n) and
+// returns the number written. RLE walks runs once (O(runs + n)), so chunked
+// readers pay far less than a full Decompress per chunk.
+func (b *Block) DecompressRange(dst []int64, from, n int) int {
+	if from < 0 || n <= 0 || from >= b.n {
+		return 0
+	}
+	if from+n > b.n {
+		n = b.n - from
+	}
+	switch b.scheme {
+	case None:
+		copy(dst[:n], b.raw[from:from+n])
+	case RLE:
+		k := 0
+		pos := 0
+		for r := 0; r < len(b.runVals) && k < n; r++ {
+			l := int(b.runLens[r])
+			if pos+l <= from {
+				pos += l
+				continue
+			}
+			start := 0
+			if from > pos {
+				start = from - pos
+			}
+			for j := start; j < l && k < n; j++ {
+				dst[k] = b.runVals[r]
+				k++
+			}
+			pos += l
+		}
+	case Dict:
+		for i := 0; i < n; i++ {
+			dst[i] = b.dict[b.codes[from+i]]
+		}
+	case FOR:
+		for i := 0; i < n; i++ {
+			dst[i] = b.base + int64(get(b.packs, from+i, b.width))
+		}
+	}
+	return n
+}
+
+// DictValues returns the dictionary domain of a Dict block (nil otherwise).
+// Predicates can be evaluated once over this domain instead of per row.
+func (b *Block) DictValues() []int64 {
+	if b.scheme != Dict {
+		return nil
+	}
+	return b.dict
+}
+
+// RunValues returns the run values of an RLE block (nil otherwise); like
+// DictValues, this is the (possibly repeating) value domain of the block.
+func (b *Block) RunValues() []int64 {
+	if b.scheme != RLE {
+		return nil
+	}
+	return b.runVals
+}
+
+// DistinctUpperBound returns an upper bound on the number of distinct values
+// in the block, cheap to read off the encoded form: exact for Dict, the run
+// count for RLE, and the value count otherwise.
+func (b *Block) DistinctUpperBound() int {
+	switch b.scheme {
+	case Dict:
+		return len(b.dict)
+	case RLE:
+		return len(b.runVals)
+	}
+	return b.n
+}
+
+// MinMax scans the encoded form for the value range (zone map input). For
+// Dict/RLE only the domain is visited; ok is false for an empty block.
+func (b *Block) MinMax() (lo, hi int64, ok bool) {
+	if b.n == 0 {
+		return 0, 0, false
+	}
+	scan := func(vals []int64) (int64, int64) {
+		mn, mx := vals[0], vals[0]
+		for _, v := range vals[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		return mn, mx
+	}
+	switch b.scheme {
+	case None:
+		lo, hi = scan(b.raw)
+	case RLE:
+		lo, hi = scan(b.runVals)
+	case Dict:
+		lo, hi = scan(b.dict)
+	case FOR:
+		lo, hi = b.Get(0), b.Get(0)
+		for i := 1; i < b.n; i++ {
+			v := b.base + int64(get(b.packs, i, b.width))
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi, true
+}
+
 // Get returns value i (for tests and point access).
 func (b *Block) Get(i int) int64 {
 	switch b.scheme {

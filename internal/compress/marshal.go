@@ -1,0 +1,255 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Serialized block layout (all integers little-endian, lengths uvarint):
+//
+//	u8      scheme
+//	uvarint n               logical value count
+//	None:   n × i64
+//	RLE:    uvarint runs; runs × i64 values; runs × i32 lengths
+//	Dict:   uvarint dict;  dict × i64 values; n × u16 codes
+//	FOR:    i64 base; u8 width; uvarint words; words × u64
+//
+// The format is self-delimiting, so segments can be concatenated and decoded
+// back-to-back out of one mapped file.
+
+// ErrMalformed is wrapped by every DecodeBlock failure, so storage layers can
+// distinguish corruption from I/O errors with errors.Is.
+var ErrMalformed = errors.New("compress: malformed block")
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// AppendBlock serializes b to dst and returns the extended slice.
+func AppendBlock(dst []byte, b *Block) []byte {
+	dst = append(dst, byte(b.scheme))
+	dst = binary.AppendUvarint(dst, uint64(b.n))
+	switch b.scheme {
+	case None:
+		for _, v := range b.raw {
+			dst = appendU64(dst, uint64(v))
+		}
+	case RLE:
+		dst = binary.AppendUvarint(dst, uint64(len(b.runVals)))
+		for _, v := range b.runVals {
+			dst = appendU64(dst, uint64(v))
+		}
+		for _, l := range b.runLens {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(l))
+		}
+	case Dict:
+		dst = binary.AppendUvarint(dst, uint64(len(b.dict)))
+		for _, v := range b.dict {
+			dst = appendU64(dst, uint64(v))
+		}
+		for _, c := range b.codes {
+			dst = binary.LittleEndian.AppendUint16(dst, c)
+		}
+	case FOR:
+		dst = appendU64(dst, uint64(b.base))
+		dst = append(dst, b.width)
+		dst = binary.AppendUvarint(dst, uint64(len(b.packs)))
+		for _, w := range b.packs {
+			dst = appendU64(dst, w)
+		}
+	}
+	return dst
+}
+
+// blockReader decodes primitives off a byte slice with bounds checking.
+type blockReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *blockReader) u8() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, fmt.Errorf("%w: truncated at byte %d", ErrMalformed, r.pos)
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *blockReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint at byte %d", ErrMalformed, r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *blockReader) u64() (uint64, error) {
+	if r.pos+8 > len(r.buf) {
+		return 0, fmt.Errorf("%w: truncated at byte %d", ErrMalformed, r.pos)
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+// count validates that a decoded length is plausible for the bytes that
+// remain (each element needs at least elemBytes), so corrupt headers cannot
+// trigger enormous allocations.
+func (r *blockReader) count(v uint64, elemBytes int) (int, error) {
+	if v > uint64((len(r.buf)-r.pos)/elemBytes+1) {
+		return 0, fmt.Errorf("%w: count %d exceeds remaining %d bytes", ErrMalformed, v, len(r.buf)-r.pos)
+	}
+	return int(v), nil
+}
+
+// DecodeBlock decodes one block from the front of buf, returning the block
+// and the number of bytes consumed. All failures wrap ErrMalformed; corrupt
+// or truncated input never panics.
+func DecodeBlock(buf []byte) (*Block, int, error) {
+	r := &blockReader{buf: buf}
+	sb, err := r.u8()
+	if err != nil {
+		return nil, 0, err
+	}
+	if sb > byte(FOR) {
+		return nil, 0, fmt.Errorf("%w: unknown scheme %d", ErrMalformed, sb)
+	}
+	b := &Block{scheme: Scheme(sb)}
+	nv, err := r.uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	// RLE can legitimately encode huge logical counts in few bytes, so only
+	// cap against overflow here; each scheme's element counts are validated
+	// against the remaining bytes below before anything is allocated.
+	if nv > 1<<31 {
+		return nil, 0, fmt.Errorf("%w: implausible value count %d", ErrMalformed, nv)
+	}
+	b.n = int(nv)
+
+	switch b.scheme {
+	case None:
+		n, err := r.count(nv, 8)
+		if err != nil {
+			return nil, 0, err
+		}
+		b.raw = make([]int64, n)
+		for i := range b.raw {
+			v, err := r.u64()
+			if err != nil {
+				return nil, 0, err
+			}
+			b.raw[i] = int64(v)
+		}
+
+	case RLE:
+		rv, err := r.uvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		runs, err := r.count(rv, 12)
+		if err != nil {
+			return nil, 0, err
+		}
+		b.runVals = make([]int64, runs)
+		for i := range b.runVals {
+			v, err := r.u64()
+			if err != nil {
+				return nil, 0, err
+			}
+			b.runVals[i] = int64(v)
+		}
+		b.runLens = make([]int32, runs)
+		total := 0
+		for i := range b.runLens {
+			if r.pos+4 > len(r.buf) {
+				return nil, 0, fmt.Errorf("%w: truncated run lengths", ErrMalformed)
+			}
+			l := int32(binary.LittleEndian.Uint32(r.buf[r.pos:]))
+			r.pos += 4
+			if l <= 0 {
+				return nil, 0, fmt.Errorf("%w: non-positive run length %d", ErrMalformed, l)
+			}
+			b.runLens[i] = l
+			total += int(l)
+		}
+		if total != b.n {
+			return nil, 0, fmt.Errorf("%w: run lengths sum to %d, want %d", ErrMalformed, total, b.n)
+		}
+
+	case Dict:
+		dv, err := r.uvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		if dv > 1<<16 {
+			return nil, 0, fmt.Errorf("%w: dictionary size %d", ErrMalformed, dv)
+		}
+		dn, err := r.count(dv, 8)
+		if err != nil {
+			return nil, 0, err
+		}
+		b.dict = make([]int64, dn)
+		for i := range b.dict {
+			v, err := r.u64()
+			if err != nil {
+				return nil, 0, err
+			}
+			b.dict[i] = int64(v)
+		}
+		cn, err := r.count(nv, 2)
+		if err != nil {
+			return nil, 0, err
+		}
+		b.codes = make([]uint16, cn)
+		for i := range b.codes {
+			if r.pos+2 > len(r.buf) {
+				return nil, 0, fmt.Errorf("%w: truncated codes", ErrMalformed)
+			}
+			c := binary.LittleEndian.Uint16(r.buf[r.pos:])
+			r.pos += 2
+			if int(c) >= len(b.dict) {
+				return nil, 0, fmt.Errorf("%w: code %d out of dictionary range %d", ErrMalformed, c, len(b.dict))
+			}
+			b.codes[i] = c
+		}
+
+	case FOR:
+		base, err := r.u64()
+		if err != nil {
+			return nil, 0, err
+		}
+		b.base = int64(base)
+		w, err := r.u8()
+		if err != nil {
+			return nil, 0, err
+		}
+		if w == 0 || w > 64 {
+			return nil, 0, fmt.Errorf("%w: FOR width %d", ErrMalformed, w)
+		}
+		b.width = w
+		pv, err := r.uvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		words, err := r.count(pv, 8)
+		if err != nil {
+			return nil, 0, err
+		}
+		if want := (b.n*int(b.width) + 63) / 64; words != want {
+			return nil, 0, fmt.Errorf("%w: FOR pack words %d, want %d", ErrMalformed, words, want)
+		}
+		b.packs = make([]uint64, words)
+		for i := range b.packs {
+			v, err := r.u64()
+			if err != nil {
+				return nil, 0, err
+			}
+			b.packs[i] = v
+		}
+	}
+	return b, r.pos, nil
+}

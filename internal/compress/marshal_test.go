@@ -1,0 +1,239 @@
+package compress
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// genTestData produces value shapes that exercise every scheme.
+func genTestData(rng *rand.Rand, n int) []int64 {
+	data := make([]int64, n)
+	switch rng.Intn(4) {
+	case 0: // long runs → RLE
+		v := rng.Int63n(100)
+		for i := range data {
+			if rng.Intn(50) == 0 {
+				v = rng.Int63n(100)
+			}
+			data[i] = v
+		}
+	case 1: // tiny domain → Dict
+		for i := range data {
+			data[i] = int64(rng.Intn(7)) * 1_000_000
+		}
+	case 2: // narrow range around a big base → FOR
+		base := int64(1) << 40
+		for i := range data {
+			data[i] = base + rng.Int63n(1024)
+		}
+	default: // wide random → None
+		for i := range data {
+			data[i] = rng.Int63() - rng.Int63()
+		}
+	}
+	return data
+}
+
+func TestBlockMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		data := genTestData(rng, 1+rng.Intn(3000))
+		for _, scheme := range []Scheme{None, RLE, Dict, FOR} {
+			b, err := Compress(data, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := AppendBlock(nil, b)
+			// Append a second block to prove self-delimiting decode.
+			buf = AppendBlock(buf, b)
+			got, used, err := DecodeBlock(buf)
+			if err != nil {
+				t.Fatalf("scheme %v: %v", scheme, err)
+			}
+			if used >= len(buf) {
+				t.Fatalf("scheme %v: consumed %d of %d bytes", scheme, used, len(buf))
+			}
+			if got.Scheme() != scheme || got.Len() != len(data) {
+				t.Fatalf("scheme %v: decoded %v/%d", scheme, got.Scheme(), got.Len())
+			}
+			out := make([]int64, len(data))
+			got.Decompress(out)
+			for i := range data {
+				if out[i] != data[i] {
+					t.Fatalf("scheme %v: value %d: %d vs %d", scheme, i, out[i], data[i])
+				}
+			}
+			if _, used2, err := DecodeBlock(buf[used:]); err != nil || used2 != used {
+				t.Fatalf("second block: used %d vs %d, err %v", used2, used, err)
+			}
+		}
+	}
+}
+
+func TestDecodeBlockRejectsCorruption(t *testing.T) {
+	data := genTestData(rand.New(rand.NewSource(3)), 500)
+	for _, scheme := range []Scheme{None, RLE, Dict, FOR} {
+		b, err := Compress(data, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := AppendBlock(nil, b)
+		// Every truncation must yield ErrMalformed, never a panic.
+		for cut := 0; cut < len(buf); cut += 1 + len(buf)/97 {
+			if _, _, err := DecodeBlock(buf[:cut]); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("scheme %v truncated at %d: err = %v", scheme, cut, err)
+			}
+		}
+	}
+	if _, _, err := DecodeBlock([]byte{99, 1}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("unknown scheme: err = %v", err)
+	}
+	// Dict block with a code pointing past the dictionary.
+	b, _ := Compress([]int64{1, 2, 1, 2}, Dict)
+	buf := AppendBlock(nil, b)
+	buf[len(buf)-2] = 0xff
+	buf[len(buf)-1] = 0xff
+	if _, _, err := DecodeBlock(buf); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("out-of-range code: err = %v", err)
+	}
+}
+
+func TestDecompressRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		data := genTestData(rng, 1+rng.Intn(2000))
+		for _, scheme := range []Scheme{None, RLE, Dict, FOR} {
+			b, err := Compress(data, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 20; trial++ {
+				from := rng.Intn(len(data))
+				n := 1 + rng.Intn(len(data)-from)
+				dst := make([]int64, n)
+				if got := b.DecompressRange(dst, from, n); got != n {
+					t.Fatalf("scheme %v: range(%d,%d) = %d", scheme, from, n, got)
+				}
+				for i := 0; i < n; i++ {
+					if dst[i] != data[from+i] {
+						t.Fatalf("scheme %v: range(%d,%d)[%d] = %d, want %d",
+							scheme, from, n, i, dst[i], data[from+i])
+					}
+				}
+			}
+			// Out-of-range requests clamp instead of panicking.
+			dst := make([]int64, len(data)+10)
+			if got := b.DecompressRange(dst, len(data)-1, 11); got != 1 {
+				t.Fatalf("scheme %v: tail clamp = %d", scheme, got)
+			}
+			if got := b.DecompressRange(dst, len(data)+5, 1); got != 0 {
+				t.Fatalf("scheme %v: past-end = %d", scheme, got)
+			}
+		}
+	}
+}
+
+func TestBlockZoneHelpers(t *testing.T) {
+	data := []int64{5, 5, 5, -3, 12, 12, 7}
+	for _, scheme := range []Scheme{None, RLE, Dict, FOR} {
+		b, err := Compress(data, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi, ok := b.MinMax()
+		if !ok || lo != -3 || hi != 12 {
+			t.Fatalf("scheme %v: minmax = %d..%d ok=%v", scheme, lo, hi, ok)
+		}
+		if d := b.DistinctUpperBound(); d < 4 {
+			t.Fatalf("scheme %v: distinct bound %d < 4", scheme, d)
+		}
+	}
+	b, _ := Compress([]int64{1, 2, 3}, Dict)
+	if vals := b.DictValues(); len(vals) != 3 {
+		t.Fatalf("dict values = %v", vals)
+	}
+	b, _ = Compress([]int64{1, 1, 2}, RLE)
+	if vals := b.RunValues(); len(vals) != 2 {
+		t.Fatalf("run values = %v", vals)
+	}
+	if b.DictValues() != nil {
+		t.Fatal("DictValues on RLE block")
+	}
+	empty, _ := Compress(nil, None)
+	if _, _, ok := empty.MinMax(); ok {
+		t.Fatal("MinMax on empty block")
+	}
+}
+
+// TestAdaptiveScannerParallelWriters is the -race regression for the
+// adaptive chooser: parallel segment writers build columns (each running
+// Analyze per block) while sharing one scanner, as colstore's writer does.
+func TestAdaptiveScannerParallelWriters(t *testing.T) {
+	cols := make([]*Column, 8)
+	datas := make([][]int64, len(cols))
+	for i := range datas {
+		datas[i] = genTestData(rand.New(rand.NewSource(int64(i))), 20_000)
+	}
+	sc := NewAdaptiveScanner(nil)
+	var wg sync.WaitGroup
+	sums := make([]int64, len(cols))
+	for i := range cols {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			col, err := BuildColumn(datas[i], 1024, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cols[i] = col
+			sums[i] = sc.SumGreater(col, 0)
+		}(i)
+	}
+	wg.Wait()
+	fallbacks, specialized, compiles := sc.Stats()
+	if fallbacks == 0 || compiles == 0 {
+		t.Fatalf("fallbacks=%d specialized=%d compiles=%d", fallbacks, specialized, compiles)
+	}
+	for i := range cols {
+		var want int64
+		for _, v := range datas[i] {
+			if v > 0 {
+				want += v
+			}
+		}
+		if sums[i] != want {
+			t.Fatalf("col %d: sum %d, want %d", i, sums[i], want)
+		}
+	}
+}
+
+// TestAdaptiveScannerDeterministicLatency: with a modeled latency the
+// fallback/specialized split must be a pure function of the block sequence,
+// not of wall-clock scheduling.
+func TestAdaptiveScannerDeterministicLatency(t *testing.T) {
+	data := genTestData(rand.New(rand.NewSource(9)), 50_000)
+	col, err := BuildColumn(data, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latency := func() time.Duration { return 5 * compileBlockQuantum }
+	run := func() (int, int, int) {
+		sc := NewAdaptiveScanner(latency)
+		sc.SumGreater(col, 0)
+		return sc.Stats()
+	}
+	f1, s1, c1 := run()
+	for i := 0; i < 5; i++ {
+		f2, s2, c2 := run()
+		if f1 != f2 || s1 != s2 || c1 != c2 {
+			t.Fatalf("run %d: stats %d/%d/%d vs %d/%d/%d", i, f2, s2, c2, f1, s1, c1)
+		}
+	}
+	if f1 == 0 {
+		t.Fatal("latency model produced no fallbacks")
+	}
+}

@@ -19,18 +19,39 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"path/filepath"
 	"strings"
 
 	"repro/advm"
+	"repro/internal/colstore"
 )
 
 // Case is one generated differential scenario: a plan over generated
-// tables, with a human-readable description for failure reports.
+// tables, with a human-readable description for failure reports. When the
+// case is colstore-backed (NewCaseStored), StoredPlan is the structurally
+// identical plan whose scans read the persisted compressed copies of the
+// same tables — its results must be byte-identical to Plan's.
 type Case struct {
-	Probe *advm.Table
-	Build *advm.Table
-	Plan  *advm.Plan
-	Desc  string
+	Probe      *advm.Table
+	Build      *advm.Table
+	Plan       *advm.Plan
+	StoredPlan *advm.Plan
+	Desc       string
+
+	stored []*colstore.Table
+}
+
+// Close releases the file mappings of any colstore-backed tables the case
+// opened. Safe on cases without stored backing.
+func (c *Case) Close() error {
+	var first error
+	for _, st := range c.stored {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.stored = nil
+	return first
 }
 
 // col tracks one column available at the current plan position.
@@ -55,13 +76,59 @@ func (g *gen) note(format string, args ...any) {
 // NewCase generates the scenario for one seed. The same seed always yields
 // the same tables and plan.
 func NewCase(seed int64) *Case {
+	c, err := newCase(seed, "")
+	if err != nil {
+		// newCase only fails on colstore I/O, which "" disables.
+		panic(err)
+	}
+	return c
+}
+
+// NewCaseStored generates the same scenario as NewCase(seed) and
+// additionally persists both tables as compressed colstore directories under
+// dir (with a seed-derived segment size), exposing StoredPlan — the same
+// random plan scanning the disk-backed copies. The caller must Close the
+// case to release the mappings.
+func NewCaseStored(seed int64, dir string) (*Case, error) {
+	return newCase(seed, dir)
+}
+
+func newCase(seed int64, dir string) (*Case, error) {
 	g := &gen{rng: rand.New(rand.NewSource(seed))}
 	probe := g.genProbeTable()
 	build := g.genBuildTable()
 	c := &Case{Probe: probe, Build: build}
-	c.Plan = g.genPlan(probe, build)
-	c.Desc = fmt.Sprintf("seed=%d rows=%d/%d: %s", seed, probe.Rows(), build.Rows(), strings.Join(g.desc, " → "))
-	return c
+	// The plan generator runs from its own derived seed so it can be replayed
+	// verbatim against a different pair of table sources.
+	planSeed := g.rng.Int63()
+	pg := &gen{rng: rand.New(rand.NewSource(planSeed))}
+	c.Plan = pg.genPlan(probe, build)
+	c.Desc = fmt.Sprintf("seed=%d rows=%d/%d: %s", seed, probe.Rows(), build.Rows(), strings.Join(pg.desc, " → "))
+	if dir == "" {
+		return c, nil
+	}
+	// Small, varied segments: even the few-thousand-row tables span many
+	// segments, so zone-map pruning has real decisions to make.
+	segRows := []int{512, 1024, 4096}[g.rng.Intn(3)]
+	sources := make([]advm.TableSource, 0, 2)
+	for i, tb := range []*advm.Table{probe, build} {
+		sub := filepath.Join(dir, fmt.Sprintf("t%d", i))
+		if err := colstore.Write(sub, tb, colstore.WriteOptions{SegmentRows: segRows}); err != nil {
+			c.Close()
+			return nil, err
+		}
+		st, err := colstore.Open(sub)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.stored = append(c.stored, st)
+		sources = append(sources, st)
+	}
+	sg := &gen{rng: rand.New(rand.NewSource(planSeed))}
+	c.StoredPlan = sg.genPlan(sources[0], sources[1])
+	c.Desc += fmt.Sprintf(" [colstore seg=%d]", segRows)
+	return c, nil
 }
 
 // genProbeTable builds the scan-side table: small-domain i64 group keys, a
@@ -101,7 +168,7 @@ func (g *gen) genBuildTable() *advm.Table {
 
 // genPlan assembles a random plan over the tables: streaming stages, maybe
 // a join, then one of {stream, aggregate, top-k, aggregate→top-k}.
-func (g *gen) genPlan(probe, build *advm.Table) *advm.Plan {
+func (g *gen) genPlan(probe, build advm.TableSource) *advm.Plan {
 	cols := []col{{"a", advm.I64}, {"b", advm.I64}, {"x", advm.F64}, {"s", advm.Str}, {"k", advm.I64}}
 	g.note("scan(a,b,x,s,k)")
 	p := advm.Scan(probe, "a", "b", "x", "s", "k")
@@ -231,7 +298,7 @@ func (g *gen) genCompute(p *advm.Plan, cols []col) (*advm.Plan, []col) {
 
 // genJoin probes the build table on k = bk, carrying payload columns. The
 // build side gets its own random filter about half the time.
-func (g *gen) genJoin(p *advm.Plan, cols []col, build *advm.Table) (*advm.Plan, []col) {
+func (g *gen) genJoin(p *advm.Plan, cols []col, build advm.TableSource) (*advm.Plan, []col) {
 	b := advm.Scan(build, "bk", "p", "q")
 	note := "join[k=bk"
 	if g.rng.Intn(2) == 0 {

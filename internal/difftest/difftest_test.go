@@ -29,7 +29,11 @@ var configs = []execConfig{
 }
 
 // TestDifferential: for a spread of seeds, every execution strategy must
-// produce results byte-identical to serial CPU execution.
+// produce results byte-identical to serial CPU execution. Every other seed
+// additionally backs the tables with compressed colstore directories and
+// runs the same plan over the disk-backed copies through every strategy —
+// the zone-map-pruned, per-segment-decoded scans must reproduce the in-RAM
+// serial reference bit for bit.
 func TestDifferential(t *testing.T) {
 	seeds := int64(24)
 	if testing.Short() {
@@ -37,7 +41,16 @@ func TestDifferential(t *testing.T) {
 	}
 	ctx := context.Background()
 	for seed := int64(1); seed <= seeds; seed++ {
-		c := NewCase(seed)
+		var c *Case
+		var err error
+		if seed%2 == 0 {
+			c, err = NewCaseStored(seed, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			c = NewCase(seed)
+		}
 		ref, err := advm.NewSession(
 			advm.WithParallelism(1),
 			advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
@@ -48,6 +61,16 @@ func TestDifferential(t *testing.T) {
 		ref.Close()
 		if err != nil {
 			t.Fatalf("%s: reference: %v", c.Desc, err)
+		}
+		plans := []struct {
+			name string
+			plan *advm.Plan
+		}{{"ram", c.Plan}}
+		if c.StoredPlan != nil {
+			plans = append(plans, struct {
+				name string
+				plan *advm.Plan
+			}{"colstore", c.StoredPlan})
 		}
 		for _, cfg := range configs {
 			opts := []advm.Option{
@@ -62,19 +85,27 @@ func TestDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := Collect(ctx, sess, c.Plan)
-			sess.Close()
-			if err != nil {
-				t.Fatalf("%s [%s]: %v", c.Desc, cfg.name, err)
-			}
-			if len(got) != len(want) {
-				t.Fatalf("%s [%s]: %d rows, serial produced %d", c.Desc, cfg.name, len(got), len(want))
-			}
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("%s [%s]: row %d differs\n got: %s\nwant: %s", c.Desc, cfg.name, i, got[i], want[i])
+			for _, pl := range plans {
+				got, err := Collect(ctx, sess, pl.plan)
+				if err != nil {
+					sess.Close()
+					t.Fatalf("%s [%s/%s]: %v", c.Desc, cfg.name, pl.name, err)
+				}
+				if len(got) != len(want) {
+					sess.Close()
+					t.Fatalf("%s [%s/%s]: %d rows, serial produced %d", c.Desc, cfg.name, pl.name, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						sess.Close()
+						t.Fatalf("%s [%s/%s]: row %d differs\n got: %s\nwant: %s", c.Desc, cfg.name, pl.name, i, got[i], want[i])
+					}
 				}
 			}
+			sess.Close()
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("%s: close: %v", c.Desc, err)
 		}
 	}
 }

@@ -38,9 +38,21 @@ type Operator interface {
 	Close() error
 }
 
+// RangeSkipper is implemented by stores that can prove whole row windows
+// irrelevant to the running query (zone-map pruning over pushed-down filter
+// intervals). SkipRange(lo, hi) == true licenses the scan to drop rows
+// [lo, hi) without reading them: every one of them would have been dropped
+// by a filter that still executes downstream. Scans advance their position
+// over skipped windows exactly as over produced ones, so chunk boundaries —
+// and therefore every order-sensitive result — match the unskipped run.
+type RangeSkipper interface {
+	SkipRange(lo, hi int) bool
+}
+
 // Scan reads a stored table chunk-at-a-time.
 type Scan struct {
 	store    vector.Store
+	skipper  RangeSkipper
 	cols     []int
 	schema   []ColInfo
 	chunkLen int
@@ -54,7 +66,9 @@ func NewScan(store vector.Store, columns ...string) (*Scan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scan{store: store, chunkLen: vector.DefaultChunkLen, cols: cols, schema: schema}, nil
+	s := &Scan{store: store, chunkLen: vector.DefaultChunkLen, cols: cols, schema: schema}
+	s.skipper, _ = store.(RangeSkipper)
+	return s, nil
 }
 
 // resolveColumns maps column names (all columns when none are given) onto
@@ -105,6 +119,18 @@ func (s *Scan) Open(ctx context.Context) error {
 func (s *Scan) Next(ctx context.Context) (*vector.Chunk, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if s.skipper != nil {
+		for rows := s.store.Rows(); s.pos < rows; {
+			hi := s.pos + s.chunkLen
+			if hi > rows {
+				hi = rows
+			}
+			if !s.skipper.SkipRange(s.pos, hi) {
+				break
+			}
+			s.pos = hi
+		}
 	}
 	n := s.store.Scan(s.pos, s.chunkLen, s.cols, s.bufs)
 	if n == 0 {

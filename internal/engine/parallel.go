@@ -25,6 +25,7 @@ import (
 // boundaries and must not be overwritten while a consumer still reads them.
 type PartScan struct {
 	store    vector.Store
+	skipper  RangeSkipper
 	cols     []int
 	schema   []ColInfo
 	chunkLen int
@@ -38,7 +39,9 @@ func NewPartScan(store vector.Store, columns ...string) (*PartScan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PartScan{store: store, chunkLen: vector.DefaultChunkLen, cols: cols, schema: schema}, nil
+	s := &PartScan{store: store, chunkLen: vector.DefaultChunkLen, cols: cols, schema: schema}
+	s.skipper, _ = store.(RangeSkipper)
+	return s, nil
 }
 
 // SetChunkLen overrides the scan's chunk length (default
@@ -66,6 +69,18 @@ func (s *PartScan) Open(ctx context.Context) error { return ctx.Err() }
 func (s *PartScan) Next(ctx context.Context) (*vector.Chunk, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if s.skipper != nil {
+		for s.pos < s.hi {
+			hi := s.pos + s.chunkLen
+			if hi > s.hi {
+				hi = s.hi
+			}
+			if !s.skipper.SkipRange(s.pos, hi) {
+				break
+			}
+			s.pos = hi
+		}
 	}
 	n := s.hi - s.pos
 	if n <= 0 {

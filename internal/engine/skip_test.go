@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/vector"
+)
+
+// skipStore wraps a DSM store and skips any chunk window that lies entirely
+// inside a banned row band, mimicking a zone-map-pruned table.
+type skipStore struct {
+	*vector.DSMStore
+	banLo, banHi int
+	calls        int
+}
+
+func (s *skipStore) SkipRange(lo, hi int) bool {
+	s.calls++
+	return lo >= s.banLo && hi <= s.banHi
+}
+
+func buildSkipStore(rows, banLo, banHi int) *skipStore {
+	st := vector.NewDSMStore(vector.NewSchema("k", vector.I64))
+	for i := 0; i < rows; i++ {
+		st.AppendRow(vector.I64Value(int64(i)))
+	}
+	return &skipStore{DSMStore: st, banLo: banLo, banHi: banHi}
+}
+
+// expectRows asserts the scan produced exactly the unbanned rows in order.
+func expectRows(t *testing.T, got []int64, rows, banLo, banHi int) {
+	t.Helper()
+	var want []int64
+	for i := 0; i < rows; i++ {
+		// A window is only skipped when fully inside the band; with the
+		// chunk length dividing the band bounds the skipped rows are exactly
+		// the band.
+		if i >= banLo && i < banHi {
+			continue
+		}
+		want = append(want, int64(i))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanHonorsRangeSkipper(t *testing.T) {
+	const rows, chunk = 4096, 128
+	st := buildSkipStore(rows, 1024, 2048)
+	sc, err := NewScan(st, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.SetChunkLen(chunk)
+	var got []int64
+	if err := Drain(t.Context(), sc, func(c *vector.Chunk) error {
+		got = append(got, c.Col(0).I64()...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, got, rows, 1024, 2048)
+	if st.calls == 0 {
+		t.Fatal("skipper never consulted")
+	}
+}
+
+func TestPartScanHonorsRangeSkipper(t *testing.T) {
+	const rows, chunk = 4096, 128
+	st := buildSkipStore(rows, 1024, 2048)
+	ps, err := NewPartScan(st, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.SetChunkLen(chunk)
+	var got []int64
+	// Walk morsel-style windows, including ones fully inside the band.
+	for lo := 0; lo < rows; lo += 512 {
+		ps.SetRange(lo, lo+512)
+		for {
+			c, err := ps.Next(t.Context())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c == nil {
+				break
+			}
+			got = append(got, c.Col(0).I64()...)
+		}
+	}
+	expectRows(t, got, rows, 1024, 2048)
+}
+
+// TestSkipperPreservesChunkBoundaries: skipping must advance the position in
+// the same chunk steps as scanning, so downstream chunk shapes are unchanged
+// for the surviving rows.
+func TestSkipperPreservesChunkBoundaries(t *testing.T) {
+	const rows, chunk = 1000, 64
+	plain := buildSkipStore(rows, 0, 0) // band empty: nothing skipped
+	banned := buildSkipStore(rows, 128, 256)
+	shapes := func(st *skipStore) [][2]int64 {
+		sc, err := NewScan(st, "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.SetChunkLen(chunk)
+		var out [][2]int64
+		if err := Drain(t.Context(), sc, func(c *vector.Chunk) error {
+			ks := c.Col(0).I64()
+			out = append(out, [2]int64{ks[0], int64(len(ks))})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ps, bs := shapes(plain), shapes(banned)
+	// The banned run must present the same chunks minus the banned ones.
+	j := 0
+	for _, p := range ps {
+		if p[0] >= 128 && p[0] < 256 {
+			continue
+		}
+		if j >= len(bs) || bs[j] != p {
+			t.Fatalf("chunk %v missing or reshaped (got %v)", p, bs[j])
+		}
+		j++
+	}
+	if j != len(bs) {
+		t.Fatalf("banned scan produced %d extra chunks", len(bs)-j)
+	}
+}

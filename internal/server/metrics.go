@@ -26,6 +26,11 @@ type statsResponse struct {
 	// time GPU-placed morsels paid.
 	Placements map[string]int64 `json:"placements,omitempty"`
 	TransferMS float64          `json:"transfer_ms,omitempty"`
+	// SegmentsScanned/SegmentsSkipped count colstore segments decoded vs
+	// pruned by zone maps across every cached tenant session — nonzero only
+	// when registered tables are disk-backed.
+	SegmentsScanned int64 `json:"segments_scanned"`
+	SegmentsSkipped int64 `json:"segments_skipped"`
 }
 
 type engineStatsJSON struct {
@@ -120,6 +125,8 @@ func (s *Server) snapshotStats() statsResponse {
 			resp.Placements[dev] += n
 		}
 		transfer += st.MorselTransfer
+		resp.SegmentsScanned += st.SegmentsScanned
+		resp.SegmentsSkipped += st.SegmentsSkipped
 	}
 	resp.TransferMS = float64(transfer) / float64(time.Millisecond)
 	return resp
@@ -181,4 +188,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "advm_morsel_placements_total{device=%q} %d\n", dev, st.Placements[dev])
 	}
 	counter("advm_morsel_transfer_seconds", "Modeled PCIe transfer time of GPU-placed morsels.", st.TransferMS/1000)
+	counter("advm_segments_scanned_total", "Colstore segments decoded by stored-table scans.", st.SegmentsScanned)
+	counter("advm_segments_skipped_total", "Colstore segments pruned by zone maps before decoding.", st.SegmentsSkipped)
 }

@@ -122,7 +122,7 @@ func (s *Server) buildPlan(req *queryRequest) (*advm.Plan, error) {
 
 // namedPlan builds one of the built-in TPC-H plans over registered tables.
 func (s *Server) namedPlan(name string, params map[string]float64) (*advm.Plan, error) {
-	get := func(table string) (*advm.Table, error) {
+	get := func(table string) (advm.TableSource, error) {
 		t, ok := s.lookupTable(table)
 		if !ok {
 			return nil, badRequestf("named query %q needs table %q, which is not registered", name, table)

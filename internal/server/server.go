@@ -46,7 +46,7 @@ type Server struct {
 	start time.Time
 
 	mu       sync.Mutex
-	tables   map[string]*advm.Table
+	tables   map[string]advm.TableSource
 	sessions map[sessKey]*sessEntry
 	prepared map[string]*prepEntry
 	lruClock int64 // shared last-use stamp for both LRU caches
@@ -104,7 +104,7 @@ func New(eng *advm.Engine, cfg Config) *Server {
 		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
-		tables:   make(map[string]*advm.Table),
+		tables:   make(map[string]advm.TableSource),
 		sessions: make(map[sessKey]*sessEntry),
 		prepared: make(map[string]*prepEntry),
 	}
@@ -122,15 +122,19 @@ func (s *Server) Engine() *advm.Engine { return s.eng }
 // Config returns the resolved configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// RegisterTable makes a table queryable under the given name. Tables are
-// read-only once registered (queries scan them concurrently).
-func (s *Server) RegisterTable(name string, t *advm.Table) {
+// RegisterTable makes a table source queryable under the given name — an
+// in-RAM *advm.Table or a disk-backed *advm.StoredTable opened from a
+// colstore directory (whose scans then prune segments via zone maps; the
+// skip counters show up in /v1/stats and /metrics). Sources are read-only
+// once registered (queries scan them concurrently). A registered stored
+// table stays owned by the caller: close it only after the server drains.
+func (s *Server) RegisterTable(name string, t advm.TableSource) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tables[name] = t
 }
 
-func (s *Server) lookupTable(name string) (*advm.Table, bool) {
+func (s *Server) lookupTable(name string) (advm.TableSource, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.tables[name]

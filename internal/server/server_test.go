@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/advm"
+	"repro/internal/colstore"
 	"repro/internal/tpch"
 )
 
@@ -415,6 +416,49 @@ func TestStatsAndMetricsEndpoints(t *testing.T) {
 		"advm_morsel_placements_total{device=",
 		"advm_prepares_total ",
 	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestStoredTableServed: a colstore-backed table registered under a name is
+// queryable like an in-RAM one, its scans prune segments through zone maps,
+// and the segment counters surface on both telemetry endpoints.
+func TestStoredTableServed(t *testing.T) {
+	dir := t.TempDir()
+	if err := colstore.Write(dir, syntheticTable(1<<14), colstore.WriteOptions{SegmentRows: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	s, eng := newTestServer(t, Config{}, 8, false)
+	st, err := eng.OpenTable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterTable("disk", st)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/query", `{"table":"disk","pipeline":[
+		{"op":"filter","lambda":"(\\k -> (k >= 2000) && (k < 2004))","col":"k"},
+		{"op":"aggregate","aggs":[{"func":"sum","col":"v","as":"s"},{"func":"count","as":"n"}]}]}`)
+	body := readAll(t, resp)
+	// k 2000..2003, v = 3k: sum 24018, count 4.
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "[24018,4]") {
+		t.Fatalf("stored-table query: %d %s", resp.StatusCode, body)
+	}
+
+	stats := getStats(t, ts.URL)
+	if stats.SegmentsSkipped == 0 || stats.SegmentsScanned == 0 {
+		t.Fatalf("segment counters not surfaced: scanned=%d skipped=%d",
+			stats.SegmentsScanned, stats.SegmentsSkipped)
+	}
+	metrics, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := readAll(t, metrics)
+	for _, want := range []string{"advm_segments_scanned_total ", "advm_segments_skipped_total "} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, text)
 		}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/colstore"
 	"repro/internal/vector"
 )
 
@@ -242,6 +243,46 @@ func Gen(table string, sf float64, seed int64) (*vector.DSMStore, error) {
 		return GenCustomer(sf, seed), nil
 	}
 	return nil, fmt.Errorf("tpch: unknown table %q", table)
+}
+
+// ColstoreDir is the canonical colstore directory name of a table at a
+// scale factor and seed (below some root; see LoadOrGenColstore).
+func ColstoreDir(table string, sf float64, seed int64) string {
+	return fmt.Sprintf("%s_sf%.4f_seed%d.colstore", table, sf, seed)
+}
+
+// ColstoreSegmentRows picks a segment size for a table of n rows: the
+// default 64k-row segments for SF≥1-sized tables, scaled down (to a 1024-row
+// floor) for smaller ones so even bench-scale tables span enough segments
+// for zone maps to prune.
+func ColstoreSegmentRows(n int) int {
+	seg := colstore.DefaultSegmentRows
+	for seg > 1024 && n < 16*seg {
+		seg /= 2
+	}
+	return seg
+}
+
+// LoadOrGenColstore ensures the named table exists as a colstore directory
+// under root and returns that directory. An existing directory that fails to
+// open (truncated or stale format) is regenerated in place. The in-RAM
+// generator output is cached alongside via LoadOrGen, so repeated
+// invocations in one environment neither regenerate nor re-encode.
+func LoadOrGenColstore(root, table string, sf float64, seed int64) (string, error) {
+	dir := filepath.Join(root, ColstoreDir(table, sf, seed))
+	if t, err := colstore.Open(dir); err == nil {
+		t.Close()
+		return dir, nil
+	}
+	st, err := LoadOrGen(root, table, sf, seed)
+	if err != nil {
+		return "", err
+	}
+	opts := colstore.WriteOptions{SegmentRows: ColstoreSegmentRows(st.Rows())}
+	if err := colstore.Write(dir, st, opts); err != nil {
+		return "", err
+	}
+	return dir, nil
 }
 
 // LoadOrGen returns the named table from dir when a saved copy exists,

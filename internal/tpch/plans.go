@@ -13,9 +13,10 @@ import (
 // query cannot drift apart.
 
 // PlanQ1 builds the full TPC-H Q1 (filter → disc_price → charge → grouped
-// aggregation, all eight aggregates) as a public plan over a generated
-// lineitem table. Column names match Q1Engine's output.
-func PlanQ1(st *advm.Table) *advm.Plan {
+// aggregation, all eight aggregates) as a public plan over a lineitem table
+// — in-RAM or opened from a colstore directory. Column names match
+// Q1Engine's output.
+func PlanQ1(st advm.TableSource) *advm.Plan {
 	return advm.Scan(st,
 		"l_returnflag", "l_linestatus", "l_quantity",
 		"l_extendedprice", "l_discount", "l_tax", "l_shipdate").
@@ -44,7 +45,7 @@ func PlanQ1(st *advm.Table) *advm.Plan {
 // probe fans out across morsel workers, both build sides are hashed in
 // parallel into shared read-only tables, and the grouped aggregation folds
 // worker-locally — with results byte-identical to serial execution.
-func PlanQ3(li, ord, cust *advm.Table, p Q3Params) *advm.Plan {
+func PlanQ3(li, ord, cust advm.TableSource, p Q3Params) *advm.Plan {
 	customers := advm.Scan(cust, "c_custkey", "c_segkey").
 		Filter(fmt.Sprintf(`(\s -> s == %d)`, p.Segment), "c_segkey")
 	orders := advm.Scan(ord, "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority").
@@ -62,8 +63,9 @@ func PlanQ3(li, ord, cust *advm.Table, p Q3Params) *advm.Plan {
 }
 
 // PlanQ6 builds TPC-H Q6 (three filters → revenue → global sum) as a public
-// plan.
-func PlanQ6(st *advm.Table, p Q6Params) *advm.Plan {
+// plan. Over a stored table, the shipdate range filter prunes whole
+// segments through the zone maps before any byte of them is decoded.
+func PlanQ6(st advm.TableSource, p Q6Params) *advm.Plan {
 	return advm.Scan(st, "l_quantity", "l_extendedprice", "l_discount", "l_shipdate").
 		Filter(fmt.Sprintf(`(\d -> (d >= %d) && (d < %d))`, p.ShipLo, p.ShipHi), "l_shipdate").
 		Filter(fmt.Sprintf(`(\x -> (x >= %v) && (x <= %v))`, p.DiscLo, p.DiscHi), "l_discount").

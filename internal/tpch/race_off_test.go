@@ -1,0 +1,8 @@
+//go:build !race
+
+package tpch
+
+// raceEnabled reports whether the race detector is compiled in; tests whose
+// workloads are too large for its overhead (the SF 1 acceptance matrix) skip
+// when it is.
+const raceEnabled = false

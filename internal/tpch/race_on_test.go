@@ -1,0 +1,5 @@
+//go:build race
+
+package tpch
+
+const raceEnabled = true

@@ -70,7 +70,17 @@ func GenLineitem(sf float64, seed int64) *vector.DSMStore {
 		price := float64(qty*(90000+int64(rng.Intn(100001)))) / 100
 		discount := float64(rng.Intn(11)) / 100
 		tax := float64(rng.Intn(9)) / 100
-		shipdate := int64(rng.Intn(ShipdateMax))
+		// Shipdates cluster by row position — rows arrive roughly in ship
+		// order, as in a real TPC-H load — with ±90 days of noise, so each
+		// marginal stays near-uniform over the domain while disk segments get
+		// tight zone maps that range predicates can prune.
+		shipdate := int64(i)*ShipdateMax/int64(n) + int64(rng.Intn(181)) - 90
+		if shipdate < 0 {
+			shipdate = 0
+		}
+		if shipdate >= ShipdateMax {
+			shipdate = ShipdateMax - 1
+		}
 		// Returnflag/linestatus correlate with shipdate as in TPC-H: lines
 		// shipped after the receipt horizon are N/O; older ones A|R / F.
 		var flag, status string
