@@ -70,6 +70,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/dsl"
 	"repro/internal/engine"
+	"repro/internal/fused"
 	"repro/internal/nir"
 	"repro/internal/primitive"
 	"repro/internal/vm"
@@ -97,6 +98,8 @@ type Session struct {
 	queries         atomic.Int64
 	segmentsScanned atomic.Int64
 	segmentsSkipped atomic.Int64
+	fusedQueries    atomic.Int64
+	fusedDeopts     atomic.Int64
 	closed          atomic.Bool
 
 	mu               sync.Mutex
@@ -302,6 +305,22 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 	// Zone-map pruning: derive interval predicates from the plan's filters
 	// and give prunable stored-table scans a segment-skipping view.
 	b.annotatePruning(plan)
+	if s.opt.tiered {
+		// Tiered execution: count this execution against the plan's
+		// engine-wide hotness entry. At the warm threshold the builder starts
+		// compiling fusable segments (priming the code cache); at the hot
+		// threshold it mounts the fused loops.
+		fp := plan.fingerprint()
+		ent := s.eng.tierEntryFor(fp)
+		n := ent.execs.Add(1)
+		if n == s.opt.tierWarm || (n == s.opt.tierHot && s.opt.tierHot != s.opt.tierWarm) {
+			s.eng.tierUps.Add(1)
+		}
+		b.tierFP, b.tierN, b.tierEnt = fp, n, ent
+		if n >= s.opt.tierWarm {
+			b.fuseCtrs = &fused.Counters{}
+		}
+	}
 	if workers > 1 && s.opt.device != DeviceCPU {
 		// Heterogeneous execution: worker pipelines get a DeviceExec top, so
 		// every dispatched morsel is costed and placed (adaptively for
@@ -347,7 +366,12 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 		return nil, tagged(ErrBind, err)
 	}
 	s.queries.Add(1)
-	return &Rows{ctx: qctx, cancel: qcancel, op: op, schema: op.Schema(), sess: s, rec: b.rec, views: b.views}, nil
+	r := &Rows{ctx: qctx, cancel: qcancel, op: op, schema: op.Schema(), sess: s, rec: b.rec, views: b.views}
+	if b.tierEnt != nil {
+		r.tier = tierName(b.tierN, s.opt.tierWarm, s.opt.tierHot)
+		r.fuse, r.fusedRun, r.entry = b.fuseCtrs, b.fusedWrapped, b.tierEnt
+	}
+	return r, nil
 }
 
 // mergeMorselPlacements folds one completed query's placement counts into

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/colstore"
 	"repro/internal/device"
 	"repro/internal/dsl"
+	"repro/internal/fused"
 	"repro/internal/gpu"
 	"repro/internal/nir"
 	"repro/internal/vm"
@@ -51,12 +53,81 @@ type Engine struct {
 	tablesMu sync.Mutex
 	tables   map[string]*colstore.Table // open stored tables by directory
 
+	// Tiered relational execution: per-fingerprint hotness state and the
+	// engine-wide fused-code cache (see WithTieredExecution).
+	tiersMu   sync.Mutex
+	tiers     map[string]*tierEntry
+	tierClock int64
+	fcache    *fused.Cache
+
 	sessions        atomic.Int64
 	prepares        atomic.Int64
 	cacheHits       atomic.Int64
 	cacheEvictions  atomic.Int64
 	parallelQueries atomic.Int64
+	tierUps         atomic.Int64
+	fusedCompiles   atomic.Int64
+	fusedCacheHits  atomic.Int64
+	fusedQueries    atomic.Int64
+	fusedDeopts     atomic.Int64
 	closed          atomic.Bool
+}
+
+// tierEntry is the hotness state of one canonical plan fingerprint.
+type tierEntry struct {
+	fp        string
+	execs     atomic.Int64 // completed+started Query calls for this plan
+	deopts    atomic.Int64 // guard failures across its fused runs
+	fusedRuns atomic.Int64 // queries that executed fused loops
+	use       int64        // last-use stamp for LRU eviction (under tiersMu)
+}
+
+// maxTierEntries bounds the per-fingerprint hotness map the same way the
+// prepared-statement cache is bounded: endlessly distinct plans recycle
+// slots (losing only their execution counts) instead of growing the engine.
+const maxTierEntries = 256
+
+// tierEntryFor returns the hotness state for a plan fingerprint, creating
+// it on first use and evicting the least-recently-queried entry on
+// overflow.
+func (e *Engine) tierEntryFor(fp string) *tierEntry {
+	e.tiersMu.Lock()
+	defer e.tiersMu.Unlock()
+	if e.tiers == nil {
+		e.tiers = make(map[string]*tierEntry)
+	}
+	t, ok := e.tiers[fp]
+	if !ok {
+		if len(e.tiers) >= maxTierEntries {
+			var victim *tierEntry
+			for _, cand := range e.tiers {
+				if victim == nil || cand.use < victim.use {
+					victim = cand
+				}
+			}
+			if victim != nil {
+				delete(e.tiers, victim.fp)
+			}
+		}
+		t = &tierEntry{fp: fp}
+		e.tiers[fp] = t
+	}
+	e.tierClock++
+	t.use = e.tierClock
+	return t
+}
+
+// tierName classifies an execution count against the cold/warm/hot
+// thresholds.
+func tierName(n, warm, hot int64) string {
+	switch {
+	case n >= hot:
+		return "hot"
+	case n >= warm:
+		return "warm"
+	default:
+		return "cold"
+	}
 }
 
 // prepEntry is one cached prepared program: the shared VM and its identity.
@@ -92,9 +163,10 @@ func NewEngine(opts ...Option) (*Engine, error) {
 
 func newEngine(o options) *Engine {
 	e := &Engine{
-		opt:   o,
-		cpu:   device.NewCPU(),
-		cache: make(map[nir.Fingerprint]*prepEntry),
+		opt:    o,
+		cpu:    device.NewCPU(),
+		cache:  make(map[nir.Fingerprint]*prepEntry),
+		fcache: fused.NewCache(0),
 	}
 	if o.device != DeviceCPU {
 		e.ensureGPU()
@@ -262,6 +334,35 @@ type EngineStats struct {
 	// ParallelQueries counts queries that executed with more than one
 	// worker.
 	ParallelQueries int64
+	// TierUps counts plan fingerprints crossing the warm or hot thresholds
+	// of tiered relational execution.
+	TierUps int64
+	// FusedCompiles and FusedCacheHits count fused-segment compilations and
+	// code-cache hits; FusedPrograms is the current cache population
+	// (negative entries included).
+	FusedCompiles, FusedCacheHits int64
+	FusedPrograms                 int
+	// FusedQueries counts queries that executed fused loops; FusedDeopts
+	// counts guard failures that reverted a fused loop to the interpreter
+	// mid-query.
+	FusedQueries, FusedDeopts int64
+	// Tiers is the per-fingerprint hotness state of tiered execution,
+	// sorted by fingerprint.
+	Tiers []TierInfo
+}
+
+// TierInfo is the hotness state of one plan fingerprint under tiered
+// relational execution.
+type TierInfo struct {
+	// Fingerprint is the canonical plan fingerprint (a short hash of the
+	// plan's structure, lambdas and scanned schemas).
+	Fingerprint string
+	// Tier is the fingerprint's current tier under the engine's thresholds:
+	// "cold", "warm" or "hot".
+	Tier string
+	// Execs counts queries of this plan; FusedRuns how many executed fused
+	// loops; Deopts how many guard failures reverted fused loops.
+	Execs, FusedRuns, Deopts int64
 }
 
 // Stats snapshots the engine's counters. Safe to call concurrently with
@@ -271,6 +372,20 @@ func (e *Engine) Stats() EngineStats {
 	cached := len(e.cache)
 	e.mu.Unlock()
 	capacity, inUse := e.pool.usage()
+	e.tiersMu.Lock()
+	tiers := make([]TierInfo, 0, len(e.tiers))
+	for fp, t := range e.tiers {
+		tiers = append(tiers, TierInfo{
+			Fingerprint: fp,
+			Tier:        tierName(t.execs.Load(), e.opt.tierWarm, e.opt.tierHot),
+			Execs:       t.execs.Load(),
+			FusedRuns:   t.fusedRuns.Load(),
+			Deopts:      t.deopts.Load(),
+		})
+	}
+	e.tiersMu.Unlock()
+	sort.Slice(tiers, func(i, j int) bool { return tiers[i].Fingerprint < tiers[j].Fingerprint })
+	fusedProgs, _, _ := e.fcache.Stats()
 	return EngineStats{
 		Sessions:         e.sessions.Load(),
 		Prepares:         e.prepares.Load(),
@@ -280,6 +395,13 @@ func (e *Engine) Stats() EngineStats {
 		PoolCapacity:     capacity,
 		PoolInUse:        inUse,
 		ParallelQueries:  e.parallelQueries.Load(),
+		TierUps:          e.tierUps.Load(),
+		FusedCompiles:    e.fusedCompiles.Load(),
+		FusedCacheHits:   e.fusedCacheHits.Load(),
+		FusedPrograms:    fusedProgs,
+		FusedQueries:     e.fusedQueries.Load(),
+		FusedDeopts:      e.fusedDeopts.Load(),
+		Tiers:            tiers,
 	}
 }
 
@@ -343,6 +465,13 @@ func (p *Prepared) Run(ctx context.Context, bindings map[string]*Vector) error {
 // Fingerprint returns the canonical fingerprint of the normalized program —
 // the prepared-statement cache key.
 func (p *Prepared) Fingerprint() string { return p.entry.fp.String() }
+
+// Tier classifies this prepared program's cumulative run count against the
+// engine's tier thresholds: "cold", "warm" or "hot". Repeated executions of
+// the same program tier it up exactly like a repeated relational plan.
+func (p *Prepared) Tier() string {
+	return tierName(p.entry.runs.Load(), p.eng.opt.tierWarm, p.eng.opt.tierHot)
+}
 
 // Source returns the DSL source the program was first prepared from.
 func (p *Prepared) Source() string { return p.entry.src }

@@ -265,6 +265,56 @@ func ExamplePlan_Join() {
 	// 1 19798 3300
 }
 
+// ExampleWithTieredExecution shows a plan climbing the execution tiers.
+// Repetition drives the plan's fingerprint from cold (interpreted) through
+// warm (its streaming segment is compiled into a specialized fused loop and
+// cached; the query still runs interpreted) to hot (executions run the
+// fused loop) — with identical results at every tier. The engine's stats
+// expose the ladder.
+func ExampleWithTieredExecution() {
+	table := advm.NewTable(advm.NewSchema("k", advm.I64, "v", advm.I64))
+	for i := int64(0); i < 10_000; i++ {
+		table.AppendRow(advm.I64Value(i), advm.I64Value(i%50))
+	}
+
+	eng, _ := advm.NewEngine(advm.WithTierThresholds(2, 3))
+	defer eng.Close()
+	sess, _ := eng.Session()
+
+	plan := func() *advm.Plan {
+		return advm.Scan(table, "k", "v").
+			Filter(`(\k -> k < 5000)`, "k").
+			Compute("w", `(\v -> v * 2 + 1)`, advm.I64, "v").
+			Aggregate(nil, advm.Agg{Func: advm.AggSum, Col: "w", As: "sum_w"})
+	}
+	for run := 1; run <= 3; run++ {
+		rows, err := sess.Query(context.Background(), plan())
+		if err != nil {
+			fmt.Println("query failed:", err)
+			return
+		}
+		var sum int64
+		for rows.Next() {
+			if err := rows.Scan(&sum); err != nil {
+				fmt.Println("scan failed:", err)
+				return
+			}
+		}
+		rows.Close()
+		fmt.Printf("run %d: tier=%s fused=%v sum=%d\n", run, rows.Tier(), rows.Fused(), sum)
+	}
+
+	st := eng.Stats()
+	fmt.Printf("tier_ups=%d fused_queries=%d\n", st.TierUps, st.FusedQueries)
+	fmt.Println("final tier:", st.Tiers[0].Tier)
+	// Output:
+	// run 1: tier=cold fused=false sum=250000
+	// run 2: tier=warm fused=false sum=250000
+	// run 3: tier=hot fused=true sum=250000
+	// tier_ups=2 fused_queries=1
+	// final tier: hot
+}
+
 // ExampleErrCancelled shows the typed-error taxonomy: context failures
 // surface as ErrCancelled while keeping the context cause in the chain.
 func ExampleErrCancelled() {

@@ -25,11 +25,24 @@ type options struct {
 	device      DeviceKind
 	tableDir    string // root directory Session.OpenTable resolves names under
 	pruning     bool   // zone-map segment skipping on stored-table scans
+	tiered      bool   // tiered relational execution (fused hot segments)
+	tierWarm    int64  // executions before a plan's segments compile
+	tierHot     int64  // executions before compiled segments run fused
 }
 
 func defaultOptions() options {
-	return options{cfg: vm.DefaultConfig(), jitEnabled: true, parallelism: 1, device: DeviceCPU, pruning: true}
+	return options{
+		cfg: vm.DefaultConfig(), jitEnabled: true, parallelism: 1, device: DeviceCPU,
+		pruning: true, tiered: true, tierWarm: defaultTierWarm, tierHot: defaultTierHot,
+	}
 }
+
+// Default tier thresholds: a plan fingerprint compiles its streaming
+// segments on its 4th execution and runs them fused from the 8th.
+const (
+	defaultTierWarm = 4
+	defaultTierHot  = 8
+)
 
 // finalize resolves interactions after every option has applied, so the
 // result does not depend on option order.
@@ -229,6 +242,41 @@ func WithTableDir(dir string) Option {
 func WithScanPruning(on bool) Option {
 	return func(o *options) error {
 		o.pruning = on
+		return nil
+	}
+}
+
+// WithTieredExecution toggles tiered relational execution (default on).
+// When on, every Query counts executions per canonical plan fingerprint:
+// cold plans run the vectorized operator interpreter; at the warm threshold
+// a plan's streaming segments — scan→filter→compute→probe chains — are
+// compiled into specialized fused loops and cached engine-wide (keyed by
+// fingerprint + type/shape signature); at the hot threshold queries execute
+// the fused loops, with selectivity and probe-capacity guards that deopt
+// back to the interpreter at a chunk boundary when the data shifts. Results
+// are byte-identical at every tier; transitions are observable via
+// Rows.Tier, Session.Stats and Engine.Stats.
+func WithTieredExecution(on bool) Option {
+	return func(o *options) error {
+		o.tiered = on
+		return nil
+	}
+}
+
+// WithTierThresholds sets the execution counts at which a plan fingerprint
+// tiers up: its segments compile at the warm-th execution and run fused
+// from the hot-th on (defaults 4 and 8). warm must be ≥ 1 and hot ≥ warm;
+// WithTierThresholds(1, 1) fuses from the very first execution, which is
+// how the differential tests force every tier.
+func WithTierThresholds(warm, hot int64) Option {
+	return func(o *options) error {
+		if warm < 1 {
+			return fmt.Errorf("warm threshold must be ≥ 1, got %d", warm)
+		}
+		if hot < warm {
+			return fmt.Errorf("hot threshold %d must be ≥ warm threshold %d", hot, warm)
+		}
+		o.tierWarm, o.tierHot = warm, hot
 		return nil
 	}
 }

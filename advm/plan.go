@@ -3,10 +3,13 @@ package advm
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"io"
 
 	"repro/internal/colstore"
 	"repro/internal/device"
 	"repro/internal/engine"
+	"repro/internal/fused"
 )
 
 // EvalMode fixes how filters and computes treat incoming selection vectors
@@ -174,6 +177,14 @@ type builder struct {
 
 	pruned map[*Plan]TableSource   // scan leaf → store it should read
 	views  []*colstore.PrunedTable // pruned views created for this query
+
+	// Tiered execution state for this query (zero values = tiering off).
+	tierFP       string          // canonical plan fingerprint
+	tierN        int64           // this query's 1-based execution count
+	tierEnt      *tierEntry      // engine-wide hotness entry
+	fuseCtrs     *fused.Counters // non-nil → plan is at least warm
+	fusedWrapped bool            // a fused loop was mounted somewhere
+	noFuse       map[*Plan]bool  // stages of segments that declined fusion
 }
 
 // segment walks from p down through streaming stages — filters, computes and
@@ -224,6 +235,9 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 		if op, ok, err := p.buildExchange(b); ok || err != nil {
 			return op, err
 		}
+		if op, ok, err := p.buildFusedSerial(b); ok || err != nil {
+			return op, err
+		}
 		child, err := p.child.build(b)
 		if err != nil {
 			return nil, err
@@ -239,7 +253,7 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 	case planAggregate:
 		if b.workers > 1 && b.exchanges == 0 {
 			if stages, scan, ok := p.child.segment(); ok {
-				mk, err := b.pipeMaker(stages)
+				mk, _, err := b.pipeMaker(stages, scan)
 				if err != nil {
 					return nil, err
 				}
@@ -317,18 +331,24 @@ func (p *Plan) stageOn(s *Session, child engine.Operator) engine.Operator {
 // pipeMaker returns a function instantiating a worker-private copy of the
 // given top-down stage list over a scan leaf. Shared join tables are created
 // once, up front, so every worker probes the same build.
-func (b *builder) pipeMaker(stages []*Plan) (func(int, engine.Operator) (engine.Operator, error), error) {
+//
+// When the plan is hot under tiered execution and the segment compiles (or is
+// already cached), the returned maker mounts the fused loop instead of the
+// interpreted stage chain — with the interpreted maker retained as the deopt
+// fallback — and fusedOK reports so. Otherwise the maker is the plain
+// interpreted chain and fusedOK is false.
+func (b *builder) pipeMaker(stages []*Plan, scan *Plan) (mk func(int, engine.Operator) (engine.Operator, error), fusedOK bool, err error) {
 	shared := make([]*engine.SharedJoinTable, len(stages))
 	for i, st := range stages {
 		if st.kind == planJoin {
 			s, err := b.sharedJoin(st)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			shared[i] = s
 		}
 	}
-	return func(_ int, leaf engine.Operator) (engine.Operator, error) {
+	interp := func(_ int, leaf engine.Operator) (engine.Operator, error) {
 		op := leaf
 		for i := len(stages) - 1; i >= 0; i-- {
 			st := stages[i]
@@ -343,7 +363,134 @@ func (b *builder) pipeMaker(stages []*Plan) (func(int, engine.Operator) (engine.
 			op = st.stageOn(b.s, op)
 		}
 		return op, nil
-	}, nil
+	}
+	prog, tables := b.fusePlan(stages, scan, shared)
+	if prog == nil {
+		return interp, false, nil
+	}
+	b.fusedWrapped = true
+	ctrs := b.fuseCtrs
+	return func(_ int, leaf engine.Operator) (engine.Operator, error) {
+		return fused.NewExec(prog, leaf, tables, ctrs, func(l engine.Operator) (engine.Operator, error) {
+			return interp(0, l)
+		}), nil
+	}, true, nil
+}
+
+// fusePlan compiles — or fetches from the engine's code cache — the fused
+// program for a streaming segment. It returns nil when the plan is not warm
+// yet, when the segment declines fusion (a negative outcome, cached so hot
+// unfusable plans pay the pattern-match once), or when the plan is warm but
+// not yet hot (warm plans compile and prime the cache but keep running
+// interpreted). The returned table list is the query's shared join tables in
+// program order.
+func (b *builder) fusePlan(stages []*Plan, scan *Plan, shared []*engine.SharedJoinTable) (*fused.Program, []*engine.SharedJoinTable) {
+	if b.fuseCtrs == nil {
+		return nil, nil
+	}
+	scanI, ok := scanInfos(b.storeFor(scan), scan.columns)
+	if !ok {
+		return nil, nil
+	}
+	var fstages []fused.Stage
+	var tables []*engine.SharedJoinTable
+	for i := len(stages) - 1; i >= 0; i-- {
+		st := stages[i]
+		switch st.kind {
+		case planFilter:
+			fstages = append(fstages, fused.Stage{Kind: fused.StageFilter, Lambda: st.lambda, Col: st.col})
+		case planCompute:
+			fstages = append(fstages, fused.Stage{
+				Kind: fused.StageCompute, Lambda: st.lambda,
+				Out: st.out, OutKind: st.outKind, Cols: st.cols,
+			})
+		case planJoin:
+			fs := fused.Stage{
+				Kind: fused.StageProbe, ProbeKey: st.probeKey,
+				Payload: st.payload, Table: len(tables),
+			}
+			for _, ci := range shared[i].Schema() {
+				fs.BuildNames = append(fs.BuildNames, ci.Name)
+				fs.BuildKinds = append(fs.BuildKinds, ci.Kind)
+			}
+			tables = append(tables, shared[i])
+			fstages = append(fstages, fs)
+		}
+	}
+	eng := b.s.eng
+	key := b.tierFP + "\x00" + fused.Signature(scanI, fstages)
+	prog, present := eng.fcache.Lookup(key)
+	if present {
+		if prog != nil {
+			eng.fusedCacheHits.Add(1)
+		}
+	} else {
+		var compiled bool
+		if prog, compiled = fused.Compile(scanI, fstages); compiled {
+			eng.fusedCompiles.Add(1)
+		} else {
+			prog = nil
+		}
+		eng.fcache.Store(key, prog)
+	}
+	if prog == nil || b.tierN < b.s.opt.tierHot {
+		return nil, nil
+	}
+	return prog, tables
+}
+
+// buildFusedSerial mounts a fused loop over the serial streaming segment
+// rooted at p when the plan is hot and the segment compiles. ok=false falls
+// through to the ordinary serial operator chain; declined segments mark all
+// their stages so the recursion does not retry fusion on sub-segments.
+func (p *Plan) buildFusedSerial(b *builder) (engine.Operator, bool, error) {
+	if b.fuseCtrs == nil || b.noFuse[p] {
+		return nil, false, nil
+	}
+	stages, scan, ok := p.segment()
+	if !ok || len(stages) == 0 {
+		return nil, false, nil
+	}
+	mk, fusedOK, err := b.pipeMaker(stages, scan)
+	if err != nil {
+		return nil, false, err
+	}
+	if !fusedOK {
+		if b.noFuse == nil {
+			b.noFuse = map[*Plan]bool{}
+		}
+		for _, st := range stages {
+			b.noFuse[st] = true
+		}
+		return nil, false, nil
+	}
+	leaf, err := scan.build(b)
+	if err != nil {
+		return nil, false, err
+	}
+	op, err := mk(0, leaf)
+	if err != nil {
+		return nil, false, err
+	}
+	return op, true, nil
+}
+
+// scanInfos resolves a scan's output slot layout (names and kinds) from the
+// table schema — the fused compiler's view of the leaf.
+func scanInfos(store TableSource, cols []string) ([]engine.ColInfo, bool) {
+	sch := store.Schema()
+	if len(cols) == 0 {
+		cols = sch.Names
+	}
+	out := make([]engine.ColInfo, 0, len(cols))
+	for _, c := range cols {
+		i := sch.ColumnIndex(c)
+		if i < 0 {
+			return nil, false
+		}
+		out = append(out, engine.ColInfo{Name: c, Kind: sch.Kinds[i]})
+	}
+	return out, true
 }
 
 // sharedJoin returns the query's shared build-side table for a join node,
@@ -358,7 +505,7 @@ func (b *builder) sharedJoin(p *Plan) (*engine.SharedJoinTable, error) {
 	var s *engine.SharedJoinTable
 	if b.workers > 1 {
 		if stages, scan, ok := p.buildSide.segment(); ok {
-			mk, err := b.pipeMaker(stages)
+			mk, _, err := b.pipeMaker(stages, scan)
 			if err != nil {
 				return nil, err
 			}
@@ -415,7 +562,7 @@ func (p *Plan) buildExchange(b *builder) (engine.Operator, bool, error) {
 		return nil, false, nil
 	}
 	b.exchanges++ // claim before nested sharedJoin builds count theirs
-	mk, err := b.pipeMaker(stages)
+	mk, _, err := b.pipeMaker(stages, scan)
 	if err != nil {
 		return nil, false, err
 	}
@@ -510,4 +657,71 @@ func kernelSpec(store TableSource, scan *Plan, stages []*Plan) engine.KernelSpec
 	spec.OpsPerElem = ops
 	spec.OutRowBytes = spec.RowBytes
 	return spec
+}
+
+// fingerprint canonically serializes the plan tree — structure, lambdas,
+// evaluation modes, column names, aggregate, join and top-k specs, plus each
+// scanned table's schema and row count — and hashes it into a compact hex
+// key. Table identity is the schema and size rather than the pointer, so an
+// in-RAM copy and a colstore-backed copy of the same data share one hotness
+// entry. Distinct keys may collide in principle (it is a 64-bit hash), but
+// the fused code cache appends the full specialization signature, so a
+// collision can never execute a loop compiled for a different plan shape.
+func (p *Plan) fingerprint() string {
+	h := fnv.New64a()
+	p.writeFP(h)
+	return fmt.Sprintf("p%016x", h.Sum64())
+}
+
+// writeFP streams the canonical serialization of the plan subtree.
+func (p *Plan) writeFP(w io.Writer) {
+	switch p.kind {
+	case planScan:
+		sch := p.table.Schema()
+		fmt.Fprintf(w, "scan/%d:", p.table.Rows())
+		cols := p.columns
+		if len(cols) == 0 {
+			cols = sch.Names
+		}
+		for _, c := range cols {
+			k := Kind(0)
+			if i := sch.ColumnIndex(c); i >= 0 {
+				k = sch.Kinds[i]
+			}
+			fmt.Fprintf(w, "%q=%d,", c, k)
+		}
+	case planFilter:
+		p.child.writeFP(w)
+		fmt.Fprintf(w, ";F%d%q@%q", p.mode, p.lambda, p.col)
+	case planCompute:
+		p.child.writeFP(w)
+		fmt.Fprintf(w, ";C%d%q->%q=%d/", p.mode, p.lambda, p.out, p.outKind)
+		for _, c := range p.cols {
+			fmt.Fprintf(w, "%q,", c)
+		}
+	case planAggregate:
+		p.child.writeFP(w)
+		io.WriteString(w, ";A")
+		for _, k := range p.keys {
+			fmt.Fprintf(w, "%q,", k)
+		}
+		io.WriteString(w, "/")
+		for _, a := range p.aggs {
+			fmt.Fprintf(w, "%d%q>%q,", a.Func, a.Col, a.As)
+		}
+	case planJoin:
+		p.child.writeFP(w)
+		io.WriteString(w, ";J{")
+		p.buildSide.writeFP(w)
+		fmt.Fprintf(w, "}%q=%q/", p.probeKey, p.buildKey)
+		for _, c := range p.payload {
+			fmt.Fprintf(w, "%q,", c)
+		}
+	case planTopK:
+		p.child.writeFP(w)
+		fmt.Fprintf(w, ";T%d/", p.k)
+		for _, o := range p.by {
+			fmt.Fprintf(w, "%q:%v,", o.Col, o.Desc)
+		}
+	}
 }

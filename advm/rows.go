@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/colstore"
 	"repro/internal/engine"
+	"repro/internal/fused"
 	"repro/internal/vector"
 )
 
@@ -33,6 +34,11 @@ type Rows struct {
 	sess   *Session
 	rec    *engine.PlacementRecorder // non-nil when device placement is on
 	views  []*colstore.PrunedTable   // pruned stored-table views of this query
+
+	tier     string          // tier this query executed at ("" = tiering off)
+	fuse     *fused.Counters // fused telemetry (non-nil when at least warm)
+	fusedRun bool            // fused loops were mounted for this query
+	entry    *tierEntry      // engine-wide hotness entry of the plan
 
 	chunk *vector.Chunk
 	cols  []*vector.Vector // chunk columns resolved in schema order
@@ -248,6 +254,25 @@ func (r *Rows) ScanStats() (segmentsScanned, segmentsSkipped int64) {
 	return segmentsScanned, segmentsSkipped
 }
 
+// Tier reports the tier this query executed at under tiered execution —
+// "cold", "warm" (segment compiled, still interpreted) or "hot" (fused loops
+// mounted where the plan allows). It returns "" when tiered execution is off.
+func (r *Rows) Tier() string { return r.tier }
+
+// Fused reports whether fused loops were mounted for this query (hot tier
+// with a fusable segment). The result bytes are identical either way.
+func (r *Rows) Fused() bool { return r.fusedRun }
+
+// Deopts reports how many fused loops of this query hit a guard failure and
+// reverted to the interpreter mid-stream. Live while the stream is being
+// consumed, final once drained or closed; always zero below the hot tier.
+func (r *Rows) Deopts() int64 {
+	if r.fuse == nil {
+		return 0
+	}
+	return r.fuse.Deopts.Load()
+}
+
 // Close releases the pipeline's resources: it cancels the query's private
 // context — so in-flight parallel workers abort at their next chunk boundary
 // instead of draining their current morsels — then tears the pipeline down,
@@ -278,5 +303,21 @@ func (r *Rows) close() {
 		sc, sk := r.ScanStats()
 		r.sess.segmentsScanned.Add(sc)
 		r.sess.segmentsSkipped.Add(sk)
+	}
+	if r.fuse != nil && r.sess != nil {
+		if d := r.fuse.Deopts.Load(); d > 0 {
+			r.sess.fusedDeopts.Add(d)
+			r.sess.eng.fusedDeopts.Add(d)
+			if r.entry != nil {
+				r.entry.deopts.Add(d)
+			}
+		}
+		if r.fusedRun {
+			r.sess.fusedQueries.Add(1)
+			r.sess.eng.fusedQueries.Add(1)
+			if r.entry != nil {
+				r.entry.fusedRuns.Add(1)
+			}
+		}
 	}
 }

@@ -75,6 +75,10 @@ type Stats struct {
 	// segments this session's completed queries read versus skipped via
 	// zone-map pruning (see WithScanPruning and Rows.ScanStats).
 	SegmentsScanned, SegmentsSkipped int64
+	// FusedQueries counts this session's completed queries that executed
+	// fused loops under tiered execution; FusedDeopts counts their guard
+	// failures (reverts to the interpreter). See WithTieredExecution.
+	FusedQueries, FusedDeopts int64
 }
 
 // Stats snapshots the session's counters, state machine log,
@@ -87,6 +91,8 @@ func (s *Session) Stats() Stats {
 		Kernels:         KernelCount(),
 		SegmentsScanned: s.segmentsScanned.Load(),
 		SegmentsSkipped: s.segmentsSkipped.Load(),
+		FusedQueries:    s.fusedQueries.Load(),
+		FusedDeopts:     s.fusedDeopts.Load(),
 	}
 	s.mu.Lock()
 	st.Placements = append([]Placement(nil), s.placements...)

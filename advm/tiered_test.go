@@ -1,0 +1,236 @@
+package advm_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/advm"
+	"repro/internal/tpch"
+)
+
+// TestTieredQueryTiersUp: repeated executions of one plan must climb the
+// cold → warm → hot ladder, observable through Rows.Tier and the engine's
+// tier counters, and the hot executions must mount fused loops.
+func TestTieredQueryTiersUp(t *testing.T) {
+	eng := hotEngine(t, advm.WithTierThresholds(2, 3))
+	defer eng.Close()
+	sess, err := eng.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tpch.GenLineitem(0.01, 42)
+	plan := q6Plan(st)
+
+	wantTiers := []string{"cold", "warm", "hot", "hot"}
+	for i, want := range wantTiers {
+		rows, err := sess.Query(context.Background(), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rows.Tier(); got != want {
+			t.Fatalf("execution %d ran at tier %q, want %q", i+1, got, want)
+		}
+		if wantFused := want == "hot"; rows.Fused() != wantFused {
+			t.Fatalf("execution %d (tier %s): Fused() = %v, want %v", i+1, want, rows.Fused(), wantFused)
+		}
+		if _, err := rows.Count(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	es := eng.Stats()
+	if es.TierUps != 2 {
+		t.Fatalf("TierUps = %d, want 2 (cold→warm and warm→hot)", es.TierUps)
+	}
+	if es.FusedCompiles != 1 {
+		t.Fatalf("FusedCompiles = %d, want 1 (one segment, compiled once at warm)", es.FusedCompiles)
+	}
+	if es.FusedCacheHits < 2 {
+		t.Fatalf("FusedCacheHits = %d, want ≥ 2 (hot executions reuse the cached program)", es.FusedCacheHits)
+	}
+	if es.FusedQueries != 2 {
+		t.Fatalf("FusedQueries = %d, want 2", es.FusedQueries)
+	}
+	if len(es.Tiers) != 1 {
+		t.Fatalf("Tiers = %+v, want exactly one fingerprint", es.Tiers)
+	}
+	ti := es.Tiers[0]
+	if ti.Tier != "hot" || ti.Execs != 4 || ti.FusedRuns != 2 || ti.Deopts != 0 {
+		t.Fatalf("tier info = %+v, want hot/4 execs/2 fused runs/0 deopts", ti)
+	}
+
+	ss := sess.Stats()
+	if ss.FusedQueries != 2 || ss.FusedDeopts != 0 {
+		t.Fatalf("session fused stats = %d queries / %d deopts, want 2/0", ss.FusedQueries, ss.FusedDeopts)
+	}
+}
+
+// TestTieredOffNeverFuses: WithTieredExecution(false) must keep every
+// execution untiered — Rows.Tier empty, no fused telemetry.
+func TestTieredOffNeverFuses(t *testing.T) {
+	eng := hotEngine(t, advm.WithTieredExecution(false))
+	defer eng.Close()
+	sess, err := eng.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tpch.GenLineitem(0.01, 42)
+	for i := 0; i < 10; i++ {
+		rows, err := sess.Query(context.Background(), q6Plan(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows.Tier() != "" || rows.Fused() {
+			t.Fatalf("tiering off, got tier %q fused=%v", rows.Tier(), rows.Fused())
+		}
+		if _, err := rows.Count(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if es := eng.Stats(); es.TierUps != 0 || es.FusedQueries != 0 || len(es.Tiers) != 0 {
+		t.Fatalf("tiering off leaked engine tier state: %+v", es)
+	}
+}
+
+// TestForcedHotByteIdentical: with thresholds forced to 1, the very first
+// execution runs fused — and its result must match interpreted execution
+// value-for-value on Q1, Q6 and a join plan, serial and parallel.
+func TestForcedHotByteIdentical(t *testing.T) {
+	st := tpch.GenLineitem(0.01, 7)
+	ord := tpch.GenOrders(0.01, 7)
+	joinPlan := func() *advm.Plan {
+		build := advm.Scan(ord, "o_orderkey", "o_orderdate").
+			Filter(`(\d -> d < 2400)`, "o_orderdate")
+		return advm.Scan(st, "l_orderkey", "l_extendedprice", "l_shipdate").
+			Filter(`(\d -> d > 300)`, "l_shipdate").
+			Join(build, "l_orderkey", "o_orderkey", "o_orderdate")
+	}
+	plans := map[string]func() *advm.Plan{
+		"q1":   func() *advm.Plan { return q1Plan(st) },
+		"q6":   func() *advm.Plan { return q6Plan(st) },
+		"join": joinPlan,
+	}
+
+	ref, err := advm.NewSession(advm.WithTieredExecution(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	for _, par := range []int{1, 4} {
+		hot, err := advm.NewSession(advm.WithTierThresholds(1, 1), advm.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, mk := range plans {
+			want := collectRows(t, ref, mk())
+			rows, err := hot.Query(context.Background(), mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rows.Tier() != "hot" {
+				t.Fatalf("%s par=%d: tier %q, want hot", name, par, rows.Tier())
+			}
+			rows.Close()
+			got := collectRows(t, hot, mk())
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%s par=%d: fused result differs from interpreted", name, par)
+			}
+		}
+		hot.Close()
+	}
+}
+
+// deoptTable builds a table whose selectivity shifts mid-stream: a long
+// near-empty region (the guard warms up on ~0 pass rate) followed by a dense
+// region where almost every row passes — past any learned bound, so a fused
+// filter loop must deopt back to the interpreter.
+func deoptTable() *advm.Table {
+	const low, high = 40960, 8192
+	st := advm.NewTable(advm.NewSchema("v", advm.I64, "w", advm.I64))
+	for i := 0; i < low; i++ {
+		st.AppendRow(advm.I64Value(1_000_000+int64(i)), advm.I64Value(int64(i)))
+	}
+	for i := 0; i < high; i++ {
+		st.AppendRow(advm.I64Value(int64(i%90)), advm.I64Value(int64(i)))
+	}
+	return st
+}
+
+func deoptPlan(st *advm.Table) *advm.Plan {
+	return advm.Scan(st, "v", "w").
+		Filter(`(\v -> v < 100)`, "v").
+		Compute("y", `(\v w -> v + w * 3)`, advm.I64, "v", "w")
+}
+
+// TestFusedDeoptRegression: data whose selectivity shifts mid-stream must
+// trip the fused loop's guard, revert to the interpreter, and still produce
+// byte-identical results at every parallelism.
+func TestFusedDeoptRegression(t *testing.T) {
+	st := deoptTable()
+
+	ref, err := advm.NewSession(advm.WithTieredExecution(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := collectRows(t, ref, deoptPlan(st))
+	if len(want) == 0 {
+		t.Fatal("deopt table produced no matching rows")
+	}
+
+	for par := 1; par <= 8; par++ {
+		sess, err := advm.NewSession(advm.WithTierThresholds(1, 1), advm.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := sess.Query(context.Background(), deoptPlan(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Fused() {
+			t.Fatalf("par=%d: query did not mount fused loops", par)
+		}
+		got := collectAllRows(t, rows)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("par=%d: deopted result differs from interpreted", par)
+		}
+		if par == 1 && rows.Deopts() < 1 {
+			// Serial execution streams the regions in order, so the shift
+			// deterministically trips the guard.
+			t.Fatalf("par=1: Deopts = %d, want ≥ 1", rows.Deopts())
+		}
+		st := sess.Stats()
+		if par == 1 && st.FusedDeopts < 1 {
+			t.Fatalf("par=1: session FusedDeopts = %d, want ≥ 1", st.FusedDeopts)
+		}
+		if es := sess.Engine().Stats(); par == 1 && es.FusedDeopts < 1 {
+			t.Fatalf("par=1: engine FusedDeopts = %d, want ≥ 1", es.FusedDeopts)
+		}
+		sess.Close()
+	}
+}
+
+// collectAllRows drains an already-open cursor into scanned values.
+func collectAllRows(t *testing.T, rows *advm.Rows) [][]advm.Value {
+	t.Helper()
+	defer rows.Close()
+	var out [][]advm.Value
+	n := len(rows.Columns())
+	for rows.Next() {
+		row := make([]advm.Value, n)
+		dests := make([]any, n)
+		for i := range row {
+			dests[i] = &row[i]
+		}
+		if err := rows.Scan(dests...); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, row)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

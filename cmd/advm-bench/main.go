@@ -50,9 +50,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15,E16,E17,E18) or all")
+	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15,E16,E17,E18,E19) or all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for E1/E15")
-	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3/device/server/colstore.json perf records into (runs E15–E18 only)")
+	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3/device/server/colstore/fused.json perf records into (runs E15–E19 only)")
 	data := flag.String("data", os.Getenv("TPCH_DATA_DIR"),
 		"directory of pre-generated TPC-H tables (tpch-gen -binary); generated on the fly when empty or missing")
 	flag.Parse()
@@ -62,6 +62,7 @@ func main() {
 		expE16(*sf, *data, *benchjson)
 		expE17(*sf, *data, *benchjson)
 		expE18(*data, *benchjson)
+		expE19(*data, *benchjson)
 		return
 	}
 
@@ -109,6 +110,10 @@ func main() {
 	}
 	if all || *exp == "E18" {
 		expE18(*data, "")
+		ran = true
+	}
+	if all || *exp == "E19" {
+		expE19(*data, "")
 		ran = true
 	}
 	if !ran {
@@ -935,6 +940,129 @@ func sessSkipped(sess *advm.Session) int64 {
 
 func fatalE18(err error) {
 	fmt.Fprintln(os.Stderr, "advm-bench: E18:", err)
+	os.Exit(1)
+}
+
+// fusedRecord is the BENCH_fused.json perf record: serial Q1 and Q6 run by
+// the vectorized interpreter (tiered execution off) vs the same plans with
+// tiering forced hot, so every execution runs its scan→filter→compute
+// segment as one specialized fused loop. Q6FusedNsOp doubles as the flavor
+// marker benchdiff dispatches on. All legs are serial, so benchdiff gates
+// them all (calibration-normalized).
+type fusedRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	ScaleFactor  float64 `json:"scale_factor"`
+	Rows         int     `json:"rows"`
+	Iters        int     `json:"iters"`
+	Q1InterpNsOp int64   `json:"q1_interp_ns_op"`
+	Q1FusedNsOp  int64   `json:"q1_fused_ns_op"`
+	Q6InterpNsOp int64   `json:"q6_interp_ns_op"`
+	Q6FusedNsOp  int64   `json:"q6_fused_ns_op"`
+	FusedQueries int64   `json:"fused_queries"`
+	FusedDeopts  int64   `json:"fused_deopts"`
+	Identical    bool    `json:"identical"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	CalibNs      int64   `json:"calib_ns"`
+}
+
+// expE19 measures tiered execution: serial Q1 and Q6 interpreted (tiering
+// off) vs forced hot (WithTierThresholds(1, 1) — fused loops from the first
+// execution). The scale factor is pinned at 0.1 so the record tracks a fixed
+// workload regardless of -sf. Results must be byte-identical across the
+// tiers, and the hot legs must actually mount fused loops. With outDir != ""
+// it writes BENCH_fused.json there for the CI gate.
+func expE19(dataDir, outDir string) {
+	const sf = 0.1
+	// Best-of-7, matching E15/E18: the records feed the ±25% CI gate.
+	const iters = 7
+	header(fmt.Sprintf("E19 — tiered execution: fused loops vs interpreter (SF %.3f, serial)", sf))
+	st, err := tpch.LoadOrGen(dataDir, "lineitem", sf, 42)
+	if err != nil {
+		fatalE19(err)
+	}
+	calibNs := calibrate()
+
+	eng, err := advm.NewEngine(
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		fatalE19(err)
+	}
+	defer eng.Close()
+	interp, err := eng.Session(advm.WithParallelism(1), advm.WithTieredExecution(false))
+	if err != nil {
+		fatalE19(err)
+	}
+	hot, err := eng.Session(advm.WithParallelism(1), advm.WithTierThresholds(1, 1))
+	if err != nil {
+		fatalE19(err)
+	}
+	fmt.Printf("%d lineitem rows, GOMAXPROCS=%d, calib=%v\n\n",
+		st.Rows(), runtime.GOMAXPROCS(0), time.Duration(calibNs).Round(time.Microsecond))
+
+	measure := func(sess *advm.Session, plan func() *advm.Plan) (time.Duration, [][]advm.Value) {
+		var best time.Duration
+		var rows [][]advm.Value
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			r, err := benchCollect(sess, plan())
+			d := time.Since(start)
+			if err != nil {
+				fatalE19(err)
+			}
+			if best == 0 || d < best {
+				best, rows = d, r
+			}
+		}
+		return best, rows
+	}
+
+	q6p := tpch.DefaultQ6Params()
+	rec := fusedRecord{
+		Benchmark: "fused", ScaleFactor: sf, Rows: st.Rows(), Iters: iters,
+		Identical:  true,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CalibNs:    calibNs,
+	}
+	for _, q := range []struct {
+		name              string
+		plan              func() *advm.Plan
+		interpNs, fusedNs *int64
+	}{
+		{"q1", func() *advm.Plan { return tpch.PlanQ1(st) }, &rec.Q1InterpNsOp, &rec.Q1FusedNsOp},
+		{"q6", func() *advm.Plan { return tpch.PlanQ6(st, q6p) }, &rec.Q6InterpNsOp, &rec.Q6FusedNsOp},
+	} {
+		before := hot.Stats().FusedQueries
+		interpD, want := measure(interp, q.plan)
+		fusedD, got := measure(hot, q.plan)
+		if !sameResults(want, got) {
+			fatalE19(fmt.Errorf("%s: fused result differs from interpreted", q.name))
+		}
+		if hot.Stats().FusedQueries == before {
+			fatalE19(fmt.Errorf("%s: forced-hot leg mounted no fused loops", q.name))
+		}
+		*q.interpNs, *q.fusedNs = interpD.Nanoseconds(), fusedD.Nanoseconds()
+		fmt.Printf("  %-4s interpreted %12v   fused %12v   ratio %.2f   identical=%v\n",
+			q.name, interpD.Round(time.Microsecond), fusedD.Round(time.Microsecond),
+			float64(fusedD)/float64(interpD), rec.Identical)
+	}
+	hst := hot.Stats()
+	rec.FusedQueries, rec.FusedDeopts = hst.FusedQueries, hst.FusedDeopts
+	fmt.Printf("       hot legs: %d fused queries, %d deopts\n", rec.FusedQueries, rec.FusedDeopts)
+	if outDir != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatalE19(err)
+		}
+		path := filepath.Join(outDir, "BENCH_fused.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatalE19(err)
+		}
+		fmt.Printf("       wrote %s\n", path)
+	}
+}
+
+func fatalE19(err error) {
+	fmt.Fprintln(os.Stderr, "advm-bench: E19:", err)
 	os.Exit(1)
 }
 

@@ -21,11 +21,13 @@ import (
 	"strings"
 )
 
-// benchRecord mirrors the BENCH_*.json schema written by advm-bench. Three
+// benchRecord mirrors the BENCH_*.json schema written by advm-bench. Four
 // record flavors share it: query records carry serial vs parallel ns/op,
 // device records (BENCH_device.json) carry CPU-only vs adaptive-placement
-// ns/op for the same parallel query, and colstore records
-// (BENCH_colstore.json) carry serial in-RAM vs disk-backed legs of Q1/Q6.
+// ns/op for the same parallel query, colstore records (BENCH_colstore.json)
+// carry serial in-RAM vs disk-backed legs of Q1/Q6, and fused records
+// (BENCH_fused.json) carry serial interpreted vs forced-hot fused legs of
+// Q1/Q6 under tiered execution.
 type benchRecord struct {
 	Benchmark     string  `json:"benchmark"`
 	ScaleFactor   float64 `json:"scale_factor"`
@@ -52,6 +54,13 @@ type benchRecord struct {
 	Q6RAMNsOp  int64 `json:"q6_ram_ns_op,omitempty"`
 	Q6ColdNsOp int64 `json:"q6_cold_ns_op,omitempty"`
 	Q6SkipNsOp int64 `json:"q6_skip_ns_op,omitempty"`
+
+	// Fused-record fields (non-zero Q6FusedNsOp marks the flavor). All legs
+	// are serial measurements, so every one is gated.
+	Q1InterpNsOp int64 `json:"q1_interp_ns_op,omitempty"`
+	Q1FusedNsOp  int64 `json:"q1_fused_ns_op,omitempty"`
+	Q6InterpNsOp int64 `json:"q6_interp_ns_op,omitempty"`
+	Q6FusedNsOp  int64 `json:"q6_fused_ns_op,omitempty"`
 }
 
 // diffRow is one benchmark × metric comparison. Ratio is
@@ -194,6 +203,15 @@ func diffRecords(base, cur benchRecord, maxRegress float64) []diffRow {
 			mk("q6-ram", base.Q6RAMNsOp, cur.Q6RAMNsOp),
 			mk("q6-colstore", base.Q6ColdNsOp, cur.Q6ColdNsOp),
 			mk("q6-skipping", base.Q6SkipNsOp, cur.Q6SkipNsOp),
+		}
+	} else if base.Q6FusedNsOp > 0 || cur.Q6FusedNsOp > 0 {
+		// Fused record: serial Q1/Q6 through the vectorized interpreter vs
+		// forced-hot tiered execution running specialized fused loops.
+		rows = []diffRow{
+			mk("q1-interpreted", base.Q1InterpNsOp, cur.Q1InterpNsOp),
+			mk("q1-fused", base.Q1FusedNsOp, cur.Q1FusedNsOp),
+			mk("q6-interpreted", base.Q6InterpNsOp, cur.Q6InterpNsOp),
+			mk("q6-fused", base.Q6FusedNsOp, cur.Q6FusedNsOp),
 		}
 	} else {
 		rows = []diffRow{

@@ -14,18 +14,25 @@ type execConfig struct {
 	workers   int
 	morselLen int
 	device    advm.DeviceKind
+	forceHot  bool
 }
 
 // configs covers the strategy space: every parallel structure (exchange,
 // parallel agg, shared join build), several worker counts and morsel
-// granularities, and every device policy.
+// granularities, every device policy, and tiered execution forced hot —
+// WithTierThresholds(1, 1) mounts specialized fused loops on the very first
+// execution wherever the plan allows, so the fused paths (including their
+// guard-triggered deopts) face the same byte-identity bar as everything else.
 var configs = []execConfig{
-	{"par1-auto", 1, 0, advm.DeviceAuto},
-	{"par2-cpu", 2, 1024, advm.DeviceCPU},
-	{"par3-gpu", 3, 2048, advm.DeviceGPU},
-	{"par4-auto", 4, 1024, advm.DeviceAuto},
-	{"par8-auto", 8, 4096, advm.DeviceAuto},
-	{"par8-gpu-fine", 8, 512, advm.DeviceGPU},
+	{"par1-auto", 1, 0, advm.DeviceAuto, false},
+	{"par2-cpu", 2, 1024, advm.DeviceCPU, false},
+	{"par3-gpu", 3, 2048, advm.DeviceGPU, false},
+	{"par4-auto", 4, 1024, advm.DeviceAuto, false},
+	{"par8-auto", 8, 4096, advm.DeviceAuto, false},
+	{"par8-gpu-fine", 8, 512, advm.DeviceGPU, false},
+	{"par1-hot", 1, 0, advm.DeviceAuto, true},
+	{"par4-hot", 4, 1024, advm.DeviceAuto, true},
+	{"par8-gpu-hot", 8, 512, advm.DeviceGPU, true},
 }
 
 // TestDifferential: for a spread of seeds, every execution strategy must
@@ -40,6 +47,7 @@ func TestDifferential(t *testing.T) {
 		seeds = 6
 	}
 	ctx := context.Background()
+	var fusedQueries int64
 	for seed := int64(1); seed <= seeds; seed++ {
 		var c *Case
 		var err error
@@ -51,8 +59,12 @@ func TestDifferential(t *testing.T) {
 		} else {
 			c = NewCase(seed)
 		}
+		// The reference disables tiering so it is the pure serial interpreter —
+		// the forced-hot configs are measured against it, not against
+		// themselves.
 		ref, err := advm.NewSession(
 			advm.WithParallelism(1),
+			advm.WithTieredExecution(false),
 			advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
 		if err != nil {
 			t.Fatal(err)
@@ -81,6 +93,9 @@ func TestDifferential(t *testing.T) {
 			if cfg.morselLen > 0 {
 				opts = append(opts, advm.WithMorselLen(cfg.morselLen))
 			}
+			if cfg.forceHot {
+				opts = append(opts, advm.WithTierThresholds(1, 1))
+			}
 			sess, err := advm.NewSession(opts...)
 			if err != nil {
 				t.Fatal(err)
@@ -102,11 +117,20 @@ func TestDifferential(t *testing.T) {
 					}
 				}
 			}
+			if cfg.forceHot {
+				fusedQueries += sess.Stats().FusedQueries
+			}
 			sess.Close()
 		}
 		if err := c.Close(); err != nil {
 			t.Fatalf("%s: close: %v", c.Desc, err)
 		}
+	}
+	// Not every random plan has a fusable segment, but across the seed spread
+	// the forced-hot configs must have actually exercised fused loops — a zero
+	// here means the tiered leg silently tested nothing.
+	if fusedQueries == 0 {
+		t.Fatal("forced-hot configs never mounted a fused loop across all seeds")
 	}
 }
 

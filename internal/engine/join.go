@@ -129,6 +129,11 @@ func (t *JoinTable) part(k int64) int {
 // lookup returns the build rows matching k, in build order.
 func (t *JoinTable) lookup(k int64) []int32 { return t.parts[t.part(k)][k] }
 
+// Lookup returns the build rows matching k, in build order — the probe
+// primitive fused pipeline loops use directly (partitioning stays
+// invisible: match lists are identical at any partition count).
+func (t *JoinTable) Lookup(k int64) []int32 { return t.lookup(k) }
+
 // mayContain consults the partition's Bloom filter (false = definitely
 // absent).
 func (t *JoinTable) mayContain(k int64) bool { return t.blooms[t.part(k)].MayContain(k) }

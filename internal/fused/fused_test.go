@@ -1,0 +1,423 @@
+package fused_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fused"
+	"repro/internal/vector"
+)
+
+func ci(name string, k vector.Kind) engine.ColInfo { return engine.ColInfo{Name: name, Kind: k} }
+
+// testTable builds a two-column (k i64, x f64) table of n rows.
+func testTable(n int) *vector.DSMStore {
+	st := vector.NewDSMStore(vector.NewSchema("k", vector.I64, "x", vector.F64))
+	for i := 0; i < n; i++ {
+		st.AppendRow(vector.I64Value(int64(i%97)), vector.F64Value(float64(i)/8))
+	}
+	return st
+}
+
+// buildTable hashes a small (bk i64, pay i64) build side.
+func buildTable(n, dup int) *engine.SharedJoinTable {
+	rows := vector.NewDSMStore(vector.NewSchema("bk", vector.I64, "pay", vector.I64))
+	for i := 0; i < n; i++ {
+		for d := 0; d < dup; d++ {
+			rows.AppendRow(vector.I64Value(int64(i)), vector.I64Value(int64(i*100+d)))
+		}
+	}
+	return engine.NewSharedJoinTable(
+		[]engine.ColInfo{ci("bk", vector.I64), ci("pay", vector.I64)},
+		func(context.Context) (*engine.JoinTable, error) {
+			return engine.NewJoinTable(rows, "bk")
+		})
+}
+
+// TestCompileShapes exercises every monomorphized snippet and the main
+// decline paths: compilation is best-effort, so an unrecognized shape must
+// return ok=false rather than a wrong program.
+func TestCompileShapes(t *testing.T) {
+	scan := []engine.ColInfo{ci("k", vector.I64), ci("x", vector.F64)}
+	cases := []struct {
+		name   string
+		stages []fused.Stage
+		ok     bool
+		ops    int
+	}{
+		{"filter-lt-i64", []fused.Stage{{Kind: fused.StageFilter, Lambda: `(\k -> k < 10)`, Col: "k"}}, true, 1},
+		{"filter-conj", []fused.Stage{{Kind: fused.StageFilter, Lambda: `(\k -> (k >= 3) && (k <= 90))`, Col: "k"}}, true, 2},
+		{"filter-mod-eq", []fused.Stage{{Kind: fused.StageFilter, Lambda: `(\k -> (k % 7) == 2)`, Col: "k"}}, true, 1},
+		{"filter-f64", []fused.Stage{{Kind: fused.StageFilter, Lambda: `(\x -> x != 2.5)`, Col: "x"}}, true, 1},
+		{"filter-neg-const", []fused.Stage{{Kind: fused.StageFilter, Lambda: `(\x -> x > -1.5)`, Col: "x"}}, true, 1},
+		{"compute-affine-i64", []fused.Stage{{Kind: fused.StageCompute, Lambda: `(\k -> k * 3 + 7)`, Out: "y", OutKind: vector.I64, Cols: []string{"k"}}}, true, 1},
+		{"compute-scale", []fused.Stage{{Kind: fused.StageCompute, Lambda: `(\k -> k * 5)`, Out: "y", OutKind: vector.I64, Cols: []string{"k"}}}, true, 1},
+		{"compute-square", []fused.Stage{{Kind: fused.StageCompute, Lambda: `(\x -> x * x)`, Out: "y", OutKind: vector.F64, Cols: []string{"x"}}}, true, 1},
+		{"compute-modmul", []fused.Stage{{Kind: fused.StageCompute, Lambda: `(\k -> (k % 10) * 3)`, Out: "y", OutKind: vector.I64, Cols: []string{"k"}}}, true, 1},
+		{"compute-muladd", []fused.Stage{{Kind: fused.StageCompute, Lambda: `(\k j -> k + j * 2)`, Out: "y", OutKind: vector.I64, Cols: []string{"k", "k"}}}, true, 1},
+		{"compute-mul-f64", []fused.Stage{{Kind: fused.StageCompute, Lambda: `(\x y -> x * y)`, Out: "z", OutKind: vector.F64, Cols: []string{"x", "x"}}}, true, 1},
+		{"compute-mul-const-sub", []fused.Stage{{Kind: fused.StageCompute, Lambda: `(\x y -> x * (1.0 - y))`, Out: "z", OutKind: vector.F64, Cols: []string{"x", "x"}}}, true, 1},
+		{"compute-mul-const-add", []fused.Stage{{Kind: fused.StageCompute, Lambda: `(\x y -> x * (1.0 + y))`, Out: "z", OutKind: vector.F64, Cols: []string{"x", "x"}}}, true, 1},
+		{"probe", []fused.Stage{{Kind: fused.StageProbe, ProbeKey: "k", Payload: []string{"pay"},
+			BuildNames: []string{"bk", "pay"}, BuildKinds: []vector.Kind{vector.I64, vector.I64}}}, true, 1},
+		// Declines.
+		{"kind-mismatch-const", []fused.Stage{{Kind: fused.StageFilter, Lambda: `(\k -> k < 10.5)`, Col: "k"}}, false, 0},
+		{"unknown-col", []fused.Stage{{Kind: fused.StageFilter, Lambda: `(\v -> v < 10)`, Col: "nope"}}, false, 0},
+		{"unparsable", []fused.Stage{{Kind: fused.StageFilter, Lambda: `(\k -> `, Col: "k"}}, false, 0},
+		{"const-on-left", []fused.Stage{{Kind: fused.StageFilter, Lambda: `(\k -> 10 > k)`, Col: "k"}}, false, 0},
+		{"mod-zero", []fused.Stage{{Kind: fused.StageFilter, Lambda: `(\k -> (k % 0) == 1)`, Col: "k"}}, false, 0},
+		{"compute-shadow", []fused.Stage{{Kind: fused.StageCompute, Lambda: `(\k -> k * 2)`, Out: "x", OutKind: vector.I64, Cols: []string{"k"}}}, false, 0},
+		{"compute-unknown-shape", []fused.Stage{{Kind: fused.StageCompute, Lambda: `(\k -> k + k)`, Out: "y", OutKind: vector.I64, Cols: []string{"k"}}}, false, 0},
+		{"compute-wrong-out-kind", []fused.Stage{{Kind: fused.StageCompute, Lambda: `(\k -> k * 3 + 7)`, Out: "y", OutKind: vector.F64, Cols: []string{"k"}}}, false, 0},
+		{"probe-f64-key", []fused.Stage{{Kind: fused.StageProbe, ProbeKey: "x", Payload: nil,
+			BuildNames: []string{"bk"}, BuildKinds: []vector.Kind{vector.I64}}}, false, 0},
+		{"probe-missing-payload", []fused.Stage{{Kind: fused.StageProbe, ProbeKey: "k", Payload: []string{"zz"},
+			BuildNames: []string{"bk"}, BuildKinds: []vector.Kind{vector.I64}}}, false, 0},
+		{"probe-shadow-payload", []fused.Stage{{Kind: fused.StageProbe, ProbeKey: "k", Payload: []string{"x"},
+			BuildNames: []string{"bk", "x"}, BuildKinds: []vector.Kind{vector.I64, vector.F64}}}, false, 0},
+		{"probe-dup-payload", []fused.Stage{{Kind: fused.StageProbe, ProbeKey: "k", Payload: []string{"pay", "pay"},
+			BuildNames: []string{"bk", "pay"}, BuildKinds: []vector.Kind{vector.I64, vector.I64}}}, false, 0},
+	}
+	for _, tc := range cases {
+		prog, ok := fused.Compile(scan, tc.stages)
+		if ok != tc.ok {
+			t.Errorf("%s: ok = %v, want %v", tc.name, ok, tc.ok)
+			continue
+		}
+		if ok && prog.Ops() != tc.ops {
+			t.Errorf("%s: %d ops, want %d", tc.name, prog.Ops(), tc.ops)
+		}
+	}
+	if _, ok := fused.Compile([]engine.ColInfo{ci("k", vector.I64), ci("k", vector.I64)}, nil); ok {
+		t.Error("duplicate scan columns must decline fusion")
+	}
+}
+
+// runFused mounts prog over a fresh scan of st and collects its output.
+func runFused(t *testing.T, prog *fused.Program, st *vector.DSMStore, cols []string,
+	tables []*engine.SharedJoinTable, ctrs *fused.Counters,
+	fallback func(engine.Operator) (engine.Operator, error)) (*vector.DSMStore, *fused.Exec) {
+	t.Helper()
+	leaf, err := engine.NewScan(st, cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf.SetChunkLen(256)
+	ex := fused.NewExec(prog, leaf, tables, ctrs, fallback)
+	out, err := engine.Collect(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, ex
+}
+
+// runInterp stacks interpreted operators over a fresh scan and collects.
+func runInterp(t *testing.T, st *vector.DSMStore, cols []string, chain func(engine.Operator) engine.Operator) *vector.DSMStore {
+	t.Helper()
+	leaf, err := engine.NewScan(st, cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf.SetChunkLen(256)
+	out, err := engine.Collect(context.Background(), chain(leaf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func storesEqual(t *testing.T, got, want *vector.DSMStore) {
+	t.Helper()
+	if got.Rows() != want.Rows() {
+		t.Fatalf("rows = %d, want %d", got.Rows(), want.Rows())
+	}
+	gs, ws := got.Schema(), want.Schema()
+	if fmt.Sprint(gs) != fmt.Sprint(ws) {
+		t.Fatalf("schema = %v, want %v", gs, ws)
+	}
+	for c := range gs.Names {
+		for r := 0; r < got.Rows(); r++ {
+			g, w := got.Col(c).Get(r), want.Col(c).Get(r)
+			if g != w {
+				t.Fatalf("col %s row %d: %v, want %v", gs.Names[c], r, g, w)
+			}
+		}
+	}
+}
+
+// TestExecMatchesInterpreter: a filter→compute segment must produce exactly
+// the interpreted chain's rows and values.
+func TestExecMatchesInterpreter(t *testing.T) {
+	st := testTable(5000)
+	scan := []engine.ColInfo{ci("k", vector.I64), ci("x", vector.F64)}
+	stages := []fused.Stage{
+		{Kind: fused.StageFilter, Lambda: `(\k -> (k >= 10) && (k < 80))`, Col: "k"},
+		{Kind: fused.StageCompute, Lambda: `(\k -> k * 3 + 7)`, Out: "y", OutKind: vector.I64, Cols: []string{"k"}},
+		{Kind: fused.StageCompute, Lambda: `(\x y -> x * y)`, Out: "z", OutKind: vector.F64, Cols: []string{"x", "x"}},
+	}
+	prog, ok := fused.Compile(scan, stages)
+	if !ok {
+		t.Fatal("segment must compile")
+	}
+	if prog.Tables() != 0 {
+		t.Fatalf("Tables = %d, want 0", prog.Tables())
+	}
+	ctrs := &fused.Counters{}
+	got, ex := runFused(t, prog, st, []string{"k", "x"}, nil, ctrs, nil)
+	if ex.Deopted() {
+		t.Fatal("steady-selectivity segment must not deopt")
+	}
+	want := runInterp(t, st, []string{"k", "x"}, func(op engine.Operator) engine.Operator {
+		f := engine.NewFilter(op, `(\k -> (k >= 10) && (k < 80))`, "k")
+		c1 := engine.NewCompute(f, "y", `(\k -> k * 3 + 7)`, vector.I64, "k")
+		return engine.NewCompute(c1, "z", `(\x y -> x * y)`, vector.F64, "x", "x")
+	})
+	storesEqual(t, got, want)
+	if ctrs.Chunks.Load() == 0 || ctrs.Rows.Load() != int64(got.Rows()) {
+		t.Fatalf("counters = %d chunks / %d rows, want >0 / %d", ctrs.Chunks.Load(), ctrs.Rows.Load(), got.Rows())
+	}
+}
+
+// TestExecProbeMatchesInterpreter: a probe stage must emit the exact
+// probe-major, build-order pairs of the interpreted TableProbe.
+func TestExecProbeMatchesInterpreter(t *testing.T) {
+	st := testTable(4000)
+	sh := buildTable(50, 2) // keys 0..49, two matches each; keys 50..96 miss
+	scan := []engine.ColInfo{ci("k", vector.I64), ci("x", vector.F64)}
+	stages := []fused.Stage{
+		{Kind: fused.StageFilter, Lambda: `(\k -> k < 70)`, Col: "k"},
+		{Kind: fused.StageProbe, ProbeKey: "k", Payload: []string{"pay"},
+			BuildNames: []string{"bk", "pay"}, BuildKinds: []vector.Kind{vector.I64, vector.I64}, Table: 0},
+		{Kind: fused.StageCompute, Lambda: `(\p q -> p + q * 1)`, Out: "s", OutKind: vector.I64, Cols: []string{"k", "pay"}},
+	}
+	prog, ok := fused.Compile(scan, stages)
+	if !ok {
+		t.Fatal("probe segment must compile")
+	}
+	if prog.Tables() != 1 {
+		t.Fatalf("Tables = %d, want 1", prog.Tables())
+	}
+	got, _ := runFused(t, prog, st, []string{"k", "x"}, []*engine.SharedJoinTable{sh}, nil, nil)
+	want := runInterp(t, st, []string{"k", "x"}, func(op engine.Operator) engine.Operator {
+		f := engine.NewFilter(op, `(\k -> k < 70)`, "k")
+		tp, err := engine.NewTableProbe(f, sh, "k", "pay")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return engine.NewCompute(tp, "s", `(\p q -> p + q * 1)`, vector.I64, "k", "pay")
+	})
+	storesEqual(t, got, want)
+}
+
+// shiftTable: a long near-empty region then a dense one, so a fused filter
+// warms its guard on ~0 selectivity and the dense region trips it.
+func shiftTable() *vector.DSMStore {
+	st := vector.NewDSMStore(vector.NewSchema("k", vector.I64, "x", vector.F64))
+	for i := 0; i < 2048; i++ {
+		st.AppendRow(vector.I64Value(int64(1000+i)), vector.F64Value(float64(i)))
+	}
+	for i := 0; i < 1024; i++ {
+		st.AppendRow(vector.I64Value(int64(i%10)), vector.F64Value(float64(i)))
+	}
+	return st
+}
+
+// TestExecDeoptOnSelectivityShift: the guard must trip on the dense region,
+// the Exec must revert to the fallback chain, and the output must equal the
+// interpreted chain's — including the chunk that tripped.
+func TestExecDeoptOnSelectivityShift(t *testing.T) {
+	st := shiftTable()
+	scan := []engine.ColInfo{ci("k", vector.I64), ci("x", vector.F64)}
+	stages := []fused.Stage{{Kind: fused.StageFilter, Lambda: `(\k -> k < 100)`, Col: "k"}}
+	prog, ok := fused.Compile(scan, stages)
+	if !ok {
+		t.Fatal("must compile")
+	}
+	ctrs := &fused.Counters{}
+	fb := func(leaf engine.Operator) (engine.Operator, error) {
+		return engine.NewFilter(leaf, `(\k -> k < 100)`, "k"), nil
+	}
+	got, ex := runFused(t, prog, st, []string{"k", "x"}, nil, ctrs, fb)
+	if !ex.Deopted() {
+		t.Fatal("selectivity shift must deopt")
+	}
+	if ctrs.Deopts.Load() != 1 {
+		t.Fatalf("Deopts = %d, want 1", ctrs.Deopts.Load())
+	}
+	want := runInterp(t, st, []string{"k", "x"}, func(op engine.Operator) engine.Operator {
+		return engine.NewFilter(op, `(\k -> k < 100)`, "k")
+	})
+	storesEqual(t, got, want)
+}
+
+// TestExecProbeCapacityGuard: a build side with pathological fan-out must
+// trip the capacity guard and fall back, with identical output.
+func TestExecProbeCapacityGuard(t *testing.T) {
+	st := testTable(2000)
+	sh := buildTable(5, 2000) // 5 keys × 2000 duplicate build rows
+	scan := []engine.ColInfo{ci("k", vector.I64), ci("x", vector.F64)}
+	stages := []fused.Stage{{Kind: fused.StageProbe, ProbeKey: "k", Payload: []string{"pay"},
+		BuildNames: []string{"bk", "pay"}, BuildKinds: []vector.Kind{vector.I64, vector.I64}, Table: 0}}
+	prog, ok := fused.Compile(scan, stages)
+	if !ok {
+		t.Fatal("must compile")
+	}
+	fb := func(leaf engine.Operator) (engine.Operator, error) {
+		return engine.NewTableProbe(leaf, sh, "k", "pay")
+	}
+	got, ex := runFused(t, prog, st, []string{"k", "x"}, []*engine.SharedJoinTable{sh}, nil, fb)
+	if !ex.Deopted() {
+		t.Fatal("pathological fan-out must deopt")
+	}
+	want := runInterp(t, st, []string{"k", "x"}, func(op engine.Operator) engine.Operator {
+		tp, err := engine.NewTableProbe(op, sh, "k", "pay")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tp
+	})
+	storesEqual(t, got, want)
+}
+
+// TestExecAllSnippets runs one segment through every remaining monomorphized
+// snippet — the F64 comparison family, equality filters, mod filters and the
+// rest of the compute ops — against the interpreted chain.
+func TestExecAllSnippets(t *testing.T) {
+	st := testTable(3000)
+	scan := []engine.ColInfo{ci("k", vector.I64), ci("x", vector.F64)}
+	type spec struct {
+		name   string
+		stages []fused.Stage
+		chain  func(engine.Operator) engine.Operator
+	}
+	filt := func(lambda, col string) spec {
+		return spec{
+			name:   lambda,
+			stages: []fused.Stage{{Kind: fused.StageFilter, Lambda: lambda, Col: col}},
+			chain: func(op engine.Operator) engine.Operator {
+				return engine.NewFilter(op, lambda, col)
+			},
+		}
+	}
+	comp := func(lambda string, kind vector.Kind, cols ...string) spec {
+		return spec{
+			name:   lambda,
+			stages: []fused.Stage{{Kind: fused.StageCompute, Lambda: lambda, Out: "o", OutKind: kind, Cols: cols}},
+			chain: func(op engine.Operator) engine.Operator {
+				return engine.NewCompute(op, "o", lambda, kind, cols...)
+			},
+		}
+	}
+	specs := []spec{
+		filt(`(\k -> k <= 40)`, "k"),
+		filt(`(\k -> k > 40)`, "k"),
+		filt(`(\k -> k == 40)`, "k"),
+		filt(`(\k -> k != 40)`, "k"),
+		filt(`(\k -> (k % 5) == 2)`, "k"),
+		filt(`(\x -> x < 100.5)`, "x"),
+		filt(`(\x -> x <= 100.5)`, "x"),
+		filt(`(\x -> x > 100.5)`, "x"),
+		filt(`(\x -> x >= 100.5)`, "x"),
+		filt(`(\x -> x == 4.5)`, "x"),
+		filt(`(\x -> x != 4.5)`, "x"),
+		comp(`(\k -> k * k)`, vector.I64, "k"),
+		comp(`(\k -> (k % 9) * 4)`, vector.I64, "k"),
+		comp(`(\x -> x * 2.5 + 1.25)`, vector.F64, "x"),
+		comp(`(\x -> x * 0.5)`, vector.F64, "x"),
+		comp(`(\k j -> k + j * 3)`, vector.I64, "k", "k"),
+		comp(`(\x y -> x * (2.0 - y))`, vector.F64, "x", "x"),
+		comp(`(\x y -> x * (2.0 + y))`, vector.F64, "x", "x"),
+	}
+	for _, sp := range specs {
+		prog, ok := fused.Compile(scan, sp.stages)
+		if !ok {
+			t.Fatalf("%s: must compile", sp.name)
+		}
+		got, _ := runFused(t, prog, st, []string{"k", "x"}, nil, nil, nil)
+		want := runInterp(t, st, []string{"k", "x"}, sp.chain)
+		storesEqual(t, got, want)
+	}
+}
+
+// TestCache: positive and negative entries, hit/miss counters, LRU eviction.
+func TestCache(t *testing.T) {
+	c := fused.NewCache(2)
+	prog, ok := fused.Compile([]engine.ColInfo{ci("k", vector.I64)},
+		[]fused.Stage{{Kind: fused.StageFilter, Lambda: `(\k -> k < 5)`, Col: "k"}})
+	if !ok {
+		t.Fatal("must compile")
+	}
+	if _, present := c.Lookup("a"); present {
+		t.Fatal("empty cache must miss")
+	}
+	c.Store("a", prog)
+	c.Store("b", nil) // negative entry
+	if p, present := c.Lookup("b"); !present || p != nil {
+		t.Fatal("negative entry must be present with nil program")
+	}
+	if p, present := c.Lookup("a"); !present || p != prog {
+		t.Fatal("positive entry lost")
+	}
+	c.Store("c", prog) // evicts the LRU entry ("a" was touched after "b" → "b" goes)
+	if _, present := c.Lookup("b"); present {
+		t.Fatal("LRU entry must be evicted")
+	}
+	if _, present := c.Lookup("a"); !present {
+		t.Fatal("recently used entry must survive eviction")
+	}
+	entries, hits, misses := c.Stats()
+	if entries != 2 || hits == 0 || misses == 0 {
+		t.Fatalf("stats = %d entries, %d hits, %d misses", entries, hits, misses)
+	}
+	// Store over an existing key updates in place.
+	c.Store("a", nil)
+	if p, present := c.Lookup("a"); !present || p != nil {
+		t.Fatal("in-place update lost")
+	}
+	if fused.NewCache(0) == nil {
+		t.Fatal("default-size cache")
+	}
+}
+
+// TestSignatureInjective: every structural difference must change the
+// signature, and identical inputs must reproduce it byte-for-byte.
+func TestSignatureInjective(t *testing.T) {
+	scan := []engine.ColInfo{ci("k", vector.I64), ci("x", vector.F64)}
+	base := []fused.Stage{
+		{Kind: fused.StageFilter, Lambda: `(\k -> k < 10)`, Col: "k"},
+		{Kind: fused.StageCompute, Lambda: `(\k -> k * 2)`, Out: "y", OutKind: vector.I64, Cols: []string{"k"}},
+		{Kind: fused.StageProbe, ProbeKey: "k", Payload: []string{"pay"},
+			BuildNames: []string{"bk", "pay"}, BuildKinds: []vector.Kind{vector.I64, vector.I64}, Table: 0},
+	}
+	sigs := map[string]string{}
+	add := func(name string, scan []engine.ColInfo, stages []fused.Stage) {
+		s := fused.Signature(scan, stages)
+		if prev, dup := sigs[s]; dup {
+			t.Fatalf("signature collision between %s and %s: %q", prev, name, s)
+		}
+		sigs[s] = name
+	}
+	clone := func(mut func([]fused.Stage)) []fused.Stage {
+		cp := append([]fused.Stage(nil), base...)
+		mut(cp)
+		return cp
+	}
+	add("base", scan, base)
+	add("scan-kind", []engine.ColInfo{ci("k", vector.I64), ci("x", vector.I64)}, base)
+	add("scan-name", []engine.ColInfo{ci("k2", vector.I64), ci("x", vector.F64)}, base)
+	add("lambda", scan, clone(func(s []fused.Stage) { s[0].Lambda = `(\k -> k < 11)` }))
+	add("filter-col", scan, clone(func(s []fused.Stage) { s[0].Col = "x" }))
+	add("out-kind", scan, clone(func(s []fused.Stage) { s[1].OutKind = vector.F64 }))
+	add("out-name", scan, clone(func(s []fused.Stage) { s[1].Out = "z" }))
+	add("probe-payload", scan, clone(func(s []fused.Stage) { s[2].Payload = nil }))
+	add("probe-table", scan, clone(func(s []fused.Stage) { s[2].Table = 1 }))
+	add("probe-build-kind", scan, clone(func(s []fused.Stage) {
+		s[2].BuildKinds = []vector.Kind{vector.I64, vector.F64}
+	}))
+	add("fewer-stages", scan, base[:2])
+	if got, want := fused.Signature(scan, base), fused.Signature(scan, base); got != want {
+		t.Fatal("signature must be deterministic")
+	}
+}

@@ -1,0 +1,66 @@
+package fused_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fused"
+	"repro/internal/vector"
+)
+
+// sigSeen maps signature → canonical dump of the inputs that produced it, so
+// the fuzzer detects any two structurally different segments colliding on
+// one signature (which would let the code cache serve a wrongly specialized
+// loop). sync.Map because go test may fuzz in parallel workers.
+var sigSeen sync.Map
+
+// FuzzSignature drives Signature with adversarial column names, lambdas and
+// kinds. Properties: (1) determinism — the same inputs always produce the
+// same signature; (2) injectivity — two different inputs never share one;
+// (3) cache round-trip — a program stored under a signature is returned for
+// exactly that signature.
+func FuzzSignature(f *testing.F) {
+	f.Add("k", "x", `(\k -> k < 10)`, "y", uint8(5), uint8(6), 1)
+	f.Add(`a"b`, "a\x00b", `(\v -> (v % 3) == 1)`, "out", uint8(6), uint8(5), 0)
+	f.Add("c,", ";F", `(\k -> k * 2)`, `"`, uint8(1), uint8(7), 2)
+	f.Fuzz(func(t *testing.T, col1, col2, lambda, out string, k1, k2 uint8, kind int) {
+		scan := []engine.ColInfo{
+			{Name: col1, Kind: vector.Kind(k1 % 8)},
+			{Name: col2, Kind: vector.Kind(k2 % 8)},
+		}
+		var st fused.Stage
+		switch kind % 3 {
+		case 0:
+			st = fused.Stage{Kind: fused.StageFilter, Lambda: lambda, Col: col1}
+		case 1:
+			st = fused.Stage{Kind: fused.StageCompute, Lambda: lambda, Out: out,
+				OutKind: vector.Kind(k2 % 8), Cols: []string{col1, col2}}
+		default:
+			st = fused.Stage{Kind: fused.StageProbe, ProbeKey: col1, Payload: []string{out},
+				BuildNames: []string{col2, out}, BuildKinds: []vector.Kind{vector.Kind(k1 % 8), vector.Kind(k2 % 8)},
+				Table: int(k1) % 4}
+		}
+		stages := []fused.Stage{st}
+		canon := fmt.Sprintf("%#v|%#v", scan, stages)
+
+		sig := fused.Signature(scan, stages)
+		if again := fused.Signature(scan, stages); again != sig {
+			t.Fatalf("signature not deterministic: %q vs %q", sig, again)
+		}
+		if prev, loaded := sigSeen.LoadOrStore(sig, canon); loaded && prev.(string) != canon {
+			t.Fatalf("signature collision:\n%s\n%s\n→ %q", prev, canon, sig)
+		}
+
+		// Identical plans must hit the code cache under their signature.
+		c := fused.NewCache(8)
+		if prog, ok := fused.Compile(scan, stages); ok {
+			c.Store(sig, prog)
+			got, present := c.Lookup(sig)
+			if !present || got != prog {
+				t.Fatalf("cache round-trip failed for %q", sig)
+			}
+		}
+	})
+}

@@ -31,6 +31,10 @@ type statsResponse struct {
 	// when registered tables are disk-backed.
 	SegmentsScanned int64 `json:"segments_scanned"`
 	SegmentsSkipped int64 `json:"segments_skipped"`
+	// Tiers is the per-plan-fingerprint hotness state of tiered execution:
+	// watching a repeated query climb cold → warm → hot here is watching the
+	// engine decide to fuse its hot segment into a specialized loop.
+	Tiers []tierInfoJSON `json:"tiers,omitempty"`
 }
 
 type engineStatsJSON struct {
@@ -42,6 +46,21 @@ type engineStatsJSON struct {
 	PoolCapacity     int   `json:"pool_capacity"`
 	PoolInUse        int   `json:"pool_in_use"`
 	ParallelQueries  int64 `json:"parallel_queries"`
+	TierUps          int64 `json:"tier_ups"`
+	FusedCompiles    int64 `json:"fused_compiles"`
+	FusedCacheHits   int64 `json:"fused_cache_hits"`
+	FusedPrograms    int   `json:"fused_programs"`
+	FusedQueries     int64 `json:"fused_queries"`
+	FusedDeopts      int64 `json:"fused_deopts"`
+}
+
+// tierInfoJSON is one plan fingerprint's tiered-execution state.
+type tierInfoJSON struct {
+	Fingerprint string `json:"fingerprint"`
+	Tier        string `json:"tier"`
+	Execs       int64  `json:"execs"`
+	FusedRuns   int64  `json:"fused_runs"`
+	Deopts      int64  `json:"deopts"`
 }
 
 type serverCounters struct {
@@ -59,6 +78,10 @@ type preparedInfo struct {
 	InjectedTraces int    `json:"injected_traces"`
 	RevertedTraces int    `json:"reverted_traces"`
 	State          string `json:"state"`
+	// Tier classifies the program's cumulative run count against the
+	// engine's tiered-execution thresholds: repeated /v1/exec of one
+	// fingerprint walks it cold → warm → hot.
+	Tier string `json:"tier"`
 }
 
 func engineJSON(st advm.EngineStats) engineStatsJSON {
@@ -71,14 +94,21 @@ func engineJSON(st advm.EngineStats) engineStatsJSON {
 		PoolCapacity:     st.PoolCapacity,
 		PoolInUse:        st.PoolInUse,
 		ParallelQueries:  st.ParallelQueries,
+		TierUps:          st.TierUps,
+		FusedCompiles:    st.FusedCompiles,
+		FusedCacheHits:   st.FusedCacheHits,
+		FusedPrograms:    st.FusedPrograms,
+		FusedQueries:     st.FusedQueries,
+		FusedDeopts:      st.FusedDeopts,
 	}
 }
 
 // snapshotStats assembles the full stats response.
 func (s *Server) snapshotStats() statsResponse {
+	engStats := s.eng.Stats()
 	resp := statsResponse{
 		UptimeMS:  time.Since(s.start).Milliseconds(),
-		Engine:    engineJSON(s.eng.Stats()),
+		Engine:    engineJSON(engStats),
 		Admission: s.adm.snapshot(),
 		Server: serverCounters{
 			QueriesOK:    s.queriesOK.Load(),
@@ -88,6 +118,15 @@ func (s *Server) snapshotStats() statsResponse {
 			RowsStreamed: s.rowsStreamed.Load(),
 			Disconnects:  s.disconnects.Load(),
 		},
+	}
+	for _, ti := range engStats.Tiers {
+		resp.Tiers = append(resp.Tiers, tierInfoJSON{
+			Fingerprint: ti.Fingerprint,
+			Tier:        ti.Tier,
+			Execs:       ti.Execs,
+			FusedRuns:   ti.FusedRuns,
+			Deopts:      ti.Deopts,
+		})
 	}
 
 	s.mu.Lock()
@@ -109,6 +148,7 @@ func (s *Server) snapshotStats() statsResponse {
 			InjectedTraces: st.InjectedTraces,
 			RevertedTraces: st.RevertedTraces,
 			State:          st.State,
+			Tier:           p.Tier(),
 		})
 	}
 	sort.Slice(resp.Prepared, func(i, j int) bool {
@@ -161,6 +201,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("advm_prepare_cache_evictions_total", "LRU evictions from the prepared cache.", st.Engine.CacheEvictions)
 	counter("advm_sessions_total", "Sessions handed out by the engine.", st.Engine.Sessions)
 	counter("advm_parallel_queries_total", "Queries that executed with more than one worker.", st.Engine.ParallelQueries)
+
+	counter("advm_tier_ups_total", "Plan fingerprints crossing the warm or hot tier threshold.", st.Engine.TierUps)
+	counter("advm_fused_compiles_total", "Hot plan segments compiled into specialized fused loops.", st.Engine.FusedCompiles)
+	counter("advm_fused_cache_hits_total", "Fused-loop executions answered from the code cache.", st.Engine.FusedCacheHits)
+	gauge("advm_fused_programs", "Specialized programs resident in the fused code cache.", st.Engine.FusedPrograms)
+	counter("advm_fused_queries_total", "Queries that executed fused loops.", st.Engine.FusedQueries)
+	counter("advm_fused_deopts_total", "Fused-loop guard failures that reverted to the interpreter.", st.Engine.FusedDeopts)
 
 	gauge("advm_server_inflight", "Queries currently executing.", st.Admission.Running)
 	gauge("advm_server_queue_depth", "Requests currently queued for admission.", st.Admission.Queued)

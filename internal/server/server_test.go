@@ -558,3 +558,102 @@ func readLines(r io.Reader, n int) ([]string, error) {
 	}
 	return lines, sc.Err()
 }
+
+// TestTieredExecutionOverHTTP: repetition observed through the telemetry
+// endpoints drives tier-ups on both serving paths. A prepared program run
+// repeatedly via /v1/exec climbs cold → warm → hot in its /v1/stats entry,
+// and a repeated /v1/query plan climbs the engine's per-fingerprint tier
+// ladder until its hot executions mount fused loops — visible in the
+// engine's fused counters and /metrics.
+func TestTieredExecutionOverHTTP(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, 1<<14, false, advm.WithTierThresholds(2, 3))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Prepared-program path: each /v1/exec of one fingerprint bumps its run
+	// count, reclassifying its tier.
+	resp := postJSON(t, ts.URL+"/v1/prepare",
+		`{"src":"let xs = read 0 data\nwrite out 0 (map (\\x -> x * 3) xs)",
+		  "externals":{"data":"i64","out":"i64"}}`)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepare: %d %s", resp.StatusCode, body)
+	}
+	var pr prepareResponse
+	if err := json.Unmarshal([]byte(body), &pr); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"cold", "warm", "hot"} {
+		resp := postJSON(t, ts.URL+"/v1/exec", fmt.Sprintf(
+			`{"fingerprint":%q,"bindings":{"data":{"kind":"i64","values":[1,2]},"out":{"kind":"i64","cap":8}}}`,
+			pr.Fingerprint))
+		if body := readAll(t, resp); resp.StatusCode != http.StatusOK {
+			t.Fatalf("exec %d: %d %s", i+1, resp.StatusCode, body)
+		}
+		stats := getStats(t, ts.URL)
+		var tier string
+		for _, p := range stats.Prepared {
+			if p.Fingerprint == pr.Fingerprint {
+				tier = p.Tier
+			}
+		}
+		if tier != want {
+			t.Fatalf("after %d execs: prepared tier %q, want %q", i+1, tier, want)
+		}
+	}
+
+	// Plan path: the same pipeline re-submitted tiers up engine-wide, and the
+	// hot execution runs its scan→filter→compute segment as a fused loop.
+	query := `{"table":"t","pipeline":[
+		{"op":"filter","lambda":"(\\k -> k < 5000)","col":"k"},
+		{"op":"compute","out":"w","lambda":"(\\v -> v * 2 + 1)","kind":"i64","cols":["v"]},
+		{"op":"aggregate","aggs":[{"func":"sum","col":"w","as":"s"},{"func":"count","as":"n"}]}]}`
+	for i, want := range []string{"cold", "warm", "hot"} {
+		resp := postJSON(t, ts.URL+"/v1/query", query)
+		body := readAll(t, resp)
+		// k 0..4999, v = 3k, w = 6k+1: sum 74990000, count 5000 — identical
+		// at every tier.
+		if resp.StatusCode != http.StatusOK || !strings.Contains(body, "[74990000,5000]") {
+			t.Fatalf("query %d: %d %s", i+1, resp.StatusCode, body)
+		}
+		stats := getStats(t, ts.URL)
+		if len(stats.Tiers) != 1 {
+			t.Fatalf("after %d queries: tiers %+v, want one fingerprint", i+1, stats.Tiers)
+		}
+		if got := stats.Tiers[0].Tier; got != want {
+			t.Fatalf("after %d queries: plan tier %q, want %q", i+1, got, want)
+		}
+	}
+
+	stats := getStats(t, ts.URL)
+	if stats.Engine.TierUps != 2 {
+		t.Fatalf("tier_ups = %d, want 2 (cold→warm, warm→hot)", stats.Engine.TierUps)
+	}
+	if stats.Engine.FusedCompiles < 1 || stats.Engine.FusedPrograms < 1 {
+		t.Fatalf("fused compiles/programs = %d/%d, want ≥ 1",
+			stats.Engine.FusedCompiles, stats.Engine.FusedPrograms)
+	}
+	if stats.Engine.FusedQueries < 1 {
+		t.Fatalf("fused_queries = %d, want ≥ 1 (the hot execution)", stats.Engine.FusedQueries)
+	}
+	if ti := stats.Tiers[0]; ti.FusedRuns < 1 || ti.Execs != 3 {
+		t.Fatalf("tier info %+v, want 3 execs with ≥ 1 fused run", ti)
+	}
+
+	metrics, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := readAll(t, metrics)
+	for _, want := range []string{
+		"advm_tier_ups_total 2",
+		"advm_fused_compiles_total ",
+		"advm_fused_cache_hits_total ",
+		"advm_fused_queries_total ",
+		"advm_fused_deopts_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
