@@ -46,11 +46,13 @@
 //	err = rows.Err()
 //
 // With WithParallelism(n), whole plan trees execute across n workers over
-// dynamically dispatched morsels: scan→filter/compute chains fan out behind
+// work-stealing morsel dispatch: scan→filter/compute chains fan out behind
 // an order-preserving exchange, hash joins build partitioned shared tables
 // in parallel and probe them from every worker, and grouped aggregations
-// fold into worker-local tables merged deterministically. Query output is
-// byte-identical to serial execution at every worker count.
+// pre-aggregate per morsel and merge in morsel sequence order. Query output
+// is byte-identical to serial execution at every worker count and device
+// policy; only the morsel length (WithMorselLen), which pins how
+// floating-point accumulation is blocked, is part of result identity.
 //
 // Session.Stats and Engine.Stats expose the observability surface: the
 // Figure-1 state machine transition log, the per-instruction profile,
@@ -98,6 +100,7 @@ type Session struct {
 	queries         atomic.Int64
 	segmentsScanned atomic.Int64
 	segmentsSkipped atomic.Int64
+	morselSteals    atomic.Int64
 	fusedQueries    atomic.Int64
 	fusedDeopts     atomic.Int64
 	closed          atomic.Bool
@@ -366,7 +369,7 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 		return nil, tagged(ErrBind, err)
 	}
 	s.queries.Add(1)
-	r := &Rows{ctx: qctx, cancel: qcancel, op: op, schema: op.Schema(), sess: s, rec: b.rec, views: b.views}
+	r := &Rows{ctx: qctx, cancel: qcancel, op: op, schema: op.Schema(), sess: s, rec: b.rec, views: b.views, mops: b.morselOps}
 	if b.tierEnt != nil {
 		r.tier = tierName(b.tierN, s.opt.tierWarm, s.opt.tierHot)
 		r.fuse, r.fusedRun, r.entry = b.fuseCtrs, b.fusedWrapped, b.tierEnt

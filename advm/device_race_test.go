@@ -26,7 +26,9 @@ func TestEnginePlacerConcurrentSessions(t *testing.T) {
 	}
 	defer eng.Close()
 
-	ref, err := advm.NewSession(advm.WithParallelism(1))
+	// The reference shares the sessions' morsel length: result bytes are a
+	// function of (plan, data, morsel length), never of workers or devices.
+	ref, err := advm.NewSession(advm.WithParallelism(1), advm.WithMorselLen(8192))
 	if err != nil {
 		t.Fatal(err)
 	}

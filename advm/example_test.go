@@ -144,9 +144,13 @@ loop {
 	// shared runs: 1
 }
 
-// ExampleWithParallelism fans a query out across the engine's worker pool.
-// Results are merged back in table order, so the output — floating-point
-// aggregates included — is byte-identical to serial execution.
+// ExampleWithParallelism fans a query out across the engine's worker pool
+// under work-stealing morsel dispatch: the row space is split contiguously
+// across the workers and rebalanced on the fly when one drains early (see
+// Stats.MorselSteals). Chunks are handed back in batches and emitted in
+// table order, and aggregation folds per-morsel tables in morsel sequence
+// order, so at a fixed WithMorselLen the output — floating-point aggregates
+// included — is byte-identical at every worker count.
 func ExampleWithParallelism() {
 	table := advm.NewTable(advm.NewSchema("k", advm.I64, "v", advm.I64))
 	for i := int64(0); i < 100_000; i++ {

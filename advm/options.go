@@ -164,13 +164,19 @@ func WithPartitionBudget(maxInputs, maxNodes int) Option {
 // WithParallelism sets how many workers a query may fan out across
 // (default 1 = serial). Streaming plan segments — scans with their filters,
 // computes and hash-join probes — then execute morsel-parallel: the table's
-// row space is dispatched dynamically to n worker copies of the pipeline.
+// row space is split into morsels, divided contiguously across n worker
+// copies of the pipeline, and rebalanced by work stealing — a worker that
+// drains its own range takes morsels from the busiest remaining one, so
+// skewed per-morsel costs cannot strand the fan-out behind one straggler
+// (steal activity is observable via Stats.MorselSteals and Rows.Steals).
 // Pipeline breakers parallelize too: join build sides are materialized and
 // hashed over morsels into shared read-only tables, and grouped
-// aggregations fold into worker-local partitioned hash tables merged
-// deterministically. Results stay byte-identical to serial execution at
-// every worker count — floating-point aggregates included — because chunks
-// merge in table order and every group's values accumulate in table order.
+// aggregations pre-aggregate into per-morsel tables merged in morsel
+// sequence order. Results stay byte-identical to serial execution at every
+// worker count — floating-point aggregates included — because chunks merge
+// in table order and aggregation folds per-morsel results in a fixed order
+// that no scheduling decision can perturb; see WithMorselLen for the one
+// knob that does pin result bytes.
 //
 // On an Engine, the option both sets the default for its sessions and sizes
 // the shared worker pool (capacity = max(n, GOMAXPROCS)); on a session it
@@ -192,8 +198,17 @@ func WithParallelism(n int) Option {
 // morsel.DefaultMorselLen). It is also the unit of device placement under
 // WithDevicePolicy — each morsel is costed and placed as one kernel — so
 // smaller morsels give the placer more, finer decisions at higher dispatch
-// overhead. Morsel length never affects results: chunks merge in table
-// order at any granularity.
+// overhead.
+//
+// Morsel length is part of a query's result identity: grouped aggregations
+// pre-aggregate each morsel privately and merge the per-morsel tables in
+// morsel sequence order, so floating-point accumulation is blocked at
+// morsel boundaries. At a fixed morsel length results are byte-identical
+// across every worker count, device policy, execution tier and chunk
+// length; two different morsel lengths may differ in the low-order bits of
+// float aggregates (both are correct rounded sums, accumulated in a
+// different association). Integer and count results are identical at any
+// granularity.
 func WithMorselLen(n int) Option {
 	return func(o *options) error {
 		if n <= 0 {

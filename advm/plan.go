@@ -10,7 +10,16 @@ import (
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/fused"
+	"repro/internal/morsel"
 )
+
+// morselStatsSource is implemented by the morsel-dispatching operators
+// (engine.Exchange, engine.ParallelAgg); the builder collects them so the
+// cursor can fold scheduler counters — in particular steal counts — into the
+// session when the query completes.
+type morselStatsSource interface {
+	MorselStats() morsel.Stats
+}
 
 // EvalMode fixes how filters and computes treat incoming selection vectors
 // (§III-C selectivity specialization).
@@ -178,6 +187,8 @@ type builder struct {
 	pruned map[*Plan]TableSource   // scan leaf → store it should read
 	views  []*colstore.PrunedTable // pruned views created for this query
 
+	morselOps []morselStatsSource // dispatching operators built for this query
+
 	// Tiered execution state for this query (zero values = tiering off).
 	tierFP       string          // canonical plan fingerprint
 	tierN        int64           // this query's 1-based execution count
@@ -208,18 +219,20 @@ func (p *Plan) segment() (stages []*Plan, scan *Plan, ok bool) {
 
 // build instantiates the subtree rooted at p. With more than one granted
 // worker, the topmost streaming segment — a scan→filter/compute/probe chain
-// — fans out across morsel-driven workers: under an aggregation it becomes a
-// morsel-parallel aggregation (worker-local partitioned fold), otherwise a
-// morsel-parallel exchange merging chunks back in table order. Join build
-// sides are materialized once per query into shared read-only tables, hashed
-// in parallel when workers are granted; build phases run during Open, before
+// — fans out across work-stealing morsel workers: under an aggregation it
+// becomes a morsel-parallel aggregation, otherwise a morsel-parallel
+// exchange merging chunks back in table order. Join build sides are
+// materialized once per query into shared read-only tables, hashed in
+// parallel when workers are granted; build phases run during Open, before
 // the probe streams, so the fan-out never exceeds the pool grant.
 //
 // Results are byte-identical at every worker count, float aggregates
-// included: exchanges merge in table order, parallel aggregation folds every
-// group's rows in table order, and when a grouped aggregation folds f64 sums
-// the serial fallback disables pre-aggregation so both paths accumulate in
-// exactly the same order.
+// included: exchanges merge in table order, and an aggregation over a
+// streaming segment always runs as ParallelAgg — with a single worker when
+// none are granted — so every session folds the same per-morsel
+// pre-aggregation tables in the same morsel sequence order regardless of
+// parallelism. The accumulation blocking (and thus the low-order float
+// bits) is pinned by the morsel length alone; see WithMorselLen.
 func (p *Plan) build(b *builder) (engine.Operator, error) {
 	switch p.kind {
 	case planScan:
@@ -251,39 +264,50 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 		}
 		return p.stageOn(b.s, child), nil
 	case planAggregate:
-		if b.workers > 1 && b.exchanges == 0 {
-			if stages, scan, ok := p.child.segment(); ok {
-				mk, _, err := b.pipeMaker(stages, scan)
-				if err != nil {
-					return nil, err
-				}
-				pa, err := engine.NewParallelAgg(b.storeFor(scan), scan.columns, b.workers,
-					b.placedMaker(mk, scan, stages), p.keys, p.aggs)
-				if err != nil {
-					return nil, err
-				}
-				if b.s.opt.chunkLen > 0 {
-					pa.SetChunkLen(b.s.opt.chunkLen)
-				}
-				if b.s.opt.morselLen > 0 {
-					pa.SetMorselLen(b.s.opt.morselLen)
-				}
-				b.exchanges++
-				return pa, nil
+		if stages, scan, ok := p.child.segment(); ok {
+			// An aggregation over a streaming segment always runs as the
+			// morsel-parallel aggregation — with one worker when none are
+			// granted (or a fan-out already claimed the grant) — so every
+			// session folds identical per-morsel tables in identical sequence
+			// order: parallelism can never reach the result bytes, and f64
+			// pre-aggregation stays enabled instead of being forced off on
+			// the serial path.
+			workers := 1
+			if b.workers > 1 && b.exchanges == 0 {
+				workers = b.workers
 			}
+			mk, _, err := b.pipeMaker(stages, scan)
+			if err != nil {
+				return nil, err
+			}
+			if workers > 1 {
+				mk = b.placedMaker(mk, scan, stages)
+			}
+			pa, err := engine.NewParallelAgg(b.storeFor(scan), scan.columns, workers,
+				mk, p.keys, p.aggs)
+			if err != nil {
+				return nil, err
+			}
+			if b.s.opt.chunkLen > 0 {
+				pa.SetChunkLen(b.s.opt.chunkLen)
+			}
+			if b.s.opt.morselLen > 0 {
+				pa.SetMorselLen(b.s.opt.morselLen)
+			}
+			if workers > 1 {
+				b.exchanges++
+				b.morselOps = append(b.morselOps, pa)
+			}
+			return pa, nil
 		}
 		child, err := p.child.build(b)
 		if err != nil {
 			return nil, err
 		}
-		agg := engine.NewHashAgg(child, p.keys, p.aggs)
-		if floatOrderSensitive(child.Schema(), p.aggs) {
-			// f64 sums are order-sensitive: pre-aggregation builds partial-sum
-			// trees whose bytes differ from the parallel fold. Disabling it
-			// keeps WithParallelism(1) byte-identical to WithParallelism(n).
-			agg.SetPreAgg(engine.PreAggOff)
-		}
-		return agg, nil
+		// Non-segment children (an aggregation over an aggregation, over a
+		// TopK, …) aggregate serially; their input order is plan-determined,
+		// so adaptive pre-aggregation is deterministic here too.
+		return engine.NewHashAgg(child, p.keys, p.aggs), nil
 	case planTopK:
 		child, err := p.child.build(b)
 		if err != nil {
@@ -292,26 +316,6 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 		return engine.NewTopK(child, p.k, p.by...)
 	}
 	panic("advm: unknown plan node")
-}
-
-// floatOrderSensitive reports whether any aggregate folds f64 sums, whose
-// result bytes depend on accumulation order. An unresolved child schema is
-// treated as sensitive (the conservative choice).
-func floatOrderSensitive(child []engine.ColInfo, aggs []Agg) bool {
-	for _, a := range aggs {
-		if a.Func != AggSum && a.Func != AggAvg {
-			continue
-		}
-		if len(child) == 0 {
-			return true
-		}
-		for _, ci := range child {
-			if ci.Name == a.Col && ci.Kind == F64 {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // stageOn instantiates a filter/compute node on top of child with the
@@ -576,6 +580,7 @@ func (p *Plan) buildExchange(b *builder) (engine.Operator, bool, error) {
 	if b.s.opt.morselLen > 0 {
 		ex.SetMorselLen(b.s.opt.morselLen)
 	}
+	b.morselOps = append(b.morselOps, ex)
 	return ex, true, nil
 }
 

@@ -181,6 +181,86 @@ func TestJoinAllProbeRowsFiltered(t *testing.T) {
 	}
 }
 
+// TestWorkStealingUnderSkew: a plan whose per-morsel cost is wildly skewed —
+// every row that survives the filter (and therefore feeds the compute chain)
+// lives in the first eighth of the table, inside worker 0's initial range —
+// must (a) trigger the work-stealing scheduler, observable through
+// Rows.Steals and Stats.MorselSteals, and (b) still produce results
+// byte-identical to serial execution at the same morsel length: stealing
+// moves whole morsels between workers, and per-morsel aggregation tables are
+// merged in morsel sequence order regardless of who ran them.
+func TestWorkStealingUnderSkew(t *testing.T) {
+	const rows = 1 << 18
+	hot := make([]int64, rows)
+	vs := make([]float64, rows)
+	for i := range hot {
+		if i < rows/8 {
+			hot[i] = 1
+		}
+		vs[i] = float64(i%1000) * 0.125
+	}
+	table := advm.NewTable(advm.NewSchema("hot", advm.I64, "v", advm.F64))
+	c := &advm.Chunk{}
+	c.Add("hot", advm.FromI64(hot))
+	c.Add("v", advm.FromF64(vs))
+	table.AppendChunk(c)
+
+	// Stack several computes on top of the filter: with adaptive evaluation
+	// the selected rows are condensed first, so morsels outside the hot
+	// region cost almost nothing while hot morsels pay the full chain.
+	plan := advm.Scan(table, "hot", "v").
+		Filter(`(\h -> h == 1)`, "hot").
+		Compute("a", `(\v -> v * 1.0001 + 0.5)`, advm.F64, "v").
+		Compute("b", `(\a v -> a * v + a)`, advm.F64, "a", "v").
+		Compute("d", `(\b a -> b * 0.5 + a * a)`, advm.F64, "b", "a").
+		Aggregate(nil,
+			advm.Agg{Func: advm.AggSum, Col: "d", As: "sum_d"},
+			advm.Agg{Func: advm.AggCount, As: "n"})
+
+	serial, err := advm.NewSession(advm.WithParallelism(1), advm.WithMorselLen(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	want := collectRows(t, serial, plan)
+	if serial.Stats().MorselSteals != 0 {
+		t.Fatalf("serial session recorded %d steals", serial.Stats().MorselSteals)
+	}
+
+	sess, err := advm.NewSession(advm.WithParallelism(4), advm.WithMorselLen(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	rs, err := sess.Query(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]advm.Value
+	for rs.Next() {
+		row := make([]advm.Value, len(rs.Columns()))
+		dests := make([]any, len(row))
+		for i := range row {
+			dests[i] = &row[i]
+		}
+		if err := rs.Scan(dests...); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, row)
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rs.Close()
+	mustRowsEqualBitwise(t, got, want, "skewed aggregation")
+	if rs.Steals() == 0 {
+		t.Fatal("skewed load triggered no morsel steals")
+	}
+	if st := sess.Stats().MorselSteals; st != rs.Steals() {
+		t.Fatalf("Stats.MorselSteals = %d, Rows.Steals = %d", st, rs.Steals())
+	}
+}
+
 // TestPlanValidationErrors: wiring mistakes in the new nodes classify under
 // ErrBind at Query time.
 func TestPlanValidationErrors(t *testing.T) {

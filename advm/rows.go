@@ -34,6 +34,7 @@ type Rows struct {
 	sess   *Session
 	rec    *engine.PlacementRecorder // non-nil when device placement is on
 	views  []*colstore.PrunedTable   // pruned stored-table views of this query
+	mops   []morselStatsSource       // morsel-dispatching operators of this query
 
 	tier     string          // tier this query executed at ("" = tiering off)
 	fuse     *fused.Counters // fused telemetry (non-nil when at least warm)
@@ -254,6 +255,21 @@ func (r *Rows) ScanStats() (segmentsScanned, segmentsSkipped int64) {
 	return segmentsScanned, segmentsSkipped
 }
 
+// Steals reports how many morsels of this query were executed by a worker
+// other than the one that initially owned them — the work-stealing
+// scheduler's rebalancing activity. Valid once the stream is drained or
+// closed; zero for serial queries, balanced loads that never needed to
+// steal, or while the stream is still being consumed. Steal counts are a
+// scheduling observation only: result bytes are identical whether or not
+// any morsel migrated.
+func (r *Rows) Steals() int64 {
+	var n int64
+	for _, op := range r.mops {
+		n += op.MorselStats().Steals()
+	}
+	return n
+}
+
 // Tier reports the tier this query executed at under tiered execution —
 // "cold", "warm" (segment compiled, still interpreted) or "hot" (fused loops
 // mounted where the plan allows). It returns "" when tiered execution is off.
@@ -303,6 +319,13 @@ func (r *Rows) close() {
 		sc, sk := r.ScanStats()
 		r.sess.segmentsScanned.Add(sc)
 		r.sess.segmentsSkipped.Add(sk)
+	}
+	if len(r.mops) > 0 && r.sess != nil {
+		// Dispatch stats are stored by the operators when their run
+		// finishes; op.Close above has already joined the workers.
+		if st := r.Steals(); st > 0 {
+			r.sess.morselSteals.Add(st)
+		}
 	}
 	if r.fuse != nil && r.sess != nil {
 		if d := r.fuse.Deopts.Load(); d > 0 {

@@ -75,6 +75,11 @@ type Stats struct {
 	// segments this session's completed queries read versus skipped via
 	// zone-map pruning (see WithScanPruning and Rows.ScanStats).
 	SegmentsScanned, SegmentsSkipped int64
+	// MorselSteals counts the morsels of this session's completed parallel
+	// queries that were executed by a worker other than their initial owner
+	// — the work-stealing scheduler rebalancing skewed loads. Stealing never
+	// affects result bytes; see Rows.Steals for per-query counts.
+	MorselSteals int64
 	// FusedQueries counts this session's completed queries that executed
 	// fused loops under tiered execution; FusedDeopts counts their guard
 	// failures (reverts to the interpreter). See WithTieredExecution.
@@ -91,6 +96,7 @@ func (s *Session) Stats() Stats {
 		Kernels:         KernelCount(),
 		SegmentsScanned: s.segmentsScanned.Load(),
 		SegmentsSkipped: s.segmentsSkipped.Load(),
+		MorselSteals:    s.morselSteals.Load(),
 		FusedQueries:    s.fusedQueries.Load(),
 		FusedDeopts:     s.fusedDeopts.Load(),
 	}

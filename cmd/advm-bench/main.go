@@ -50,9 +50,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15,E16,E17,E18,E19) or all")
-	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for E1/E15")
-	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3/device/server/colstore/fused.json perf records into (runs E15–E19 only)")
+	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15,E16,E17,E18,E19,E20) or all")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for E1/E15/E20")
+	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3/device/server/colstore/fused/multicore.json perf records into (runs E15–E20 only)")
 	data := flag.String("data", os.Getenv("TPCH_DATA_DIR"),
 		"directory of pre-generated TPC-H tables (tpch-gen -binary); generated on the fly when empty or missing")
 	flag.Parse()
@@ -63,6 +63,7 @@ func main() {
 		expE17(*sf, *data, *benchjson)
 		expE18(*data, *benchjson)
 		expE19(*data, *benchjson)
+		expE20(*sf, *data, *benchjson)
 		return
 	}
 
@@ -114,6 +115,10 @@ func main() {
 	}
 	if all || *exp == "E19" {
 		expE19(*data, "")
+		ran = true
+	}
+	if all || *exp == "E20" {
+		expE20(*sf, *data, "")
 		ran = true
 	}
 	if !ran {
@@ -1063,6 +1068,152 @@ func expE19(dataDir, outDir string) {
 
 func fatalE19(err error) {
 	fmt.Fprintln(os.Stderr, "advm-bench: E19:", err)
+	os.Exit(1)
+}
+
+// multicoreRecord is the BENCH_multicore.json perf record: Q1, Q3 and Q6
+// serial vs WithParallelism(4) in one record, taken with the intended
+// GOMAXPROCS for the parallel legs. Q1SerialNsOp doubles as the flavor
+// marker benchdiff dispatches on. Unlike the per-query records (whose
+// parallel legs are informational), this record's speedups are *gated*:
+// benchdiff fails when a speedup drops below its floor while the recording
+// host actually had NumCPU ≥ Workers cores — an undersubscribed host (such
+// as a single-core container) skips the speedup gate instead of failing it.
+type multicoreRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	ScaleFactor  float64 `json:"scale_factor"`
+	Rows         int     `json:"rows"`
+	Workers      int     `json:"workers"`
+	Iters        int     `json:"iters"`
+	Q1SerialNsOp int64   `json:"q1_serial_ns_op"`
+	Q1ParNsOp    int64   `json:"q1_par_ns_op"`
+	Q1Speedup    float64 `json:"q1_speedup"`
+	Q3SerialNsOp int64   `json:"q3_serial_ns_op"`
+	Q3ParNsOp    int64   `json:"q3_par_ns_op"`
+	Q3Speedup    float64 `json:"q3_speedup"`
+	Q6SerialNsOp int64   `json:"q6_serial_ns_op"`
+	Q6ParNsOp    int64   `json:"q6_par_ns_op"`
+	Q6Speedup    float64 `json:"q6_speedup"`
+	MorselSteals int64   `json:"morsel_steals"`
+	Identical    bool    `json:"identical"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
+	CalibNs      int64   `json:"calib_ns"`
+}
+
+// expE20 measures multi-core scaling of the work-stealing morsel scheduler:
+// Q1, Q3 and Q6 serial vs WithParallelism(4), byte-identity enforced, all
+// three speedups in one record together with the host's GOMAXPROCS and CPU
+// count — the context benchdiff needs to decide whether the speedup floor
+// applies. With outDir != "" it writes BENCH_multicore.json there.
+func expE20(sf float64, dataDir, outDir string) {
+	const workers = 4
+	const iters = 7
+	header(fmt.Sprintf("E20 — multi-core scaling, work-stealing dispatch (SF %.3f, %d workers)", sf, workers))
+	st, err := tpch.LoadOrGen(dataDir, "lineitem", sf, 42)
+	if err != nil {
+		fatalE20(err)
+	}
+	ord, err := tpch.LoadOrGen(dataDir, "orders", sf, 42)
+	if err != nil {
+		fatalE20(err)
+	}
+	cust, err := tpch.LoadOrGen(dataDir, "customer", sf, 42)
+	if err != nil {
+		fatalE20(err)
+	}
+	calibNs := calibrate()
+	fmt.Printf("%d lineitem rows, GOMAXPROCS=%d, NumCPU=%d, calib=%v\n\n",
+		st.Rows(), runtime.GOMAXPROCS(0), runtime.NumCPU(),
+		time.Duration(calibNs).Round(time.Microsecond))
+
+	eng, err := advm.NewEngine(
+		advm.WithParallelism(workers),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		fatalE20(err)
+	}
+	defer eng.Close()
+	serial, err := eng.Session(advm.WithParallelism(1))
+	if err != nil {
+		fatalE20(err)
+	}
+	parallel, err := eng.Session()
+	if err != nil {
+		fatalE20(err)
+	}
+
+	measure := func(sess *advm.Session, plan func(advm.TableSource) *advm.Plan) (time.Duration, [][]advm.Value) {
+		var best time.Duration
+		var rows [][]advm.Value
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			r, err := benchCollect(sess, plan(st))
+			d := time.Since(start)
+			if err != nil {
+				fatalE20(err)
+			}
+			if best == 0 || d < best {
+				best, rows = d, r
+			}
+		}
+		return best, rows
+	}
+
+	q6p := tpch.DefaultQ6Params()
+	q3p := tpch.DefaultQ3Params()
+	rec := multicoreRecord{
+		Benchmark: "multicore", ScaleFactor: sf, Rows: st.Rows(),
+		Workers: workers, Iters: iters,
+		Identical:  true,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CalibNs:    calibNs,
+	}
+	for _, q := range []struct {
+		name            string
+		plan            func(advm.TableSource) *advm.Plan
+		serialNs, parNs *int64
+		speedup         *float64
+	}{
+		{"q1", tpch.PlanQ1, &rec.Q1SerialNsOp, &rec.Q1ParNsOp, &rec.Q1Speedup},
+		{"q3", func(st advm.TableSource) *advm.Plan { return tpch.PlanQ3(st, ord, cust, q3p) },
+			&rec.Q3SerialNsOp, &rec.Q3ParNsOp, &rec.Q3Speedup},
+		{"q6", func(st advm.TableSource) *advm.Plan { return tpch.PlanQ6(st, q6p) },
+			&rec.Q6SerialNsOp, &rec.Q6ParNsOp, &rec.Q6Speedup},
+	} {
+		serialD, want := measure(serial, q.plan)
+		parD, got := measure(parallel, q.plan)
+		if !sameResults(want, got) {
+			fatalE20(fmt.Errorf("%s: parallel result differs from serial", q.name))
+		}
+		*q.serialNs, *q.parNs = serialD.Nanoseconds(), parD.Nanoseconds()
+		*q.speedup = float64(serialD) / float64(parD)
+		fmt.Printf("  %-4s serial %12v   parallel(%d) %12v   speedup %.2fx   identical=%v\n",
+			q.name, serialD.Round(time.Microsecond), workers,
+			parD.Round(time.Microsecond), *q.speedup, rec.Identical)
+	}
+	rec.MorselSteals = parallel.Stats().MorselSteals
+	fmt.Printf("       parallel legs: %d morsels stolen across all runs\n", rec.MorselSteals)
+	if runtime.NumCPU() < workers {
+		fmt.Printf("       note: host has %d CPUs for %d workers — speedups here are not gateable\n",
+			runtime.NumCPU(), workers)
+	}
+	if outDir != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatalE20(err)
+		}
+		path := filepath.Join(outDir, "BENCH_multicore.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatalE20(err)
+		}
+		fmt.Printf("       wrote %s\n", path)
+	}
+}
+
+func fatalE20(err error) {
+	fmt.Fprintln(os.Stderr, "advm-bench: E20:", err)
 	os.Exit(1)
 }
 

@@ -21,13 +21,15 @@ import (
 	"strings"
 )
 
-// benchRecord mirrors the BENCH_*.json schema written by advm-bench. Four
+// benchRecord mirrors the BENCH_*.json schema written by advm-bench. Five
 // record flavors share it: query records carry serial vs parallel ns/op,
 // device records (BENCH_device.json) carry CPU-only vs adaptive-placement
 // ns/op for the same parallel query, colstore records (BENCH_colstore.json)
-// carry serial in-RAM vs disk-backed legs of Q1/Q6, and fused records
+// carry serial in-RAM vs disk-backed legs of Q1/Q6, fused records
 // (BENCH_fused.json) carry serial interpreted vs forced-hot fused legs of
-// Q1/Q6 under tiered execution.
+// Q1/Q6 under tiered execution, and multicore records
+// (BENCH_multicore.json) carry Q1/Q3/Q6 serial vs parallel legs with their
+// speedups, gated against a floor when the recording host had enough cores.
 type benchRecord struct {
 	Benchmark     string  `json:"benchmark"`
 	ScaleFactor   float64 `json:"scale_factor"`
@@ -61,6 +63,22 @@ type benchRecord struct {
 	Q1FusedNsOp  int64 `json:"q1_fused_ns_op,omitempty"`
 	Q6InterpNsOp int64 `json:"q6_interp_ns_op,omitempty"`
 	Q6FusedNsOp  int64 `json:"q6_fused_ns_op,omitempty"`
+
+	// Multicore-record fields (non-zero Q1SerialNsOp marks the flavor). The
+	// serial legs are calibration-gated like any serial measurement; the
+	// speedups are gated against a floor — but only when the *current* host
+	// actually had NumCPU ≥ Workers, because an undersubscribed host cannot
+	// exhibit parallel speedup no matter how healthy the scheduler is.
+	Q1SerialNsOp int64   `json:"q1_serial_ns_op,omitempty"`
+	Q1ParNsOp    int64   `json:"q1_par_ns_op,omitempty"`
+	Q1Speedup    float64 `json:"q1_speedup,omitempty"`
+	Q3SerialNsOp int64   `json:"q3_serial_ns_op,omitempty"`
+	Q3ParNsOp    int64   `json:"q3_par_ns_op,omitempty"`
+	Q3Speedup    float64 `json:"q3_speedup,omitempty"`
+	Q6SerialNsOp int64   `json:"q6_serial_ns_op,omitempty"`
+	Q6ParNsOp    int64   `json:"q6_par_ns_op,omitempty"`
+	Q6Speedup    float64 `json:"q6_speedup,omitempty"`
+	NumCPU       int     `json:"num_cpu,omitempty"`
 }
 
 // diffRow is one benchmark × metric comparison. Ratio is
@@ -75,6 +93,12 @@ type diffRow struct {
 	Regressed      bool
 	Skipped        string // non-empty = not gated, with the reason
 	NotReproducing bool   // current record reports non-identical results
+
+	// Speedup rows (multicore records) compare dimensionless speedup factors
+	// against an absolute floor instead of ns/op against the baseline.
+	IsSpeedup    bool
+	BaseX, CurX  float64 // baseline / current speedup factors
+	SpeedupFloor float64 // gate floor the current speedup must clear
 }
 
 func main() {
@@ -102,7 +126,11 @@ func main() {
 
 	failed := false
 	for _, r := range rows {
-		if r.Regressed {
+		if r.Regressed && r.IsSpeedup {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchdiff: %s %s is %.2fx, below the %.2fx floor — parallel execution is not paying off\n",
+				r.Bench, r.Metric, r.CurX, r.SpeedupFloor)
+		} else if r.Regressed {
 			failed = true
 			fmt.Fprintf(os.Stderr, "benchdiff: %s %s regressed %.1f%% (%d → %d ns/op, threshold %.0f%%)\n",
 				r.Bench, r.Metric, (r.Ratio-1)*100, r.BaseNs, r.CurNs, *maxRegress*100)
@@ -213,6 +241,43 @@ func diffRecords(base, cur benchRecord, maxRegress float64) []diffRow {
 			mk("q6-interpreted", base.Q6InterpNsOp, cur.Q6InterpNsOp),
 			mk("q6-fused", base.Q6FusedNsOp, cur.Q6FusedNsOp),
 		}
+	} else if base.Q1SerialNsOp > 0 || cur.Q1SerialNsOp > 0 {
+		// Multicore record: Q1/Q3/Q6 serial legs are calibration-gated like
+		// any serial measurement; the parallel legs are reported (skipped on
+		// a core-count mismatch like every parallel leg); the speedups are
+		// gated against an absolute floor. The floor uses only the *current*
+		// record: a baseline taken on a small host must not exempt a real
+		// multi-core regression, and a current record from an undersubscribed
+		// host (NumCPU < Workers) skips the floor instead of failing it —
+		// such a host cannot exhibit parallel speedup regardless of scheduler
+		// health.
+		floor := 1 - maxRegress
+		mkSpeedup := func(metric string, baseX, curX float64) diffRow {
+			r := diffRow{
+				Bench: base.Benchmark, Metric: metric,
+				IsSpeedup: true, BaseX: baseX, CurX: curX, SpeedupFloor: floor,
+			}
+			if baseX > 0 {
+				r.Ratio = curX / baseX
+			}
+			if cur.NumCPU < cur.Workers {
+				r.Skipped = fmt.Sprintf("host undersubscribed (%d CPUs for %d workers)", cur.NumCPU, cur.Workers)
+				return r
+			}
+			r.Regressed = curX < floor
+			return r
+		}
+		rows = []diffRow{
+			mk("q1-serial", base.Q1SerialNsOp, cur.Q1SerialNsOp),
+			skipParallel(mk("q1-parallel", base.Q1ParNsOp, cur.Q1ParNsOp)),
+			mkSpeedup("q1-speedup", base.Q1Speedup, cur.Q1Speedup),
+			mk("q3-serial", base.Q3SerialNsOp, cur.Q3SerialNsOp),
+			skipParallel(mk("q3-parallel", base.Q3ParNsOp, cur.Q3ParNsOp)),
+			mkSpeedup("q3-speedup", base.Q3Speedup, cur.Q3Speedup),
+			mk("q6-serial", base.Q6SerialNsOp, cur.Q6SerialNsOp),
+			skipParallel(mk("q6-parallel", base.Q6ParNsOp, cur.Q6ParNsOp)),
+			mkSpeedup("q6-speedup", base.Q6Speedup, cur.Q6Speedup),
+		}
 	} else {
 		rows = []diffRow{
 			mk("serial", base.SerialNsOp, cur.SerialNsOp),
@@ -256,6 +321,14 @@ func renderTable(rows []diffRow, maxRegress float64) string {
 		delta := fmt.Sprintf("%+.1f%%", (r.Ratio-1)*100)
 		if r.Normalized {
 			delta += " (calib-normalized)"
+		}
+		if r.IsSpeedup {
+			if status == "ok" {
+				status = fmt.Sprintf("ok (floor %.2fx)", r.SpeedupFloor)
+			}
+			fmt.Fprintf(&sb, "| %s | %s | %.2fx | %.2fx | %s | %s |\n",
+				r.Bench, r.Metric, r.BaseX, r.CurX, delta, status)
+			continue
 		}
 		fmt.Fprintf(&sb, "| %s | %s | %d | %d | %s | %s |\n",
 			r.Bench, r.Metric, r.BaseNs, r.CurNs, delta, status)

@@ -165,6 +165,117 @@ func TestDiffRecordsDeviceFlavor(t *testing.T) {
 	}
 }
 
+// multicoreBase is a healthy BENCH_multicore.json record from a 4-core host.
+func multicoreBase() benchRecord {
+	return benchRecord{
+		Benchmark: "multicore", Workers: 4, GOMAXPROCS: 4, NumCPU: 4,
+		Identical: true, CalibNs: 100,
+		Q1SerialNsOp: 4000, Q1ParNsOp: 2000, Q1Speedup: 2.0,
+		Q3SerialNsOp: 3000, Q3ParNsOp: 1500, Q3Speedup: 2.0,
+		Q6SerialNsOp: 1000, Q6ParNsOp: 500, Q6Speedup: 2.0,
+	}
+}
+
+// TestDiffRecordsMulticoreFlavor: multicore records gate the serial legs
+// (calibration-normalized) and the speedups against an absolute floor.
+func TestDiffRecordsMulticoreFlavor(t *testing.T) {
+	base := multicoreBase()
+	cur := multicoreBase()
+	cur.Q3Speedup = 0.6 // parallel Q3 barely above half of serial — below 0.75 floor
+	rows := diffRecords(base, cur, 0.25)
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	byMetric := map[string]diffRow{}
+	for _, r := range rows {
+		byMetric[r.Metric] = r
+	}
+	for _, m := range []string{"q1-speedup", "q6-speedup"} {
+		if r := byMetric[m]; r.Regressed || r.Skipped != "" || !r.IsSpeedup {
+			t.Fatalf("%s wrongly gated: %+v", m, r)
+		}
+	}
+	if r := byMetric["q3-speedup"]; !r.Regressed {
+		t.Fatalf("q3 speedup below floor not flagged: %+v", r)
+	}
+	for _, m := range []string{"q1-serial", "q3-serial", "q6-serial"} {
+		if r := byMetric[m]; r.Regressed || !r.Normalized {
+			t.Fatalf("%s: want calibration-normalized pass: %+v", m, r)
+		}
+	}
+	table := renderTable(rows, 0.25)
+	if !strings.Contains(table, "2.00x") || !strings.Contains(table, "floor 0.75x") {
+		t.Fatalf("table missing speedup rendering:\n%s", table)
+	}
+}
+
+// TestDiffRecordsMulticoreSerialGated: a serial-leg regression in the
+// multicore record fails like any serial measurement, host size regardless.
+func TestDiffRecordsMulticoreSerialGated(t *testing.T) {
+	base := multicoreBase()
+	cur := multicoreBase()
+	cur.Q1SerialNsOp = 8000 // 2× slower, same calib
+	rows := diffRecords(base, cur, 0.25)
+	found := false
+	for _, r := range rows {
+		if r.Metric == "q1-serial" && r.Regressed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("q1 serial regression not flagged: %+v", rows)
+	}
+}
+
+// TestDiffRecordsMulticoreUndersubscribedSkips: a current record taken on a
+// host with fewer CPUs than workers cannot exhibit speedup — the floor
+// skips instead of failing, and the parallel ns/op legs skip on the
+// GOMAXPROCS mismatch as usual.
+func TestDiffRecordsMulticoreUndersubscribedSkips(t *testing.T) {
+	base := multicoreBase()
+	cur := multicoreBase()
+	cur.GOMAXPROCS, cur.NumCPU = 1, 1
+	cur.Q1Speedup, cur.Q3Speedup, cur.Q6Speedup = 0.7, 0.5, 0.8
+	for _, r := range diffRecords(base, cur, 0.25) {
+		if strings.HasSuffix(r.Metric, "-speedup") {
+			if r.Regressed || r.Skipped == "" {
+				t.Fatalf("undersubscribed speedup leg should skip: %+v", r)
+			}
+		}
+		if strings.HasSuffix(r.Metric, "-parallel") && (r.Regressed || r.Skipped == "") {
+			t.Fatalf("cross-core parallel leg should skip: %+v", r)
+		}
+	}
+	// The floor keys on the current host only: a 1-CPU *baseline* must not
+	// exempt a regression measured on a genuinely multi-core current host.
+	base.GOMAXPROCS, base.NumCPU = 1, 1
+	base.Q1Speedup = 0.7
+	cur = multicoreBase()
+	cur.Q1Speedup = 0.5
+	rows := diffRecords(base, cur, 0.25)
+	found := false
+	for _, r := range rows {
+		if r.Metric == "q1-speedup" && r.Regressed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("multi-core current speedup below floor not flagged despite 1-CPU baseline: %+v", rows)
+	}
+}
+
+// TestDiffRecordsMulticoreNotReproducing: a multicore record reporting
+// non-identical parallel results fails the gate.
+func TestDiffRecordsMulticoreNotReproducing(t *testing.T) {
+	base := multicoreBase()
+	cur := multicoreBase()
+	cur.Identical = false
+	rows := diffRecords(base, cur, 0.25)
+	if !rows[0].NotReproducing {
+		t.Fatal("non-identical multicore record not flagged")
+	}
+}
+
 // TestDiffRecordsDeviceNotReproducing: a device record reporting
 // non-identical results fails the gate.
 func TestDiffRecordsDeviceNotReproducing(t *testing.T) {

@@ -1,17 +1,20 @@
 // Package difftest is a differential-testing harness for the relational
 // layer: a seeded random plan generator over generated tables, plus a
 // canonical byte encoding of query results. The invariant under test is the
-// engine's core determinism guarantee — every execution strategy the
-// session options can select (serial, WithParallelism(1..n), any
-// WithDevicePolicy, any morsel/chunk granularity) must produce results
-// byte-identical to serial CPU execution, floating-point aggregates
-// included.
+// engine's core determinism guarantee — at a fixed WithMorselLen, every
+// execution strategy the session options can select (serial,
+// WithParallelism(1..n), any WithDevicePolicy, any execution tier, any
+// chunk granularity) must produce results byte-identical to serial CPU
+// execution at that same morsel length, floating-point aggregates included.
+// The morsel length itself is part of the result identity: it pins the
+// blocking of per-morsel f64 pre-aggregation, so configs are compared
+// against a serial reference sharing their morsel length.
 //
 // The generator favours plan shapes that stress the parallel structures:
 // scan→filter/compute chains (exchange), hash-join probes against a second
 // table (shared build + worker probes), grouped aggregation with
-// order-sensitive f64 sums (partitioned parallel fold), and top-k (stable
-// merge under ties).
+// order-sensitive f64 sums (per-morsel tables merged in sequence order),
+// and top-k (stable merge under ties).
 package difftest
 
 import (

@@ -59,20 +59,36 @@ func TestDifferential(t *testing.T) {
 		} else {
 			c = NewCase(seed)
 		}
-		// The reference disables tiering so it is the pure serial interpreter —
-		// the forced-hot configs are measured against it, not against
-		// themselves.
-		ref, err := advm.NewSession(
-			advm.WithParallelism(1),
-			advm.WithTieredExecution(false),
-			advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
-		if err != nil {
-			t.Fatal(err)
-		}
-		want, err := Collect(ctx, ref, c.Plan)
-		ref.Close()
-		if err != nil {
-			t.Fatalf("%s: reference: %v", c.Desc, err)
+		// One serial reference per distinct morsel length: result bytes are a
+		// function of (plan, data, morsel length) — blocked f64 accumulation
+		// is pinned by the morsel boundaries — and must be *independent* of
+		// workers, devices and tier. Each reference disables tiering so it is
+		// the pure serial interpreter — the forced-hot configs are measured
+		// against it, not against themselves.
+		refs := map[int][]string{}
+		reference := func(morselLen int) ([]string, error) {
+			if want, ok := refs[morselLen]; ok {
+				return want, nil
+			}
+			opts := []advm.Option{
+				advm.WithParallelism(1),
+				advm.WithTieredExecution(false),
+				advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}),
+			}
+			if morselLen > 0 {
+				opts = append(opts, advm.WithMorselLen(morselLen))
+			}
+			ref, err := advm.NewSession(opts...)
+			if err != nil {
+				return nil, err
+			}
+			defer ref.Close()
+			want, err := Collect(ctx, ref, c.Plan)
+			if err != nil {
+				return nil, err
+			}
+			refs[morselLen] = want
+			return want, nil
 		}
 		plans := []struct {
 			name string
@@ -95,6 +111,10 @@ func TestDifferential(t *testing.T) {
 			}
 			if cfg.forceHot {
 				opts = append(opts, advm.WithTierThresholds(1, 1))
+			}
+			want, err := reference(cfg.morselLen)
+			if err != nil {
+				t.Fatalf("%s: reference (morsel %d): %v", c.Desc, cfg.morselLen, err)
 			}
 			sess, err := advm.NewSession(opts...)
 			if err != nil {

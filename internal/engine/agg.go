@@ -194,15 +194,22 @@ func (t *aggTable) absorb(cc *vector.Chunk) {
 	}
 }
 
-// merge folds src into t, preserving src's per-group state (used to stitch
-// disjoint partition tables together; keys must not overlap for the result to
-// stay deterministic).
+// merge folds src into t in src's first-seen order. src must hold strictly
+// later table rows than everything already in t — ParallelAgg merges the
+// per-morsel tables in morsel sequence order — so overlapping groups combine
+// under aggState.merge's "other holds later rows" contract (sums add, First
+// keeps t's value) and new groups append in first-seen order. The result is
+// exactly the fold a single table absorbing the morsels back-to-back would
+// produce, independent of which worker ran which morsel.
 func (t *aggTable) merge(src *aggTable) {
 	for _, key := range src.order {
-		if _, ok := t.groups[key]; !ok {
+		st := src.groups[key]
+		if dst, ok := t.groups[key]; ok {
+			dst.merge(t.aggs, st)
+		} else {
+			t.groups[key] = st
 			t.order = append(t.order, key)
 		}
-		t.groups[key] = src.groups[key]
 	}
 }
 

@@ -94,7 +94,8 @@ func TestDeviceExecExchange(t *testing.T) {
 }
 
 // TestDeviceExecParallelAgg: grouped aggregation over placed pipelines is
-// byte-identical to the serial fold at every policy.
+// byte-identical to the unplaced aggregation at the same morsel length —
+// placement is a scheduling concern only and must never reach result bytes.
 func TestDeviceExecParallelAgg(t *testing.T) {
 	st := genTable(t, 60_000, 9)
 	keys := []string{"k"}
@@ -102,13 +103,13 @@ func TestDeviceExecParallelAgg(t *testing.T) {
 		{Func: AggSum, Col: "f", As: "sum_f"},
 		{Func: AggCount, As: "n"},
 	}
-	serialScan, err := NewScan(st)
+	ref, err := NewParallelAgg(st, nil, 1, func(_ int, leaf Operator) (Operator, error) {
+		return pipelineOn(leaf), nil
+	}, keys, aggs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	serialAgg := NewHashAgg(pipelineOn(serialScan), keys, aggs)
-	serialAgg.SetPreAgg(PreAggOff)
-	want := materialize(t, serialAgg)
+	want := materialize(t, ref.SetMorselLen(4096))
 
 	rec := NewPlacementRecorder()
 	placer := device.NewPlacer(device.NewCPU(), gpu.New(gpu.DefaultConfig()))

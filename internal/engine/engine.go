@@ -7,6 +7,19 @@
 // of §III-C: full-vs-selective predicate evaluation, Bloom filters in
 // selective hash joins, adaptive pre-aggregation, and on-the-fly reordering
 // of selective operators.
+//
+// Concurrency contract: a single Operator instance is single-goroutine —
+// Open, Next and Close are never called concurrently. Parallelism enters
+// through the dispatching operators (Exchange, ParallelAgg,
+// BuildJoinTableParallel), which instantiate one private pipeline per worker
+// over a windowed scan and run them under work-stealing morsel dispatch
+// (package morsel); worker pipelines share nothing mutable except
+// read-only inputs — the table store, SharedJoinTable builds and cached
+// fused programs. Determinism is structural, not scheduled: exchanges emit
+// chunks in morsel sequence order and parallel aggregation folds per-morsel
+// pre-aggregation tables in morsel sequence order, so result bytes depend
+// on the morsel length (which pins how f64 accumulation is blocked) but
+// never on worker count, steal pattern, device placement or chunk length.
 package engine
 
 import (

@@ -115,16 +115,23 @@ type exMorsel struct {
 	chunks []*vector.Chunk
 }
 
+// exBatchMorsels is how many finished morsels a worker accumulates before
+// one channel handoff to the merge. Batching amortizes the per-morsel
+// send/receive (and the wakeups it causes) without changing the output: the
+// merge orders by sequence number, not by arrival.
+const exBatchMorsels = 4
+
 // Exchange fans a scan→filter/compute pipeline out over worker copies fed by
-// dynamically dispatched morsels, and merges their output back into one
+// work-stealing morsel dispatch, and merges their output back into one
 // ordered chunk stream. It is an Operator, so anything that consumes chunks
 // — aggregations, joins, the public cursor — parallelizes transparently.
 //
 // Chunks are re-emitted in table order (morsel sequence order), which makes
 // the merged stream byte-identical to a serial scan of the same pipeline:
 // order-sensitive consumers such as floating-point SUM see the same addition
-// order. Workers still absorb skew dynamically; only the emission is
-// sequenced.
+// order. Workers still absorb skew dynamically — stealing morsels from
+// slower workers' ranges — and hand off finished morsels to the merge in
+// batches; only the emission is sequenced.
 type Exchange struct {
 	store     vector.Store
 	workers   int
@@ -134,7 +141,7 @@ type Exchange struct {
 	leaves []*PartScan
 	pipes  []Operator
 
-	out      chan exMorsel
+	out      chan []exMorsel
 	quit     chan struct{}
 	quitOnce *sync.Once
 	done     chan struct{}
@@ -218,7 +225,7 @@ func (e *Exchange) Open(ctx context.Context) error {
 	e.pending = make(map[int][]*vector.Chunk)
 	e.queue = nil
 	e.runErr = nil
-	e.out = make(chan exMorsel, e.workers)
+	e.out = make(chan []exMorsel, e.workers)
 	e.quit = make(chan struct{})
 	e.quitOnce = new(sync.Once)
 	e.done = make(chan struct{})
@@ -236,6 +243,17 @@ func (e *Exchange) Open(ctx context.Context) error {
 func (e *Exchange) produce(ctx context.Context, rows int) {
 	defer close(e.done)
 	defer e.cancel() // release the private context once production ends
+	// Per-worker handoff buffers: each worker batches up to exBatchMorsels
+	// finished morsels per channel send. A buffer is owned by its worker
+	// goroutine for the whole run, then flushed below after the run's
+	// WaitGroup establishes happens-before.
+	batches := make([][]exMorsel, e.workers)
+	send := func(batch []exMorsel) {
+		select {
+		case e.out <- batch:
+		case <-e.quit:
+		}
+	}
 	st := morsel.RunInstrumented(rows, morsel.Options{Workers: e.workers, MorselLen: e.morselLen},
 		func(worker, lo, hi int) {
 			select {
@@ -249,11 +267,17 @@ func (e *Exchange) produce(ctx context.Context, rows int) {
 				e.fail(err)
 				return
 			}
-			select {
-			case e.out <- exMorsel{seq: lo / e.morselLen, chunks: chunks}:
-			case <-e.quit:
+			batches[worker] = append(batches[worker], exMorsel{seq: lo / e.morselLen, chunks: chunks})
+			if len(batches[worker]) >= exBatchMorsels {
+				send(batches[worker])
+				batches[worker] = nil
 			}
 		})
+	for _, batch := range batches {
+		if len(batch) > 0 {
+			send(batch)
+		}
+	}
 	e.mu.Lock()
 	e.stats = st
 	e.mu.Unlock()
@@ -310,11 +334,13 @@ func (e *Exchange) Next(ctx context.Context) (*vector.Chunk, error) {
 			e.queue = e.queue[1:]
 			return c, nil
 		}
-		res, ok := <-e.out
+		batch, ok := <-e.out
 		if !ok {
 			return nil, e.Err()
 		}
-		e.pending[res.seq] = res.chunks
+		for _, res := range batch {
+			e.pending[res.seq] = res.chunks
+		}
 		for {
 			chunks, ready := e.pending[e.nextSeq]
 			if !ready {
@@ -652,34 +678,26 @@ func (p *TableProbe) Next(ctx context.Context) (*vector.Chunk, error) {
 func (p *TableProbe) Close() error { return p.child.Close() }
 
 // ---------------------------------------------------------------------------
-// Parallel grouped aggregation: worker-local partitioned fold over morsels,
-// merged deterministically.
-
-// aggPartitions is the fixed group-space partition count of ParallelAgg.
-// It must not depend on the worker count: partitioning assigns every group
-// to exactly one fold stream, and per-stream folds happen in morsel order,
-// so results are identical for any worker count — including 1, which is how
-// the byte-identical-to-serial guarantee extends across WithParallelism
-// levels.
-const aggPartitions = 64
-
-// partOf assigns a group key to a partition.
-func partOf(k groupKey) int {
-	h := bloomHash1(k.i1) ^ bloomHash2(k.i2) ^ hashStr(k.s1) ^ hashStr(k.s2)*0x9e3779b97f4a7c15
-	return int(h % aggPartitions)
-}
+// Parallel grouped aggregation: per-morsel pre-aggregation tables merged in
+// morsel sequence order.
 
 // ParallelAgg is a morsel-parallel grouped aggregation: worker pipelines
 // (scan→filter/compute/probe chains over windowed scans) process morsels
-// concurrently, partition their output rows by group-key hash, and a set of
-// folder goroutines folds each partition's buckets in morsel order into
-// worker-local hash tables that are finally stitched together and emitted in
-// key order.
+// concurrently under work-stealing dispatch, each morsel folding its rows —
+// in row order — into a private pre-aggregation table slotted by the
+// morsel's dense sequence number. When the run completes, the tables merge
+// left-to-right in sequence order, so every group's accumulation order is
+// fully determined by the data and the morsel length: which worker ran a
+// morsel, how many workers there were, and how steals interleaved all
+// cancel out.
 //
-// Because a group's accumulation order is exactly the table order of its own
-// rows — partitions are folded in morsel sequence, and a group lives in one
-// partition — the result is byte-identical to the serial HashAgg with
-// pre-aggregation off, floating-point sums included, at every worker count.
+// The result is therefore byte-identical at every worker count (including
+// 1), device policy and execution tier — floating-point sums included. The
+// one knob that participates in result identity is the morsel length: a
+// group spanning several morsels accumulates blockwise, and f64 addition is
+// not associative, so different morsel lengths may legitimately differ in
+// low-order float bits. A table no longer than one morsel degenerates to
+// the strict row-order fold.
 type ParallelAgg struct {
 	store     vector.Store
 	workers   int
@@ -690,7 +708,6 @@ type ParallelAgg struct {
 	leaves []*PartScan
 	pipes  []Operator
 	schema []ColInfo
-	needed []string // bucket projection: keys ∪ aggregate inputs
 
 	out     *vector.Chunk
 	emitted bool
@@ -724,27 +741,6 @@ func NewParallelAgg(store vector.Store, columns []string, workers int,
 		return nil, err
 	}
 	a.schema = sch
-	seen := map[string]bool{}
-	for _, k := range keys {
-		if !seen[k] {
-			seen[k] = true
-			a.needed = append(a.needed, k)
-		}
-	}
-	for _, ag := range aggs {
-		if ag.Func != AggCount && !seen[ag.Col] {
-			seen[ag.Col] = true
-			a.needed = append(a.needed, ag.Col)
-		}
-	}
-	if len(a.needed) == 0 {
-		// A pure global COUNT(*) needs no columns, but a bucket chunk with
-		// zero columns has length zero and would lose the row count; carry
-		// one pipeline column so every bucket keeps its cardinality.
-		if sch := a.pipes[0].Schema(); len(sch) > 0 {
-			a.needed = append(a.needed, sch[0].Name)
-		}
-	}
 	return a, nil
 }
 
@@ -786,12 +782,6 @@ func (a *ParallelAgg) Open(ctx context.Context) error {
 	return nil
 }
 
-// aggMorsel is one morsel's partitioned bucket chunks.
-type aggMorsel struct {
-	seq     int
-	buckets [][]*vector.Chunk // aggPartitions entries
-}
-
 // Next implements Operator: the first call runs the whole parallel
 // aggregation synchronously and emits the single result chunk.
 func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
@@ -815,84 +805,44 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 		failed.Store(true)
 	}
 
-	// Folder goroutines: folder f owns every partition p with p%F == f. A
-	// group belongs to exactly one partition, hence exactly one folder — no
-	// state is shared between folders.
-	folders := a.workers
-	if folders > aggPartitions {
-		folders = aggPartitions
-	}
-	foldCh := make([]chan []*vector.Chunk, folders)
-	tables := make([]*aggTable, folders)
-	var foldWG sync.WaitGroup
-	for f := 0; f < folders; f++ {
-		foldCh[f] = make(chan []*vector.Chunk, 2*a.workers)
-		tables[f] = newAggTable(a.keys, a.aggs)
-		foldWG.Add(1)
-		go func(f int) {
-			defer foldWG.Done()
-			for chunks := range foldCh[f] {
-				for _, c := range chunks {
-					tables[f].absorb(c)
-				}
-			}
-		}(f)
-	}
-
-	// Router: re-sequences finished morsels and forwards each partition's
-	// buckets in morsel order, so every fold stream sees table order.
-	out := make(chan aggMorsel, a.workers)
-	routerDone := make(chan struct{})
-	go func() {
-		defer close(routerDone)
-		pending := map[int][][]*vector.Chunk{}
-		next := 0
-		for m := range out {
-			pending[m.seq] = m.buckets
-			for {
-				buckets, ok := pending[next]
-				if !ok {
-					break
-				}
-				delete(pending, next)
-				next++
-				for p, chunks := range buckets {
-					if len(chunks) > 0 {
-						foldCh[p%folders] <- chunks
-					}
-				}
-			}
-		}
-		for _, ch := range foldCh {
-			close(ch)
-		}
-	}()
-
-	// Phase 1: worker pipelines over dynamically dispatched morsels,
-	// partitioning their output rows by group-key hash.
-	a.stats = morsel.RunInstrumented(a.store.Rows(),
+	rows := a.store.Rows()
+	numMorsels := (rows + a.morselLen - 1) / a.morselLen
+	// One pre-aggregation table per morsel, slotted by sequence number. A
+	// morsel's slot is written by exactly one worker (the dispatcher claims
+	// each morsel exactly once) and read only after the run completes, so the
+	// slice needs no locking.
+	tables := make([]*aggTable, numMorsels)
+	a.stats = morsel.RunInstrumented(rows,
 		morsel.Options{Workers: a.workers, MorselLen: a.morselLen},
 		func(worker, lo, hi int) {
 			if failed.Load() {
 				return
 			}
 			a.leaves[worker].SetRange(lo, hi)
-			buckets := make([][]*vector.Chunk, aggPartitions)
+			tbl := newAggTable(a.keys, a.aggs)
+			absorb := func(c *vector.Chunk) {
+				cc := c
+				if c.Sel() != nil {
+					cc = c.Condense()
+				}
+				if cc.Len() > 0 {
+					tbl.absorb(cc)
+				}
+			}
 			if mr, ok := a.pipes[worker].(MorselRunner); ok {
 				// Device-placed pipeline: the whole morsel drain executes as
-				// one placed unit, then partitions.
+				// one placed unit, then folds.
 				chunks, err := mr.RunMorsel(ctx, lo, hi)
 				if err != nil {
 					fail(err)
 					return
 				}
 				for _, c := range chunks {
-					a.partitionChunk(c, buckets)
+					absorb(c)
 				}
 			} else {
-				// Plain pipeline: partition chunk-by-chunk while draining, so
-				// a morsel's output (join fan-out included) never buffers
-				// unpartitioned.
+				// Plain pipeline: fold chunk-by-chunk while draining, so a
+				// morsel's output (join fan-out included) never buffers.
 				for {
 					c, err := a.pipes[worker].Next(ctx)
 					if err != nil {
@@ -902,14 +852,11 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 					if c == nil {
 						break
 					}
-					a.partitionChunk(c, buckets)
+					absorb(c)
 				}
 			}
-			out <- aggMorsel{seq: lo / a.morselLen, buckets: buckets}
+			tables[lo/a.morselLen] = tbl
 		})
-	close(out)
-	<-routerDone
-	foldWG.Wait()
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -917,58 +864,17 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 		return nil, err
 	}
 
-	// Stitch the disjoint partition tables together and emit in key order.
+	// Merge the per-morsel tables in sequence order — each table holds
+	// strictly later rows than everything merged before it — and emit in key
+	// order.
 	final := newAggTable(a.keys, a.aggs)
 	for _, tbl := range tables {
-		final.merge(tbl)
+		if tbl != nil {
+			final.merge(tbl)
+		}
 	}
 	a.out = emitAggChunk(a.schema, a.keys, a.aggs, final)
 	return a.out, nil
-}
-
-// partitionChunk projects a pipeline chunk onto the needed columns and
-// scatters its rows into per-partition bucket chunks.
-func (a *ParallelAgg) partitionChunk(c *vector.Chunk, buckets [][]*vector.Chunk) {
-	cc := c
-	if c.Sel() != nil {
-		cc = c.Condense()
-	}
-	if cc.Len() == 0 {
-		return
-	}
-	proj := vector.NewChunk()
-	for _, name := range a.needed {
-		proj.Add(name, cc.MustColumn(name))
-	}
-	if len(a.keys) == 0 {
-		// Single global group: all rows share one partition; keep the chunk.
-		buckets[partOf(groupKey{})] = append(buckets[partOf(groupKey{})], proj)
-		return
-	}
-	keyCols := make([]*vector.Vector, len(a.keys))
-	for i, k := range a.keys {
-		keyCols[i] = proj.MustColumn(k)
-	}
-	keyAt := makeKeyReader(a.keys, keyCols)
-	sels := make([]vector.Sel, aggPartitions)
-	for r := 0; r < proj.Len(); r++ {
-		p := partOf(keyAt(r))
-		sels[p] = append(sels[p], int32(r))
-	}
-	for p, sel := range sels {
-		if sel == nil {
-			continue
-		}
-		if len(sel) == proj.Len() {
-			buckets[p] = append(buckets[p], proj)
-			continue
-		}
-		bucket := vector.NewChunk()
-		for i := 0; i < proj.Width(); i++ {
-			bucket.Add(proj.Name(i), vector.Condense(proj.Col(i), sel))
-		}
-		buckets[p] = append(buckets[p], bucket)
-	}
 }
 
 // Close implements Operator.

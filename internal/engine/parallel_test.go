@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -226,9 +227,39 @@ func mustEqualRows(t *testing.T, got, want [][]vector.Value, label string) {
 	}
 }
 
-// TestParallelAggMatchesSerial: the morsel-parallel aggregation must be
-// byte-identical — float sums included — to the serial HashAgg with
-// pre-aggregation off, at every worker count and morsel size.
+// mustEqualValues compares results allowing float tolerance: exact for
+// non-floats, |got-want| ≤ tol·|want| for F64. Used to cross-check the
+// blocked morsel fold against the strict row-order fold, whose float bytes
+// legitimately differ in low-order bits across morsel lengths.
+func mustEqualValues(t *testing.T, got, want [][]vector.Value, tol float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: rows = %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		for c := range want[i] {
+			g, w := got[i][c], want[i][c]
+			if w.Kind == vector.F64 {
+				if diff := math.Abs(g.F - w.F); diff > tol*math.Max(1, math.Abs(w.F)) {
+					t.Fatalf("%s: row %d col %d = %v, want %v (tolerance %g)", label, i, c, g, w, tol)
+				}
+				continue
+			}
+			if !g.Equal(w) {
+				t.Fatalf("%s: row %d col %d = %v, want %v (must be exact)", label, i, c, g, w)
+			}
+		}
+	}
+}
+
+// TestParallelAggMatchesSerial: at a fixed morsel length, the parallel
+// aggregation must be byte-identical — float sums included — at every worker
+// count: per-morsel tables merged in sequence order make the accumulation
+// order a function of data and morsel length only. Against the serial
+// HashAgg's strict row-order fold, integer aggregates (and AggFirst/AggMin
+// on any kind) must be exact and float sums must agree to tolerance — the
+// blocked fold may differ in low-order float bits when a group spans
+// morsels.
 func TestParallelAggMatchesSerial(t *testing.T) {
 	st := genTable(t, 100_003, 21)
 	aggs := []Aggregate{
@@ -243,20 +274,32 @@ func TestParallelAggMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := materialize(t, NewHashAgg(pipelineOn(serialScan), []string{"k"}, aggs).SetPreAgg(PreAggOff))
-	if len(want) == 0 {
+	rowOrder := materialize(t, NewHashAgg(pipelineOn(serialScan), []string{"k"}, aggs).SetPreAgg(PreAggOff))
+	if len(rowOrder) == 0 {
 		t.Fatal("empty baseline")
 	}
-	for _, workers := range []int{1, 2, 4, 7} {
-		for _, morselLen := range []int{4096, 16384, 1 << 20} {
+	for _, morselLen := range []int{4096, 16384, 1 << 20} {
+		mkAgg := func(workers int) *ParallelAgg {
+			pa, err := NewParallelAgg(st, nil, workers, func(_ int, leaf Operator) (Operator, error) {
+				return pipelineOn(leaf), nil
+			}, []string{"k"}, aggs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pa.SetMorselLen(morselLen)
+		}
+		// The canonical result at this morsel length: one worker, blocked
+		// per-morsel accumulation.
+		want := materialize(t, mkAgg(1))
+		mustEqualValues(t, want, rowOrder, 1e-9, fmt.Sprintf("morsel=%d vs row-order fold", morselLen))
+		if morselLen >= 1<<20 {
+			// A single morsel covers the table: the blocked fold degenerates
+			// to strict row order, bit for bit.
+			mustEqualRows(t, want, rowOrder, "single-morsel agg")
+		}
+		for _, workers := range []int{2, 4, 7} {
 			t.Run(fmt.Sprintf("workers=%d/morsel=%d", workers, morselLen), func(t *testing.T) {
-				pa, err := NewParallelAgg(st, nil, workers, func(_ int, leaf Operator) (Operator, error) {
-					return pipelineOn(leaf), nil
-				}, []string{"k"}, aggs)
-				if err != nil {
-					t.Fatal(err)
-				}
-				pa.SetMorselLen(morselLen)
+				pa := mkAgg(workers)
 				got := materialize(t, pa)
 				mustEqualRows(t, got, want, "parallel agg")
 				if rows := pa.MorselStats().Rows(); rows != int64(st.Rows()) {
@@ -268,7 +311,9 @@ func TestParallelAggMatchesSerial(t *testing.T) {
 }
 
 // TestParallelAggSingleGroup: a keyless (global) aggregation degenerates to
-// one group in one partition and must still match serial bitwise.
+// one group and must be byte-identical across worker counts at the default
+// morsel length, with the float sum matching the strict row-order fold to
+// tolerance and the count exactly.
 func TestParallelAggSingleGroup(t *testing.T) {
 	st := genTable(t, 50_000, 22)
 	aggs := []Aggregate{
@@ -279,17 +324,22 @@ func TestParallelAggSingleGroup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := materialize(t, NewHashAgg(pipelineOn(serialScan), nil, aggs).SetPreAgg(PreAggOff))
-	if len(want) != 1 {
-		t.Fatalf("baseline groups = %d, want 1", len(want))
+	rowOrder := materialize(t, NewHashAgg(pipelineOn(serialScan), nil, aggs).SetPreAgg(PreAggOff))
+	if len(rowOrder) != 1 {
+		t.Fatalf("baseline groups = %d, want 1", len(rowOrder))
 	}
-	pa, err := NewParallelAgg(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
-		return pipelineOn(leaf), nil
-	}, nil, aggs)
-	if err != nil {
-		t.Fatal(err)
+	mkAgg := func(workers int) *ParallelAgg {
+		pa, err := NewParallelAgg(st, nil, workers, func(_ int, leaf Operator) (Operator, error) {
+			return pipelineOn(leaf), nil
+		}, nil, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pa
 	}
-	mustEqualRows(t, materialize(t, pa), want, "keyless parallel agg")
+	want := materialize(t, mkAgg(1))
+	mustEqualValues(t, want, rowOrder, 1e-9, "keyless agg vs row-order fold")
+	mustEqualRows(t, materialize(t, mkAgg(4)), want, "keyless parallel agg")
 }
 
 // TestParallelAggAllRowsFiltered: a pipeline that selects nothing must yield

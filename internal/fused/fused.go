@@ -19,6 +19,14 @@
 // monomorphized snippet (or whose constant kind does not match the column)
 // simply declines fusion, and the plan keeps running interpreted. The
 // compiler therefore never needs to be complete, only correct.
+//
+// Concurrency contract: a compiled Program is immutable and safe to share —
+// the engine-wide code cache hands one instance to every query and every
+// worker. All mutable execution state lives in the per-worker Exec wrapper
+// (one is mounted per worker pipeline, so fused loops run morsel-parallel
+// without coordination); the only cross-worker state is the Counters
+// telemetry, which is atomic. Guards and deopts are local to one Exec:
+// a worker reverting to the interpreter never affects its siblings.
 package fused
 
 import (

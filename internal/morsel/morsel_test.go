@@ -122,6 +122,56 @@ func TestSkewAbsorption(t *testing.T) {
 	}
 }
 
+// TestStealCountsUnderSkew: when one worker's whole initial range is slow,
+// the other workers must steal from it (and from each other) instead of
+// idling — observable through the new StealsPerWorker counters — while
+// still covering every row exactly once.
+func TestStealCountsUnderSkew(t *testing.T) {
+	const morselLen = 1024
+	const workers = 4
+	n := 64 * morselLen
+	seen := make([]int32, n)
+	st := RunInstrumented(n, Options{Workers: workers, MorselLen: morselLen}, func(w, lo, hi int) {
+		// Worker 0's initial contiguous range is the first quarter of the
+		// index space; make every morsel there slow so its owner cannot
+		// drain it alone.
+		if lo < n/workers {
+			time.Sleep(2 * time.Millisecond)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("row %d covered %d times", i, c)
+		}
+	}
+	if st.Steals() == 0 {
+		t.Fatalf("no steals recorded under a skewed region (%v)", st.StealsPerWorker)
+	}
+	if len(st.StealsPerWorker) != workers {
+		t.Fatalf("StealsPerWorker sized %d, want %d", len(st.StealsPerWorker), workers)
+	}
+}
+
+// TestStealSplitNeverLosesMorsels hammers the steal CAS paths with tiny
+// morsels and more workers than morsels-per-range, where every worker
+// spends most of its time thieving.
+func TestStealSplitNeverLosesMorsels(t *testing.T) {
+	for _, workers := range []int{2, 3, 8, 16} {
+		for _, n := range []int{7, 64, 1000, 4097} {
+			var rows atomic.Int64
+			st := RunInstrumented(n, Options{Workers: workers, MorselLen: 3}, func(_, lo, hi int) {
+				rows.Add(int64(hi - lo))
+			})
+			if rows.Load() != int64(n) || st.Rows() != int64(n) {
+				t.Fatalf("workers=%d n=%d: covered %d rows (stats %d)", workers, n, rows.Load(), st.Rows())
+			}
+		}
+	}
+}
+
 func TestParallelSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")

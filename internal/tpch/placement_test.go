@@ -59,7 +59,9 @@ func assertBytesEqual(t *testing.T, label string, want, got [][]advm.Value) {
 
 // TestQueriesUnderDevicePlacement: Q1, Q3 and Q6 produce byte-identical
 // results under every device policy and worker count — placement is purely
-// a scheduling concern because the modeled GPU executes on the host.
+// a scheduling concern because the modeled GPU executes on the host. The
+// serial reference shares the sessions' morsel length: result bytes are a
+// function of (plan, data, morsel length), never of workers or devices.
 func TestQueriesUnderDevicePlacement(t *testing.T) {
 	li := GenLineitem(0.01, 42)
 	ord := GenOrders(0.01, 42)
@@ -75,7 +77,7 @@ func TestQueriesUnderDevicePlacement(t *testing.T) {
 		{"q6", PlanQ6(li, q6p)},
 	}
 
-	ref, err := advm.NewSession(advm.WithParallelism(1))
+	ref, err := advm.NewSession(advm.WithParallelism(1), advm.WithMorselLen(8192))
 	if err != nil {
 		t.Fatal(err)
 	}
