@@ -341,6 +341,14 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 		s.eng.pool.release(workers)
 		return nil, tagged(ErrBind, err)
 	}
+	if workers > 1 && len(b.sharedList) > 0 {
+		// Overlap the query's join build sides: kick every shared table off
+		// concurrently at Open instead of letting each build wait for the
+		// first probe that needs it. Each table still builds exactly once
+		// (sync.Once) with its internal build-order partitioning untouched,
+		// so result bytes cannot move — only the builds' wall time overlaps.
+		op = &prebuildOp{Operator: op, tables: b.sharedList}
+	}
 	if workers > 1 && b.exchanges > 0 {
 		// The cursor owns the granted workers until closed.
 		op = &releaseOp{Operator: op, pool: s.eng.pool, n: workers}
@@ -391,6 +399,37 @@ func (s *Session) mergeMorselPlacements(rec *engine.PlacementRecorder) {
 		s.morselPlacements[dev] += n
 	}
 	s.morselTransfer += transfer
+}
+
+// prebuildOp starts every shared join-table build of a parallel query
+// concurrently when the pipeline opens. Dependent builds (a build side that
+// probes another shared table) simply block inside their recipe until the
+// table they need finishes — sync.Once serializes per table, never across
+// tables — so independent sides overlap and chains degrade to the old
+// sequential order. Close waits for stragglers after closing the child: the
+// query context is cancelled first (Rows.close), so an abandoned build
+// aborts at its next chunk boundary rather than running to completion.
+type prebuildOp struct {
+	engine.Operator
+	tables []*engine.SharedJoinTable
+	wg     sync.WaitGroup
+}
+
+func (p *prebuildOp) Open(ctx context.Context) error {
+	for _, t := range p.tables {
+		p.wg.Add(1)
+		go func(t *engine.SharedJoinTable) {
+			defer p.wg.Done()
+			t.Table(ctx) // errors surface through the probes' own Table calls
+		}(t)
+	}
+	return p.Operator.Open(ctx)
+}
+
+func (p *prebuildOp) Close() error {
+	err := p.Operator.Close()
+	p.wg.Wait()
+	return err
 }
 
 // releaseOp returns pooled workers when the pipeline closes.

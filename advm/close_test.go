@@ -2,6 +2,7 @@ package advm_test
 
 import (
 	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -90,5 +91,64 @@ func TestRowsCloseUnderCancelledParent(t *testing.T) {
 	rows.Close()
 	if inUse := eng.Stats().PoolInUse; inUse != 0 {
 		t.Fatalf("%d pool workers still granted after cancelled stream closed", inUse)
+	}
+}
+
+// TestParallelQueryAbandonNoGoroutineLeak fences runtime.NumGoroutine around
+// repeatedly abandoning parallel join queries mid-stream. The plan mounts a
+// shared join table, so the query's Open also kicks off an overlapped
+// background build — Close must join both the morsel workers and any
+// abandoned build goroutine. Run under -race this doubles as a teardown
+// synchronization check.
+func TestParallelQueryAbandonNoGoroutineLeak(t *testing.T) {
+	eng, err := advm.NewEngine(advm.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	sess, err := eng.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact := closeTestTable(1 << 19)
+	dim := advm.NewTable(advm.NewSchema("id", advm.I64, "name", advm.Str))
+	for i := 0; i < 1000; i++ {
+		dim.AppendRow(advm.I64Value(int64(i)), advm.StrValue(string(rune('a'+i%26))))
+	}
+	plan := advm.Scan(fact, "k", "v").
+		Join(advm.Scan(dim, "id", "name"), "k", "id", "name").
+		Compute("w", `(\v -> (v * 3 + 7) * (v - 1))`, advm.I64, "v")
+
+	before := runtime.NumGoroutine()
+	for iter := 0; iter < 10; iter++ {
+		rows, err := sess.Query(context.Background(), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatalf("iter %d: no rows before close: %v", iter, rows.Err())
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if inUse := eng.Stats().PoolInUse; inUse != 0 {
+			t.Fatalf("iter %d: %d pool workers still granted after Rows.Close", iter, inUse)
+		}
+	}
+
+	// Fence with slack: runtime background goroutines come and go, so a
+	// small constant above the baseline is the tightest stable bound. Give
+	// unwinding workers a settling window before declaring a leak.
+	const slack = 3
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > before+slack && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > before+slack {
+		t.Fatalf("goroutines: %d before, %d after 10 abandoned parallel joins (slack %d) — leak",
+			before, n, slack)
 	}
 }

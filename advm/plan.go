@@ -180,6 +180,12 @@ type builder struct {
 	exchanges int // parallel structures instantiated (0 → the grant can be returned)
 	shared    map[*Plan]*engine.SharedJoinTable
 
+	// sharedList holds the query's shared join tables in creation order.
+	// Parallel queries kick all of them off concurrently at Open (see
+	// prebuildOp) so independent build sides overlap instead of each waiting
+	// for the first probe that needs it.
+	sharedList []*engine.SharedJoinTable
+
 	placer *device.Placer            // adaptive policy: choose per morsel
 	forced device.Device             // pinned policy: every morsel on this device
 	rec    *engine.PlacementRecorder // non-nil → device placement is on
@@ -309,6 +315,9 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 		// so adaptive pre-aggregation is deterministic here too.
 		return engine.NewHashAgg(child, p.keys, p.aggs), nil
 	case planTopK:
+		if op, ok, err := p.buildParallelTopK(b); ok || err != nil {
+			return op, err
+		}
 		child, err := p.child.build(b)
 		if err != nil {
 			return nil, err
@@ -316,6 +325,47 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 		return engine.NewTopK(child, p.k, p.by...)
 	}
 	panic("advm: unknown plan node")
+}
+
+// buildParallelTopK instantiates a top-k over a streaming segment as a
+// morsel-parallel fold when workers are granted (and no fan-out claimed them
+// yet): each morsel reduces to at most k candidate rows and the candidates
+// merge in morsel sequence order. Unlike an exchange, a bare scan underneath
+// is worth fanning out too — the fold is a real reduction, not a row copy —
+// so only the worker/exchange gates apply. There is no arithmetic in a
+// top-k, so parallel and serial instantiations emit identical bytes and
+// mounting only under granted workers cannot shift results; ok=false falls
+// through to the serial TopK.
+func (p *Plan) buildParallelTopK(b *builder) (engine.Operator, bool, error) {
+	if b.workers <= 1 || b.exchanges > 0 {
+		return nil, false, nil
+	}
+	stages, scan, ok := p.child.segment()
+	if !ok {
+		return nil, false, nil
+	}
+	b.exchanges++ // claim before nested sharedJoin builds count theirs
+	mk := func(_ int, leaf engine.Operator) (engine.Operator, error) { return leaf, nil }
+	if len(stages) > 0 {
+		var err error
+		mk, _, err = b.pipeMaker(stages, scan)
+		if err != nil {
+			return nil, false, err
+		}
+		mk = b.placedMaker(mk, scan, stages)
+	}
+	tk, err := engine.NewParallelTopK(b.storeFor(scan), scan.columns, b.workers, mk, p.k, p.by...)
+	if err != nil {
+		return nil, false, err
+	}
+	if b.s.opt.chunkLen > 0 {
+		tk.SetChunkLen(b.s.opt.chunkLen)
+	}
+	if b.s.opt.morselLen > 0 {
+		tk.SetMorselLen(b.s.opt.morselLen)
+	}
+	b.morselOps = append(b.morselOps, tk)
+	return tk, true, nil
 }
 
 // stageOn instantiates a filter/compute node on top of child with the
@@ -548,6 +598,7 @@ func (b *builder) sharedJoin(p *Plan) (*engine.SharedJoinTable, error) {
 		b.shared = map[*Plan]*engine.SharedJoinTable{}
 	}
 	b.shared[p] = s
+	b.sharedList = append(b.sharedList, s)
 	return s, nil
 }
 

@@ -1094,11 +1094,21 @@ type multicoreRecord struct {
 	Q6SerialNsOp int64   `json:"q6_serial_ns_op"`
 	Q6ParNsOp    int64   `json:"q6_par_ns_op"`
 	Q6Speedup    float64 `json:"q6_speedup"`
+	HCSerialNsOp int64   `json:"hc_serial_ns_op,omitempty"`
+	HCParNsOp    int64   `json:"hc_par_ns_op,omitempty"`
+	HCSpeedup    float64 `json:"hc_speedup,omitempty"`
 	MorselSteals int64   `json:"morsel_steals"`
 	Identical    bool    `json:"identical"`
 	GOMAXPROCS   int     `json:"gomaxprocs"`
 	NumCPU       int     `json:"num_cpu"`
 	CalibNs      int64   `json:"calib_ns"`
+	// Per-query speedup floors, read by benchdiff from the BASELINE record
+	// only: raising one is a checked-in, reviewed act, not something a
+	// current run can weaken. Zero means benchdiff's default floor applies.
+	Q1SpeedupFloor float64 `json:"q1_speedup_floor,omitempty"`
+	Q3SpeedupFloor float64 `json:"q3_speedup_floor,omitempty"`
+	Q6SpeedupFloor float64 `json:"q6_speedup_floor,omitempty"`
+	HCSpeedupFloor float64 `json:"hc_speedup_floor,omitempty"`
 }
 
 // expE20 measures multi-core scaling of the work-stealing morsel scheduler:
@@ -1162,6 +1172,19 @@ func expE20(sf float64, dataDir, outDir string) {
 
 	q6p := tpch.DefaultQ6Params()
 	q3p := tpch.DefaultQ3Params()
+	// hc is a Q1-shaped grouped aggregation whose key pair (l_orderkey,
+	// l_quantity) is near-unique per row — ~100k groups at SF 0.02 — so it
+	// stresses per-morsel aggregation-table footprint rather than arithmetic.
+	// Both key columns live in the store, which also exercises the zone-map
+	// distinct-estimate table sizing.
+	hcPlan := func(st advm.TableSource) *advm.Plan {
+		return advm.Scan(st, "l_orderkey", "l_quantity", "l_extendedprice", "l_discount").
+			Compute("disc_price", `(\p d -> p * (1.0 - d))`, advm.F64, "l_extendedprice", "l_discount").
+			Aggregate([]string{"l_orderkey", "l_quantity"},
+				advm.Agg{Func: advm.AggSum, Col: "disc_price", As: "revenue"},
+				advm.Agg{Func: advm.AggAvg, Col: "l_quantity", As: "avg_qty"},
+				advm.Agg{Func: advm.AggCount, As: "cnt"})
+	}
 	rec := multicoreRecord{
 		Benchmark: "multicore", ScaleFactor: sf, Rows: st.Rows(),
 		Workers: workers, Iters: iters,
@@ -1169,6 +1192,9 @@ func expE20(sf float64, dataDir, outDir string) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		CalibNs:    calibNs,
+		// Q3's parallel plan must beat serial outright: the floor was raised
+		// to 1.0 when the overlapped build + parallel top-k work landed.
+		Q3SpeedupFloor: 1.0,
 	}
 	for _, q := range []struct {
 		name            string
@@ -1181,6 +1207,7 @@ func expE20(sf float64, dataDir, outDir string) {
 			&rec.Q3SerialNsOp, &rec.Q3ParNsOp, &rec.Q3Speedup},
 		{"q6", func(st advm.TableSource) *advm.Plan { return tpch.PlanQ6(st, q6p) },
 			&rec.Q6SerialNsOp, &rec.Q6ParNsOp, &rec.Q6Speedup},
+		{"hc", hcPlan, &rec.HCSerialNsOp, &rec.HCParNsOp, &rec.HCSpeedup},
 	} {
 		serialD, want := measure(serial, q.plan)
 		parD, got := measure(parallel, q.plan)

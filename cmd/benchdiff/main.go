@@ -78,7 +78,24 @@ type benchRecord struct {
 	Q6SerialNsOp int64   `json:"q6_serial_ns_op,omitempty"`
 	Q6ParNsOp    int64   `json:"q6_par_ns_op,omitempty"`
 	Q6Speedup    float64 `json:"q6_speedup,omitempty"`
+	// The high-cardinality grouped-aggregation leg (Q1-shaped plan,
+	// ~100k groups): present in records from advm-bench ≥ the leg's
+	// introduction, gated like the other multicore legs when present on
+	// either side.
+	HCSerialNsOp int64   `json:"hc_serial_ns_op,omitempty"`
+	HCParNsOp    int64   `json:"hc_par_ns_op,omitempty"`
+	HCSpeedup    float64 `json:"hc_speedup,omitempty"`
 	NumCPU       int     `json:"num_cpu,omitempty"`
+
+	// Per-query speedup floors, read from the *baseline* record: when the
+	// checked-in baseline carries e.g. "q3_speedup_floor": 1.0, the current
+	// record's q3_speedup is gated against that floor instead of the default
+	// 1 − max-regress. Raising a floor is therefore a reviewed, checked-in
+	// act, exactly like re-baselining an ns/op.
+	Q1SpeedupFloor float64 `json:"q1_speedup_floor,omitempty"`
+	Q3SpeedupFloor float64 `json:"q3_speedup_floor,omitempty"`
+	Q6SpeedupFloor float64 `json:"q6_speedup_floor,omitempty"`
+	HCSpeedupFloor float64 `json:"hc_speedup_floor,omitempty"`
 }
 
 // diffRow is one benchmark × metric comparison. Ratio is
@@ -99,12 +116,26 @@ type diffRow struct {
 	IsSpeedup    bool
 	BaseX, CurX  float64 // baseline / current speedup factors
 	SpeedupFloor float64 // gate floor the current speedup must clear
+
+	// Undersubscribed-host skips carry the numbers for the explicit
+	// "SKIPPED (num_cpu=N < required M)" line in the step summary.
+	SkipCPUs, SkipWorkers int
+}
+
+// gateCounts summarizes a run for machines: CI history can distinguish
+// "passed" from "didn't measure" by the skipped counter instead of parsing
+// the Markdown.
+type gateCounts struct {
+	Gated     int `json:"gated"`
+	Skipped   int `json:"skipped"`
+	Regressed int `json:"regressed"`
 }
 
 func main() {
 	baseline := flag.String("baseline", "bench/baseline", "directory of checked-in BENCH_*.json baselines")
 	current := flag.String("current", ".", "directory of freshly measured BENCH_*.json records")
 	maxRegress := flag.Float64("max-regress", 0.25, "fail when ns/op exceeds baseline by more than this fraction")
+	summaryJSON := flag.String("summary-json", "", "write {gated,skipped,regressed} counters to this JSON file (\"\" = don't)")
 	flag.Parse()
 
 	rows, err := diffDirs(*baseline, *current, *maxRegress)
@@ -112,15 +143,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
+	counts, skipLines := summarize(rows)
 	table := renderTable(rows, *maxRegress)
-	fmt.Print(table)
+	report := table
+	for _, l := range skipLines {
+		report += "\n" + l
+	}
+	report += fmt.Sprintf("\n\nbenchdiff: %d metrics gated, %d skipped, %d regressed\n",
+		counts.Gated, counts.Skipped, counts.Regressed)
+	fmt.Print(report)
 	if summary := os.Getenv("GITHUB_STEP_SUMMARY"); summary != "" {
 		f, err := os.OpenFile(summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err == nil {
 			fmt.Fprintln(f, "## Bench perf gate")
 			fmt.Fprintln(f)
-			fmt.Fprint(f, table)
+			fmt.Fprint(f, report)
 			f.Close()
+		}
+	}
+	if *summaryJSON != "" {
+		data, _ := json.Marshal(counts)
+		if err := os.WriteFile(*summaryJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
 		}
 	}
 
@@ -143,7 +188,33 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("\nbenchdiff: all records within %.0f%% of baseline\n", *maxRegress*100)
+	fmt.Printf("\nbenchdiff: all gated records within %.0f%% of baseline\n", *maxRegress*100)
+}
+
+// summarize counts the gate outcome per metric row and renders one explicit
+// line per skipped metric — a skipped gate must read as "didn't measure",
+// never as a pass, in both the step summary and the counters JSON.
+func summarize(rows []diffRow) (gateCounts, []string) {
+	var c gateCounts
+	var lines []string
+	for _, r := range rows {
+		switch {
+		case r.Skipped != "":
+			c.Skipped++
+			if r.SkipCPUs > 0 || r.SkipWorkers > 0 {
+				lines = append(lines, fmt.Sprintf("SKIPPED (num_cpu=%d < required %d): %s %s not gated — %s",
+					r.SkipCPUs, r.SkipWorkers, r.Bench, r.Metric, r.Skipped))
+			} else {
+				lines = append(lines, fmt.Sprintf("SKIPPED: %s %s not gated — %s", r.Bench, r.Metric, r.Skipped))
+			}
+		default:
+			c.Gated++
+		}
+		if r.Regressed || r.NotReproducing {
+			c.Regressed++
+		}
+	}
+	return c, lines
 }
 
 // diffDirs loads every BENCH_*.json under baseline and compares it with the
@@ -251,8 +322,15 @@ func diffRecords(base, cur benchRecord, maxRegress float64) []diffRow {
 		// host (NumCPU < Workers) skips the floor instead of failing it —
 		// such a host cannot exhibit parallel speedup regardless of scheduler
 		// health.
-		floor := 1 - maxRegress
-		mkSpeedup := func(metric string, baseX, curX float64) diffRow {
+		// Each query's floor defaults to 1 − max-regress; a baseline record
+		// carrying a per-query floor (e.g. "q3_speedup_floor": 1.0) overrides
+		// it, so a proven speedup cannot silently erode back below 1x.
+		defFloor := 1 - maxRegress
+		mkSpeedup := func(metric string, baseX, curX, baseFloor float64) diffRow {
+			floor := defFloor
+			if baseFloor > 0 {
+				floor = baseFloor
+			}
 			r := diffRow{
 				Bench: base.Benchmark, Metric: metric,
 				IsSpeedup: true, BaseX: baseX, CurX: curX, SpeedupFloor: floor,
@@ -262,6 +340,7 @@ func diffRecords(base, cur benchRecord, maxRegress float64) []diffRow {
 			}
 			if cur.NumCPU < cur.Workers {
 				r.Skipped = fmt.Sprintf("host undersubscribed (%d CPUs for %d workers)", cur.NumCPU, cur.Workers)
+				r.SkipCPUs, r.SkipWorkers = cur.NumCPU, cur.Workers
 				return r
 			}
 			r.Regressed = curX < floor
@@ -270,13 +349,19 @@ func diffRecords(base, cur benchRecord, maxRegress float64) []diffRow {
 		rows = []diffRow{
 			mk("q1-serial", base.Q1SerialNsOp, cur.Q1SerialNsOp),
 			skipParallel(mk("q1-parallel", base.Q1ParNsOp, cur.Q1ParNsOp)),
-			mkSpeedup("q1-speedup", base.Q1Speedup, cur.Q1Speedup),
+			mkSpeedup("q1-speedup", base.Q1Speedup, cur.Q1Speedup, base.Q1SpeedupFloor),
 			mk("q3-serial", base.Q3SerialNsOp, cur.Q3SerialNsOp),
 			skipParallel(mk("q3-parallel", base.Q3ParNsOp, cur.Q3ParNsOp)),
-			mkSpeedup("q3-speedup", base.Q3Speedup, cur.Q3Speedup),
+			mkSpeedup("q3-speedup", base.Q3Speedup, cur.Q3Speedup, base.Q3SpeedupFloor),
 			mk("q6-serial", base.Q6SerialNsOp, cur.Q6SerialNsOp),
 			skipParallel(mk("q6-parallel", base.Q6ParNsOp, cur.Q6ParNsOp)),
-			mkSpeedup("q6-speedup", base.Q6Speedup, cur.Q6Speedup),
+			mkSpeedup("q6-speedup", base.Q6Speedup, cur.Q6Speedup, base.Q6SpeedupFloor),
+		}
+		if base.HCSerialNsOp > 0 || cur.HCSerialNsOp > 0 {
+			rows = append(rows,
+				mk("hc-serial", base.HCSerialNsOp, cur.HCSerialNsOp),
+				skipParallel(mk("hc-parallel", base.HCParNsOp, cur.HCParNsOp)),
+				mkSpeedup("hc-speedup", base.HCSpeedup, cur.HCSpeedup, base.HCSpeedupFloor))
 		}
 	} else {
 		rows = []diffRow{

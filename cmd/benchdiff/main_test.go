@@ -276,6 +276,84 @@ func TestDiffRecordsMulticoreNotReproducing(t *testing.T) {
 	}
 }
 
+// TestDiffRecordsMulticorePerQueryFloor: a baseline record carrying a
+// per-query speedup floor overrides the default 1 − max-regress floor for
+// that query only.
+func TestDiffRecordsMulticorePerQueryFloor(t *testing.T) {
+	base := multicoreBase()
+	base.Q3SpeedupFloor = 1.0
+	cur := multicoreBase()
+	cur.Q3Speedup = 0.9 // clears the default 0.75 floor, not the raised 1.0
+	cur.Q1Speedup = 0.9 // q1 keeps the default floor: must pass
+	rows := diffRecords(base, cur, 0.25)
+	byMetric := map[string]diffRow{}
+	for _, r := range rows {
+		byMetric[r.Metric] = r
+	}
+	if r := byMetric["q3-speedup"]; !r.Regressed || r.SpeedupFloor != 1.0 {
+		t.Fatalf("q3 speedup below raised floor not flagged: %+v", r)
+	}
+	if r := byMetric["q1-speedup"]; r.Regressed || r.SpeedupFloor != 0.75 {
+		t.Fatalf("q1 speedup wrongly gated against raised floor: %+v", r)
+	}
+}
+
+// TestDiffRecordsMulticoreHCLeg: the high-cardinality grouped-agg leg is
+// gated like the other multicore legs when present, and absent legs do not
+// add rows (old baselines keep working).
+func TestDiffRecordsMulticoreHCLeg(t *testing.T) {
+	base := multicoreBase()
+	cur := multicoreBase()
+	if n := len(diffRecords(base, cur, 0.25)); n != 9 {
+		t.Fatalf("rows without hc leg = %d, want 9", n)
+	}
+	base.HCSerialNsOp, base.HCParNsOp, base.HCSpeedup = 5000, 2500, 2.0
+	cur.HCSerialNsOp, cur.HCParNsOp, cur.HCSpeedup = 5000, 10000, 0.5
+	rows := diffRecords(base, cur, 0.25)
+	if len(rows) != 12 {
+		t.Fatalf("rows with hc leg = %d, want 12", len(rows))
+	}
+	found := false
+	for _, r := range rows {
+		if r.Metric == "hc-speedup" && r.Regressed && r.IsSpeedup {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hc speedup below floor not flagged: %+v", rows)
+	}
+}
+
+// TestSummarizeSkipLines: skipped metrics produce an explicit SKIPPED line
+// (with the num_cpu detail for undersubscribed hosts) and a nonzero skip
+// counter, so CI history can tell "passed" from "didn't measure".
+func TestSummarizeSkipLines(t *testing.T) {
+	base := multicoreBase()
+	cur := multicoreBase()
+	cur.GOMAXPROCS, cur.NumCPU = 1, 1
+	rows := diffRecords(base, cur, 0.25)
+	counts, lines := summarize(rows)
+	if counts.Skipped == 0 || counts.Regressed != 0 {
+		t.Fatalf("counts = %+v, want skipped > 0 and no regressions", counts)
+	}
+	if counts.Gated+counts.Skipped != len(rows) {
+		t.Fatalf("counts %+v don't partition %d rows", counts, len(rows))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "SKIPPED (num_cpu=1 < required 4)") {
+		t.Fatalf("missing explicit undersubscribed skip line:\n%s", joined)
+	}
+	if len(lines) != counts.Skipped {
+		t.Fatalf("%d skip lines for %d skipped metrics", len(lines), counts.Skipped)
+	}
+
+	// A healthy same-host run skips nothing.
+	counts, lines = summarize(diffRecords(multicoreBase(), multicoreBase(), 0.25))
+	if counts.Skipped != 0 || len(lines) != 0 {
+		t.Fatalf("healthy run reports skips: %+v %v", counts, lines)
+	}
+}
+
 // TestDiffRecordsDeviceNotReproducing: a device record reporting
 // non-identical results fails the gate.
 func TestDiffRecordsDeviceNotReproducing(t *testing.T) {

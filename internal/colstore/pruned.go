@@ -185,6 +185,9 @@ func (v *PrunedTable) Base() *Table { return v.t }
 // ColumnBytes delegates placement costing to the base table.
 func (v *PrunedTable) ColumnBytes(name string) int64 { return v.t.ColumnBytes(name) }
 
+// DistinctEstimate delegates to the base table's zone maps.
+func (v *PrunedTable) DistinctEstimate(col string) int { return v.t.DistinctEstimate(col) }
+
 // SkipRange reports whether rows [lo, hi) fall entirely inside skippable
 // segments, counting each segment the first time it is skipped or scanned.
 func (v *PrunedTable) SkipRange(lo, hi int) bool {

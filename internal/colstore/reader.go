@@ -212,6 +212,26 @@ func (t *Table) ColumnBytes(name string) int64 {
 	return t.cols[i].diskBytes()
 }
 
+// DistinctEstimate returns the largest per-segment distinct-value estimate
+// recorded in the named column's zone maps, or 0 when the column is absent
+// or carries no estimates. It deliberately reports the per-segment maximum,
+// not a table-wide union: consumers (the engine's parallel aggregation)
+// size per-morsel structures, and a morsel never spans more than a segment's
+// worth of distinct values per column.
+func (t *Table) DistinctEstimate(col string) int {
+	i := t.schema.ColumnIndex(col)
+	if i < 0 {
+		return 0
+	}
+	est := 0
+	for _, s := range t.cols[i].segs {
+		if d := int(s.distinct); d > est {
+			est = d
+		}
+	}
+	return est
+}
+
 // Dir returns the directory the table was opened from.
 func (t *Table) Dir() string { return filepath.Clean(t.dir) }
 

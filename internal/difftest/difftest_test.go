@@ -154,6 +154,98 @@ func TestDifferential(t *testing.T) {
 	}
 }
 
+// TestTopKTiesDeterminism pins the parallel top-k's tie-breaking contract:
+// with a sort key of only five distinct values, almost every comparison is a
+// tie, so which rows make the cut is decided entirely by table order — the
+// serial stable sort keeps earlier rows ahead of equal later ones. The
+// parallel operator selects per-morsel candidates and re-sorts them in
+// morsel sequence order, which must resolve every one of those ties exactly
+// as the serial pass does: byte identity across parallelism 1/4/8 × morsel
+// lengths {small, default}, for both a bare scan→topk and a pipelined
+// filter→compute→topk plan.
+func TestTopKTiesDeterminism(t *testing.T) {
+	ctx := context.Background()
+	table := advm.NewTable(advm.NewSchema("s", advm.Str, "v", advm.I64, "x", advm.F64))
+	keys := []string{"red", "green", "blue", "teal", "plum"}
+	// Seeded LCG so the table is reproducible without pulling in math/rand.
+	st := int64(20260807)
+	next := func(n int64) int64 {
+		st = st*6364136223846793005 + 1442695040888963407
+		v := (st >> 33) % n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	for i := 0; i < 30_000; i++ {
+		table.AppendRow(
+			advm.StrValue(keys[next(int64(len(keys)))]),
+			advm.I64Value(int64(i)),
+			advm.F64Value(float64(next(1000))/8),
+		)
+	}
+	plans := []struct {
+		name string
+		plan *advm.Plan
+	}{
+		// k far larger than the distinct-key count: the cut lands mid-tie.
+		{"scan-topk", advm.Scan(table, "s", "v", "x").
+			TopK(500, advm.Order{Col: "s"})},
+		{"piped-topk", advm.Scan(table, "s", "v", "x").
+			Filter(`(\v -> v % 3 != 0)`, "v").
+			Compute("y", `(\x -> x * 0.5)`, advm.F64, "x").
+			TopK(500, advm.Order{Col: "s", Desc: true}, advm.Order{Col: "y"})},
+	}
+	for _, pl := range plans {
+		for _, morselLen := range []int{257, 0} {
+			mkOpts := func(workers int) []advm.Option {
+				opts := []advm.Option{
+					advm.WithParallelism(workers),
+					advm.WithTieredExecution(false),
+					advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}),
+				}
+				if morselLen > 0 {
+					opts = append(opts, advm.WithMorselLen(morselLen))
+				}
+				return opts
+			}
+			ref, err := advm.NewSession(mkOpts(1)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Collect(ctx, ref, pl.plan)
+			ref.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) != 500 {
+				t.Fatalf("%s: serial reference has %d rows, want 500", pl.name, len(want))
+			}
+			for _, workers := range []int{1, 4, 8} {
+				sess, err := advm.NewSession(mkOpts(workers)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Collect(ctx, sess, pl.plan)
+				sess.Close()
+				if err != nil {
+					t.Fatalf("%s [par%d morsel=%d]: %v", pl.name, workers, morselLen, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s [par%d morsel=%d]: %d rows, serial produced %d",
+						pl.name, workers, morselLen, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s [par%d morsel=%d]: row %d differs\n got: %s\nwant: %s",
+							pl.name, workers, morselLen, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestCaseDeterministic: the generator itself must be a pure function of
 // the seed, or failures would not reproduce.
 func TestCaseDeterministic(t *testing.T) {

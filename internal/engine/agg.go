@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/profile"
 	"repro/internal/vector"
@@ -127,35 +128,112 @@ func AggOutputSchema(child []ColInfo, keys []string, aggs []Aggregate) ([]ColInf
 	return schema, nil
 }
 
+// slabStates is the stateSlab block size: one slab refill carves backing
+// arrays for this many group states at once.
+const slabStates = 64
+
+// stateSlab block-allocates aggState objects. A naive per-group allocation
+// costs ten small allocations (the state plus nine accumulator slices); for
+// high-cardinality aggregations that allocator traffic dominates the absorb
+// loop. The slab allocates one block of states and three backing arrays per
+// refill and carves fixed-capacity sub-slices out of them, so the amortized
+// cost per group is ~10/slabStates allocations. Handed-out states are never
+// reclaimed by the slab — they stay valid after the owning table is released
+// to the pool (merge adopts state pointers across tables).
+type stateSlab struct {
+	naggs  int
+	states []aggState
+	ints   []int64
+	floats []float64
+	firsts []vector.Value
+	seen   []bool
+}
+
+func (s *stateSlab) alloc(naggs int, key groupKey) *aggState {
+	if len(s.states) == 0 || s.naggs != naggs {
+		s.naggs = naggs
+		n := slabStates * naggs
+		s.states = make([]aggState, slabStates)
+		s.ints = make([]int64, 4*n)
+		s.floats = make([]float64, 3*n)
+		s.firsts = make([]vector.Value, n)
+		s.seen = make([]bool, n)
+	}
+	st := &s.states[0]
+	s.states = s.states[1:]
+	st.key = key
+	carveI := func() []int64 {
+		c := s.ints[:naggs:naggs]
+		s.ints = s.ints[naggs:]
+		return c
+	}
+	carveF := func() []float64 {
+		c := s.floats[:naggs:naggs]
+		s.floats = s.floats[naggs:]
+		return c
+	}
+	st.counts, st.sumsI, st.minsI, st.maxsI = carveI(), carveI(), carveI(), carveI()
+	st.sumsF, st.minsF, st.maxsF = carveF(), carveF(), carveF()
+	st.firsts = s.firsts[:naggs:naggs]
+	s.firsts = s.firsts[naggs:]
+	st.seen = s.seen[:naggs:naggs]
+	s.seen = s.seen[naggs:]
+	return st
+}
+
 // aggTable is a grouped-aggregation accumulator: a hash table of per-group
 // states plus the first-seen group order. It is the building block shared by
 // the serial HashAgg (one global table) and the morsel-parallel aggregation
-// (one table per partition folder).
+// (one table per morsel).
 type aggTable struct {
 	keys   []string
 	aggs   []Aggregate
 	groups map[groupKey]*aggState
 	order  []groupKey
+	slab   stateSlab
 }
 
+// aggTablePool recycles aggTable containers — the groups map's buckets, the
+// order slice and the slab tail — across morsels and queries. Only the
+// containers are pooled: group states are slab-allocated and adopted by
+// whichever table they are merged into, so a released table never aliases
+// live accumulator memory.
+var aggTablePool = sync.Pool{New: func() any { return new(aggTable) }}
+
 func newAggTable(keys []string, aggs []Aggregate) *aggTable {
-	return &aggTable{keys: keys, aggs: aggs, groups: map[groupKey]*aggState{}}
+	return newAggTableSized(keys, aggs, 0)
+}
+
+// newAggTableSized is newAggTable with a group-count hint (0 = unknown): the
+// morsel-parallel aggregation sizes per-morsel tables from the scan's
+// zone-map distinct estimates so high-cardinality runs skip the incremental
+// map growth. A pooled table keeps whatever bucket capacity it grew to, which
+// usually exceeds the hint.
+func newAggTableSized(keys []string, aggs []Aggregate, hint int) *aggTable {
+	t := aggTablePool.Get().(*aggTable)
+	t.keys, t.aggs = keys, aggs
+	if t.groups == nil {
+		t.groups = make(map[groupKey]*aggState, hint)
+	}
+	if cap(t.order) < hint {
+		t.order = make([]groupKey, 0, hint)
+	}
+	return t
+}
+
+// release returns the table's containers to the pool. Callers must be done
+// with the table itself but may keep using its states: emitted chunks copy
+// values out, and merge adopts state pointers into the surviving table, so
+// clearing the map here only drops references.
+func (t *aggTable) release() {
+	clear(t.groups)
+	t.order = t.order[:0]
+	t.keys, t.aggs = nil, nil
+	aggTablePool.Put(t)
 }
 
 func (t *aggTable) newState(key groupKey) *aggState {
-	n := len(t.aggs)
-	return &aggState{
-		key:    key,
-		counts: make([]int64, n),
-		sumsI:  make([]int64, n),
-		sumsF:  make([]float64, n),
-		minsI:  make([]int64, n),
-		maxsI:  make([]int64, n),
-		minsF:  make([]float64, n),
-		maxsF:  make([]float64, n),
-		firsts: make([]vector.Value, n),
-		seen:   make([]bool, n),
-	}
+	return t.slab.alloc(len(t.aggs), key)
 }
 
 // global returns the state for key, creating it on first sight.
@@ -602,7 +680,10 @@ func hashStr(s string) uint64 {
 
 func (h *HashAgg) emit() (*vector.Chunk, error) {
 	h.emitted = true
-	return emitAggChunk(h.schema, h.keys, h.aggs, h.tbl), nil
+	out := emitAggChunk(h.schema, h.keys, h.aggs, h.tbl)
+	h.tbl.release()
+	h.tbl = nil
+	return out, nil
 }
 
 // emitAggChunk materializes an aggregation table into one result chunk,

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGoroutines waits for the goroutine count to drop back to at most
+// limit, giving cancelled workers a moment to observe their quit signals and
+// unwind. Returns the last observed count.
+func settleGoroutines(limit int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > limit && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestExchangeCancelNoGoroutineLeak fences runtime.NumGoroutine around many
+// abandoned parallel runs: exchanges cancelled mid-stream and exchanges
+// closed without draining. Every worker goroutine must exit — a leak of even
+// one per query compounds across a session's lifetime. Run under -race this
+// also shakes out unsynchronized teardown.
+func TestExchangeCancelNoGoroutineLeak(t *testing.T) {
+	st := genTable(t, 200_000, 11)
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 20; i++ {
+		ex, err := NewExchange(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
+			return pipelineOn(leaf), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.SetMorselLen(1024)
+		ctx, cancel := context.WithCancel(context.Background())
+		if err := ex.Open(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			// Cancel mid-stream, then close: workers must notice the context
+			// even while blocked sending into the output channel.
+			cancel()
+		}
+		if err := ex.Close(); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+	}
+
+	// Allow scheduling slack: the runtime's own background goroutines come
+	// and go, so fence against a small constant, not exact equality.
+	const slack = 3
+	if n := settleGoroutines(before + slack); n > before+slack {
+		t.Fatalf("goroutines: %d before, %d after %d abandoned exchanges (slack %d) — worker leak",
+			before, n, 20, slack)
+	}
+}
+
+// TestParallelAggCancelNoGoroutineLeak does the same for the ParallelAgg
+// path: a run cancelled before Next completes must still join every worker
+// before Next returns, and Close must be clean afterwards.
+func TestParallelAggCancelNoGoroutineLeak(t *testing.T) {
+	st := genTable(t, 200_000, 12)
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 20; i++ {
+		pa, err := NewParallelAgg(st, nil, 4, func(_ int, leaf Operator) (Operator, error) {
+			return pipelineOn(leaf), nil
+		}, []string{"k"}, []Aggregate{{Func: AggSum, Col: "v2", As: "s"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa.SetMorselLen(1024)
+		ctx, cancel := context.WithCancel(context.Background())
+		if err := pa.Open(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			cancel()
+		}
+		// ParallelAgg runs the whole fold inside Next: on the cancelled
+		// iterations it must return an error with every worker joined.
+		if _, err := pa.Next(ctx); err != nil && i%2 != 0 {
+			t.Fatal(err)
+		}
+		if err := pa.Close(); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+	}
+
+	const slack = 3
+	if n := settleGoroutines(before + slack); n > before+slack {
+		t.Fatalf("goroutines: %d before, %d after cancelled parallel aggs (slack %d) — worker leak",
+			before, n, slack)
+	}
+}

@@ -434,6 +434,14 @@ func BuildJoinTableParallel(ctx context.Context, store vector.Store, columns []s
 	if morselLen <= 0 {
 		morselLen = morsel.DefaultMorselLen
 	}
+	// Cap the fan-out at the build side's morsel count: a tiny build table
+	// gains nothing from surplus workers, and each one costs a full pipeline
+	// (expression VMs included) plus an idle spin in the dispatcher. The cap
+	// is result-invisible — stitching is keyed by morsel sequence, and the
+	// partition count of the hashed table affects scheduling only.
+	if nm := (store.Rows() + morselLen - 1) / morselLen; nm > 0 && workers > nm {
+		workers = nm
+	}
 	leaves := make([]*PartScan, workers)
 	pipes := make([]Operator, workers)
 	for w := 0; w < workers; w++ {
@@ -686,7 +694,7 @@ func (p *TableProbe) Close() error { return p.child.Close() }
 // concurrently under work-stealing dispatch, each morsel folding its rows —
 // in row order — into a private pre-aggregation table slotted by the
 // morsel's dense sequence number. When the run completes, the tables merge
-// left-to-right in sequence order, so every group's accumulation order is
+// pairwise in a sequence-ordered tree, so every group's accumulation order is
 // fully determined by the data and the morsel length: which worker ran a
 // morsel, how many workers there were, and how steals interleaved all
 // cancel out.
@@ -812,6 +820,7 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 	// each morsel exactly once) and read only after the run completes, so the
 	// slice needs no locking.
 	tables := make([]*aggTable, numMorsels)
+	hint := a.tableHint()
 	a.stats = morsel.RunInstrumented(rows,
 		morsel.Options{Workers: a.workers, MorselLen: a.morselLen},
 		func(worker, lo, hi int) {
@@ -819,7 +828,7 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 				return
 			}
 			a.leaves[worker].SetRange(lo, hi)
-			tbl := newAggTable(a.keys, a.aggs)
+			tbl := newAggTableSized(a.keys, a.aggs, hint)
 			absorb := func(c *vector.Chunk) {
 				cc := c
 				if c.Sel() != nil {
@@ -864,17 +873,97 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 		return nil, err
 	}
 
-	// Merge the per-morsel tables in sequence order — each table holds
-	// strictly later rows than everything merged before it — and emit in key
-	// order.
-	final := newAggTable(a.keys, a.aggs)
-	for _, tbl := range tables {
-		if tbl != nil {
-			final.merge(tbl)
+	// Merge the per-morsel tables in a sequence-ordered pairwise tree — each
+	// merge's right operand holds strictly later rows than its left — and
+	// emit in key order.
+	final := mergeAggTables(tables, a.workers, a.keys, a.aggs)
+	a.out = emitAggChunk(a.schema, a.keys, a.aggs, final)
+	final.release()
+	return a.out, nil
+}
+
+// DistinctEstimator is implemented by stores whose metadata carries
+// per-column distinct-value estimates (the colstore's zone maps).
+// ParallelAgg uses them to pre-size per-morsel group tables; an estimate of
+// 0 means "unknown".
+type DistinctEstimator interface {
+	DistinctEstimate(col string) int
+}
+
+// tableHint estimates the group count of one morsel's pre-aggregation table:
+// the largest zone-map distinct estimate across the group-key columns,
+// capped at the morsel length (a morsel cannot hold more groups than rows).
+// 0 when the store has no estimates or a key is not a stored column (e.g.
+// computed downstream of the scan).
+func (a *ParallelAgg) tableHint() int {
+	de, ok := a.store.(DistinctEstimator)
+	if !ok {
+		return 0
+	}
+	hint := 0
+	for _, k := range a.keys {
+		d := de.DistinctEstimate(k)
+		if d <= 0 {
+			return 0
+		}
+		if d > hint {
+			hint = d
 		}
 	}
-	a.out = emitAggChunk(a.schema, a.keys, a.aggs, final)
-	return a.out, nil
+	if hint > a.morselLen {
+		hint = a.morselLen
+	}
+	return hint
+}
+
+// mergeAggTables folds the per-morsel tables into one with a pairwise,
+// sequence-ordered reduction tree: every round merges table 2i+1 into table
+// 2i (an odd tail carries over), so each merge's right operand still holds
+// strictly later rows than its left and the combined first-seen order — and
+// therefore the floating-point accumulation order per group — is identical
+// to the serial left-to-right fold's group order. The tree's shape depends
+// only on the morsel count, never on workers, keeping result bytes a
+// function of (plan, data, morsel length); rounds with several pairs run
+// them concurrently since pairs touch disjoint tables. Merged-away tables
+// are released to the pool; the caller owns (and releases) the survivor.
+func mergeAggTables(tables []*aggTable, workers int, keys []string, aggs []Aggregate) *aggTable {
+	live := make([]*aggTable, 0, len(tables))
+	for _, t := range tables {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return newAggTable(keys, aggs)
+	}
+	for len(live) > 1 {
+		pairs := len(live) / 2
+		mergePair := func(i int) {
+			live[2*i].merge(live[2*i+1])
+			live[2*i+1].release()
+		}
+		if workers > 1 && pairs > 1 {
+			var wg sync.WaitGroup
+			for i := 0; i < pairs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					mergePair(i)
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < pairs; i++ {
+				mergePair(i)
+			}
+		}
+		next := make([]*aggTable, 0, (len(live)+1)/2)
+		for i := 0; i < len(live); i += 2 {
+			next = append(next, live[i])
+		}
+		live = next
+	}
+	return live[0]
 }
 
 // Close implements Operator.

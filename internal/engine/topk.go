@@ -103,8 +103,19 @@ func (t *TopK) Next(ctx context.Context) (*vector.Chunk, error) {
 		return nil, err
 	}
 	t.emitted = true
-	orderCols := make([]*vector.Vector, len(t.by))
-	for i, o := range t.by {
+	t.out = topKSelect(rows, t.schema, t.k, t.by)
+	return t.out, nil
+}
+
+// topKSelect stable-sorts the materialized rows by the order columns and
+// returns the first k (all of them when fewer) as one condensed chunk in
+// schema column order. The stable sort keeps tied rows in store order.
+// Shared by the serial TopK and the morsel-parallel ParallelTopK — using one
+// comparator and one materialization path is what makes the parallel fold
+// byte-identical to the serial sort.
+func topKSelect(rows *vector.DSMStore, schema []ColInfo, k int, by []OrderSpec) *vector.Chunk {
+	orderCols := make([]*vector.Vector, len(by))
+	for i, o := range by {
 		orderCols[i] = rows.Col(rows.Schema().ColumnIndex(o.Col))
 	}
 	idx := make([]int, rows.Rows())
@@ -113,7 +124,7 @@ func (t *TopK) Next(ctx context.Context) (*vector.Chunk, error) {
 	}
 	sort.SliceStable(idx, func(x, y int) bool {
 		a, b := idx[x], idx[y]
-		for i, o := range t.by {
+		for i, o := range by {
 			va, vb := orderCols[i].Get(a), orderCols[i].Get(b)
 			if va.Equal(vb) {
 				continue
@@ -125,7 +136,7 @@ func (t *TopK) Next(ctx context.Context) (*vector.Chunk, error) {
 		}
 		return false
 	})
-	n := t.k
+	n := k
 	if n > len(idx) {
 		n = len(idx)
 	}
@@ -134,11 +145,10 @@ func (t *TopK) Next(ctx context.Context) (*vector.Chunk, error) {
 		sel[i] = int32(idx[i])
 	}
 	out := vector.NewChunk()
-	for i, ci := range t.schema {
+	for i, ci := range schema {
 		out.Add(ci.Name, vector.Condense(rows.Col(i), sel))
 	}
-	t.out = out
-	return out, nil
+	return out
 }
 
 // Close implements Operator.

@@ -82,6 +82,17 @@ func runStealing(n int, opt Options, fn func(worker, lo, hi int), steals []int64
 	if n <= 0 {
 		return
 	}
+	morsels := (n + opt.MorselLen - 1) / opt.MorselLen
+	if opt.Workers > morsels {
+		// Clamp the fan-out to the work available: with more workers than
+		// morsels the surplus workers would spend the whole run in the steal
+		// loop with nothing claimable (a single-morsel range is unstealable),
+		// burning CPU on Gosched spins that directly slow the workers that do
+		// have work — the dominant parallel tax of tiny inputs. Worker IDs
+		// stay dense in [0, morsels), and which goroutines run is invisible
+		// to callers keyed by morsel sequence number.
+		opt.Workers = morsels
+	}
 	if opt.Workers == 1 {
 		// Sequential path. This used to hand the whole index space to fn as
 		// one giant morsel, which silently broke the per-call contract above:
@@ -96,12 +107,7 @@ func runStealing(n int, opt Options, fn func(worker, lo, hi int), steals []int64
 		}
 		return
 	}
-	if n <= opt.MorselLen {
-		fn(0, 0, n)
-		return
-	}
 
-	morsels := (n + opt.MorselLen - 1) / opt.MorselLen
 	W := opt.Workers
 	deques := make([]deque, W)
 	for w := 0; w < W; w++ {
