@@ -297,6 +297,16 @@ func classifyCtx(ctx context.Context, err error) error {
 // The returned Rows must be used from a single goroutine; the Session
 // itself may serve many concurrent Query calls.
 func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
+	return s.QueryTraced(ctx, plan, s.opt.tracing)
+}
+
+// QueryTraced is Query with an explicit trace level for this one query,
+// overriding the session's WithTracing default. With TraceOps and above the
+// returned cursor carries an execution trace — Rows.Trace, complete once
+// the cursor is drained or closed — whose span tree mirrors the plan:
+// per-operator busy time, rows and loops, and at TraceMorsels one leaf span
+// per dispatched morsel with worker, steal and device attribution.
+func (s *Session) QueryTraced(ctx context.Context, plan *Plan, level TraceLevel) (*Rows, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, err
 	}
@@ -305,6 +315,10 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 	}
 	workers := s.eng.pool.acquire(s.opt.parallelism)
 	b := &builder{s: s, workers: workers}
+	// Tracing: pre-build the plan-keyed span tree so every physical
+	// instantiation below reports into the same, parallelism-independent
+	// node set.
+	b.initTrace(level, plan, workers)
 	// Zone-map pruning: derive interval predicates from the plan's filters
 	// and give prunable stored-table scans a segment-skipping view.
 	b.annotatePruning(plan)
@@ -322,6 +336,15 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 		b.tierFP, b.tierN, b.tierEnt = fp, n, ent
 		if n >= s.opt.tierWarm {
 			b.fuseCtrs = &fused.Counters{}
+		}
+		if b.trace != nil {
+			b.troot.SetAttr("tier", tierName(n, s.opt.tierWarm, s.opt.tierHot))
+			b.troot.SetAttr("plan", fp)
+			if b.fuseCtrs != nil {
+				// Deopts surface as instant events on the query root.
+				tr, root := b.trace, b.troot
+				b.fuseCtrs.OnDeopt = func() { tr.Event(root, "deopt") }
+			}
 		}
 	}
 	if workers > 1 && s.opt.device != DeviceCPU {
@@ -381,6 +404,9 @@ func (s *Session) Query(ctx context.Context, plan *Plan) (*Rows, error) {
 	if b.tierEnt != nil {
 		r.tier = tierName(b.tierN, s.opt.tierWarm, s.opt.tierHot)
 		r.fuse, r.fusedRun, r.entry = b.fuseCtrs, b.fusedWrapped, b.tierEnt
+	}
+	if b.trace != nil {
+		r.trace, r.troot, r.tviews = b.trace, b.troot, b.tracedViews()
 	}
 	return r, nil
 }

@@ -23,11 +23,12 @@ type options struct {
 	parallelism int  // workers per query (≤1 = serial)
 	morselLen   int  // dispatch granularity for parallel queries (0 = default)
 	device      DeviceKind
-	tableDir    string // root directory Session.OpenTable resolves names under
-	pruning     bool   // zone-map segment skipping on stored-table scans
-	tiered      bool   // tiered relational execution (fused hot segments)
-	tierWarm    int64  // executions before a plan's segments compile
-	tierHot     int64  // executions before compiled segments run fused
+	tableDir    string     // root directory Session.OpenTable resolves names under
+	pruning     bool       // zone-map segment skipping on stored-table scans
+	tiered      bool       // tiered relational execution (fused hot segments)
+	tierWarm    int64      // executions before a plan's segments compile
+	tierHot     int64      // executions before compiled segments run fused
+	tracing     TraceLevel // default query trace level (TraceOff)
 }
 
 func defaultOptions() options {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fused"
 	"repro/internal/morsel"
+	"repro/internal/qtrace"
 )
 
 // morselStatsSource is implemented by the morsel-dispatching operators
@@ -202,6 +203,12 @@ type builder struct {
 	fuseCtrs     *fused.Counters // non-nil → plan is at least warm
 	fusedWrapped bool            // a fused loop was mounted somewhere
 	noFuse       map[*Plan]bool  // stages of segments that declined fusion
+
+	// Execution tracing state (nil = tracing off; see trace.go).
+	trace      *qtrace.Trace
+	troot      *qtrace.Span           // query root span
+	spans      map[*Plan]*qtrace.Span // plan node → its operator span
+	buildSpans map[*Plan]*qtrace.Span // join node → synthetic join-build span
 }
 
 // segment walks from p down through streaming stages — filters, computes and
@@ -249,7 +256,7 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 		if b.s.opt.chunkLen > 0 {
 			sc.SetChunkLen(b.s.opt.chunkLen)
 		}
-		return sc, nil
+		return b.traced(p, sc), nil
 	case planFilter, planCompute, planJoin:
 		if op, ok, err := p.buildExchange(b); ok || err != nil {
 			return op, err
@@ -266,9 +273,13 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 			if err != nil {
 				return nil, err
 			}
-			return engine.NewTableProbe(child, shared, p.probeKey, p.payload...)
+			tp, err := engine.NewTableProbe(child, shared, p.probeKey, p.payload...)
+			if err != nil {
+				return nil, err
+			}
+			return b.traced(p, tp), nil
 		}
-		return p.stageOn(b.s, child), nil
+		return b.traced(p, p.stageOn(b.s, child)), nil
 	case planAggregate:
 		if stages, scan, ok := p.child.segment(); ok {
 			// An aggregation over a streaming segment always runs as the
@@ -304,7 +315,11 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 				b.exchanges++
 				b.morselOps = append(b.morselOps, pa)
 			}
-			return pa, nil
+			// SetTrace even with one worker: the serial instantiation is
+			// still morsel-dispatched, so its leaf spans keep the trace's
+			// morsel accounting identical at every parallelism.
+			pa.SetTrace(b.spans[p], b.traceMorsels())
+			return b.traced(p, pa), nil
 		}
 		child, err := p.child.build(b)
 		if err != nil {
@@ -313,7 +328,7 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 		// Non-segment children (an aggregation over an aggregation, over a
 		// TopK, …) aggregate serially; their input order is plan-determined,
 		// so adaptive pre-aggregation is deterministic here too.
-		return engine.NewHashAgg(child, p.keys, p.aggs), nil
+		return b.traced(p, engine.NewHashAgg(child, p.keys, p.aggs)), nil
 	case planTopK:
 		if op, ok, err := p.buildParallelTopK(b); ok || err != nil {
 			return op, err
@@ -322,7 +337,11 @@ func (p *Plan) build(b *builder) (engine.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return engine.NewTopK(child, p.k, p.by...)
+		tk, err := engine.NewTopK(child, p.k, p.by...)
+		if err != nil {
+			return nil, err
+		}
+		return b.traced(p, tk), nil
 	}
 	panic("advm: unknown plan node")
 }
@@ -365,7 +384,8 @@ func (p *Plan) buildParallelTopK(b *builder) (engine.Operator, bool, error) {
 		tk.SetMorselLen(b.s.opt.morselLen)
 	}
 	b.morselOps = append(b.morselOps, tk)
-	return tk, true, nil
+	tk.SetTrace(b.spans[p], b.traceMorsels())
+	return b.traced(p, tk), true, nil
 }
 
 // stageOn instantiates a filter/compute node on top of child with the
@@ -411,10 +431,10 @@ func (b *builder) pipeMaker(stages []*Plan, scan *Plan) (mk func(int, engine.Ope
 				if err != nil {
 					return nil, err
 				}
-				op = tp
+				op = b.traced(st, tp)
 				continue
 			}
-			op = st.stageOn(b.s, op)
+			op = b.traced(st, st.stageOn(b.s, op))
 		}
 		return op, nil
 	}
@@ -424,10 +444,17 @@ func (b *builder) pipeMaker(stages []*Plan, scan *Plan) (mk func(int, engine.Ope
 	}
 	b.fusedWrapped = true
 	ctrs := b.fuseCtrs
+	top := scan // bare-scan segment: the fused loop's time lands on the scan span
+	if len(stages) > 0 {
+		top = stages[0]
+	}
 	return func(_ int, leaf engine.Operator) (engine.Operator, error) {
-		return fused.NewExec(prog, leaf, tables, ctrs, func(l engine.Operator) (engine.Operator, error) {
+		// The fused loop replaces the whole stage chain, so its time lands
+		// on the top stage's span; the inner stage spans keep the plan
+		// structure but stay at zero busy while the segment runs fused.
+		return b.traced(top, fused.NewExec(prog, leaf, tables, ctrs, func(l engine.Operator) (engine.Operator, error) {
 			return interp(0, l)
-		}), nil
+		})), nil
 	}, true, nil
 }
 
@@ -477,11 +504,13 @@ func (b *builder) fusePlan(stages []*Plan, scan *Plan, shared []*engine.SharedJo
 	if present {
 		if prog != nil {
 			eng.fusedCacheHits.Add(1)
+			b.traceEvent("fused-cache-hit")
 		}
 	} else {
 		var compiled bool
 		if prog, compiled = fused.Compile(scanI, fstages); compiled {
 			eng.fusedCompiles.Add(1)
+			b.traceEvent("fused-compile")
 		} else {
 			prog = nil
 		}
@@ -574,9 +603,10 @@ func (b *builder) sharedJoin(p *Plan) (*engine.SharedJoinTable, error) {
 			}
 			store, columns := b.storeFor(scan), scan.columns
 			workers, chunkLen, morselLen, key := b.workers, b.s.opt.chunkLen, b.s.opt.morselLen, p.buildKey
-			s = engine.NewSharedJoinTable(probe.Schema(), func(ctx context.Context) (*engine.JoinTable, error) {
-				return engine.BuildJoinTableParallel(ctx, store, columns, workers, chunkLen, morselLen, key, mk)
-			})
+			bsp, tm := b.buildSpans[p], b.traceMorsels()
+			s = engine.NewSharedJoinTable(probe.Schema(), timedJoinBuild(bsp, func(ctx context.Context) (*engine.JoinTable, error) {
+				return engine.BuildJoinTableParallelTraced(ctx, store, columns, workers, chunkLen, morselLen, key, mk, bsp, tm)
+			}))
 			b.exchanges++
 		}
 	}
@@ -586,13 +616,13 @@ func (b *builder) sharedJoin(p *Plan) (*engine.SharedJoinTable, error) {
 			return nil, err
 		}
 		key := p.buildKey
-		s = engine.NewSharedJoinTable(op.Schema(), func(ctx context.Context) (*engine.JoinTable, error) {
+		s = engine.NewSharedJoinTable(op.Schema(), timedJoinBuild(b.buildSpans[p], func(ctx context.Context) (*engine.JoinTable, error) {
 			rows, err := engine.Collect(ctx, op)
 			if err != nil {
 				return nil, err
 			}
 			return engine.NewJoinTable(rows, key)
-		})
+		}))
 	}
 	if b.shared == nil {
 		b.shared = map[*Plan]*engine.SharedJoinTable{}
@@ -632,6 +662,10 @@ func (p *Plan) buildExchange(b *builder) (engine.Operator, bool, error) {
 		ex.SetMorselLen(b.s.opt.morselLen)
 	}
 	b.morselOps = append(b.morselOps, ex)
+	// The exchange itself is not wrapped — the worker pipelines already
+	// time every stage span, including the segment top — but it carries the
+	// top span for morsel leaves and dispatch statistics.
+	ex.SetTrace(b.spans[p], b.traceMorsels())
 	return ex, true, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/engine"
 	"repro/internal/fused"
+	"repro/internal/qtrace"
 	"repro/internal/vector"
 )
 
@@ -40,6 +41,10 @@ type Rows struct {
 	fuse     *fused.Counters // fused telemetry (non-nil when at least warm)
 	fusedRun bool            // fused loops were mounted for this query
 	entry    *tierEntry      // engine-wide hotness entry of the plan
+
+	trace  *qtrace.Trace // execution trace (nil = tracing off)
+	troot  *qtrace.Span  // query root span
+	tviews []tracedView  // scan spans to stamp with segment skip counts
 
 	chunk *vector.Chunk
 	cols  []*vector.Vector // chunk columns resolved in schema order
@@ -342,5 +347,10 @@ func (r *Rows) close() {
 				r.entry.fusedRuns.Add(1)
 			}
 		}
+	}
+	if r.trace != nil {
+		// All workers have joined (op.Close above), so the span counters
+		// are quiescent; stamp the summary attributes and end every span.
+		r.finishTrace()
 	}
 }

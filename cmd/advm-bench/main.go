@@ -50,12 +50,23 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15,E16,E17,E18,E19,E20) or all")
+	exp := flag.String("exp", "all", "experiment id (T1,F1,F2,F3,E1,E3,E5,E6,E15,E16,E17,E18,E19,E20,E21) or all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for E1/E15/E20")
-	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3/device/server/colstore/fused/multicore.json perf records into (runs E15–E20 only)")
+	benchjson := flag.String("benchjson", "", "directory to write BENCH_q1/q6/q3/device/server/colstore/fused/multicore/trace.json perf records into (runs E15–E21 only)")
 	data := flag.String("data", os.Getenv("TPCH_DATA_DIR"),
 		"directory of pre-generated TPC-H tables (tpch-gen -binary); generated on the fly when empty or missing")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome trace-event JSON of one traced -trace-query run to this file and exit (chrome://tracing, Perfetto)")
+	traceQuery := flag.String("trace-query", "q3", "named query for -trace-out (q1, q6, q3)")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := writeTraceOut(*traceQuery, *sf, *data, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "advm-bench: -trace-out:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchjson != "" {
 		expE15(*sf, *data, *benchjson)
@@ -64,6 +75,7 @@ func main() {
 		expE18(*data, *benchjson)
 		expE19(*data, *benchjson)
 		expE20(*sf, *data, *benchjson)
+		expE21(*data, *benchjson)
 		return
 	}
 
@@ -119,6 +131,10 @@ func main() {
 	}
 	if all || *exp == "E20" {
 		expE20(*sf, *data, "")
+		ran = true
+	}
+	if all || *exp == "E21" {
+		expE21(*data, "")
 		ran = true
 	}
 	if !ran {
@@ -1267,4 +1283,179 @@ func expE6() {
 		}
 	}
 	fmt.Printf("\n  decisions: %v\n", placer.Decisions)
+}
+
+// traceRecord is the BENCH_trace.json perf record: serial Q6 with tracing
+// off — the production default every query pays — plus the fully traced leg
+// for context. Benchdiff gates only the off leg: the tracing hooks must
+// stay free when disabled (a nil-check per call site), within
+// TraceMaxRegress of the baseline.
+type traceRecord struct {
+	Benchmark      string  `json:"benchmark"`
+	ScaleFactor    float64 `json:"scale_factor"`
+	Rows           int     `json:"rows"`
+	Iters          int     `json:"iters"`
+	Q6TraceOffNsOp int64   `json:"q6_trace_off_ns_op"`
+	Q6TraceOnNsOp  int64   `json:"q6_trace_on_ns_op,omitempty"`
+	Identical      bool    `json:"identical"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	CalibNs        int64   `json:"calib_ns"`
+	// TraceMaxRegress is the off-leg regression gate, read by benchdiff from
+	// the BASELINE record only (a current run cannot weaken it). Zero means
+	// benchdiff's default regression threshold applies.
+	TraceMaxRegress float64 `json:"trace_max_regress,omitempty"`
+}
+
+// expE21 measures the tracing tax on serial Q6: tracing off (gated — must
+// stay within a few percent of the pre-tracing baseline) vs morsel-level
+// tracing (informational). The scale factor is pinned at 0.02 to track a
+// fixed workload regardless of -sf. With outDir != "" it writes
+// BENCH_trace.json there for the CI gate.
+func expE21(dataDir, outDir string) {
+	const sf = 0.02
+	const iters = 15
+	header(fmt.Sprintf("E21 — tracing overhead: Q6 off vs morsel-traced (SF %.3f, serial)", sf))
+	st, err := tpch.LoadOrGen(dataDir, "lineitem", sf, 42)
+	if err != nil {
+		fatalE21(err)
+	}
+	calibNs := calibrate()
+
+	eng, err := advm.NewEngine(
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		fatalE21(err)
+	}
+	defer eng.Close()
+	sess, err := eng.Session(advm.WithParallelism(1))
+	if err != nil {
+		fatalE21(err)
+	}
+	fmt.Printf("%d lineitem rows, GOMAXPROCS=%d, calib=%v\n\n",
+		st.Rows(), runtime.GOMAXPROCS(0), time.Duration(calibNs).Round(time.Microsecond))
+
+	q6 := func() *advm.Plan { return tpch.PlanQ6(st, tpch.DefaultQ6Params()) }
+	measure := func(level advm.TraceLevel) time.Duration {
+		var best time.Duration
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			rows, err := sess.QueryTraced(context.Background(), q6(), level)
+			if err != nil {
+				fatalE21(err)
+			}
+			if _, err := rows.Count(); err != nil {
+				fatalE21(err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	offD := measure(advm.TraceOff)
+	onD := measure(advm.TraceMorsels)
+
+	// Tracing must be observation only: the traced leg returns the same rows.
+	want, err := benchCollect(sess, q6())
+	if err != nil {
+		fatalE21(err)
+	}
+	traced, err := eng.Session(advm.WithParallelism(1), advm.WithTracing(advm.TraceMorsels))
+	if err != nil {
+		fatalE21(err)
+	}
+	got, err := benchCollect(traced, q6())
+	if err != nil {
+		fatalE21(err)
+	}
+
+	rec := traceRecord{
+		Benchmark: "trace", ScaleFactor: sf, Rows: st.Rows(), Iters: iters,
+		Q6TraceOffNsOp:  offD.Nanoseconds(),
+		Q6TraceOnNsOp:   onD.Nanoseconds(),
+		Identical:       sameResults(want, got),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		CalibNs:         calibNs,
+		TraceMaxRegress: 0.02,
+	}
+	if !rec.Identical {
+		fatalE21(fmt.Errorf("traced Q6 result differs from untraced"))
+	}
+	fmt.Printf("  q6   trace-off %12v   trace-morsels %12v   tax %+.1f%%   identical=%v\n",
+		offD.Round(time.Microsecond), onD.Round(time.Microsecond),
+		100*(float64(onD)/float64(offD)-1), rec.Identical)
+	if outDir != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatalE21(err)
+		}
+		path := filepath.Join(outDir, "BENCH_trace.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatalE21(err)
+		}
+		fmt.Printf("       wrote %s\n", path)
+	}
+}
+
+func fatalE21(err error) {
+	fmt.Fprintln(os.Stderr, "advm-bench: E21:", err)
+	os.Exit(1)
+}
+
+// writeTraceOut runs one named TPC-H query traced at the morsels level on
+// four workers and writes its Chrome trace-event JSON (load it in
+// chrome://tracing or Perfetto to see per-worker morsel timelines).
+func writeTraceOut(name string, sf float64, dataDir, path string) error {
+	li, err := tpch.LoadOrGen(dataDir, "lineitem", sf, 42)
+	if err != nil {
+		return err
+	}
+	var mkPlan func() *advm.Plan
+	switch name {
+	case "q1":
+		mkPlan = func() *advm.Plan { return tpch.PlanQ1(li) }
+	case "q6":
+		mkPlan = func() *advm.Plan { return tpch.PlanQ6(li, tpch.DefaultQ6Params()) }
+	case "q3":
+		ord, err := tpch.LoadOrGen(dataDir, "orders", sf, 42)
+		if err != nil {
+			return err
+		}
+		cust, err := tpch.LoadOrGen(dataDir, "customer", sf, 42)
+		if err != nil {
+			return err
+		}
+		mkPlan = func() *advm.Plan { return tpch.PlanQ3(li, ord, cust, tpch.DefaultQ3Params()) }
+	default:
+		return fmt.Errorf("unknown -trace-query %q (have q1, q6, q3)", name)
+	}
+	eng, err := advm.NewEngine(
+		advm.WithParallelism(4),
+		advm.WithJITOptions(advm.JITOptions{CompileLatency: advm.NoCompileLatency}))
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	sess, err := eng.Session()
+	if err != nil {
+		return err
+	}
+	rows, err := sess.QueryTraced(context.Background(), mkPlan(), advm.TraceMorsels)
+	if err != nil {
+		return err
+	}
+	n, err := rows.Count()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rows.Trace().WriteChromeJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s, %d result rows, parallelism 4)\n", path, name, n)
+	return nil
 }

@@ -52,7 +52,28 @@ func main() {
 	showProfile := flag.Bool("profile", false, "print per-instruction profile")
 	showIR := flag.Bool("ir", false, "print the normalized IR and exit")
 	showFingerprint := flag.Bool("fingerprint", false, "print the program's canonical fingerprint (the engine cache key)")
+	queryName := flag.String("query", "", "run a named TPC-H query (q1, q3, q6) instead of a DSL program")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for -query")
+	dataDir := flag.String("data", "", "TPC-H data directory for -query (empty = generate in memory)")
+	parallelism := flag.Int("parallelism", 1, "workers for -query")
+	explainAnalyze := flag.Bool("explain-analyze", false, "print the EXPLAIN ANALYZE tree of the traced -query run")
+	traceJSON := flag.String("trace-json", "", "write the traced -query run as Chrome trace-event JSON to this file")
 	flag.Parse()
+
+	if *queryName != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		if err := runNamedQuery(ctx, *queryName, *sf, *dataDir, *parallelism, *runs,
+			*explainAnalyze, *traceJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: advm-run [flags] program.advm")

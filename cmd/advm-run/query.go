@@ -1,0 +1,97 @@
+// Named relational query mode: -query runs one of the built-in TPC-H plans
+// through the advm relational API with full execution tracing, rendering
+// the EXPLAIN ANALYZE tree and/or exporting a Chrome trace-event JSON for
+// chrome://tracing or Perfetto.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/advm"
+	"repro/internal/tpch"
+)
+
+// runNamedQuery executes the named TPC-H query runs times (the earlier runs
+// warm the plan's tier entry) and traces the last execution at the morsels
+// level. One traced run feeds both outputs, so the EXPLAIN ANALYZE tree and
+// the Chrome trace describe the same execution.
+func runNamedQuery(ctx context.Context, name string, sf float64, dataDir string,
+	parallelism, runs int, explainAnalyze bool, traceJSON string) error {
+	load := func(table string) advm.TableSource {
+		st, err := tpch.LoadOrGen(dataDir, table, sf, 42)
+		if err != nil {
+			fatal(err)
+		}
+		return st
+	}
+	var mkPlan func() *advm.Plan
+	switch name {
+	case "q1":
+		li := load("lineitem")
+		mkPlan = func() *advm.Plan { return tpch.PlanQ1(li) }
+	case "q3":
+		li, ord, cust := load("lineitem"), load("orders"), load("customer")
+		mkPlan = func() *advm.Plan { return tpch.PlanQ3(li, ord, cust, tpch.DefaultQ3Params()) }
+	case "q6":
+		li := load("lineitem")
+		mkPlan = func() *advm.Plan { return tpch.PlanQ6(li, tpch.DefaultQ6Params()) }
+	default:
+		return fmt.Errorf("unknown query %q (want q1, q3 or q6)", name)
+	}
+
+	eng, err := advm.NewEngine(advm.WithParallelism(parallelism))
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	sess, err := eng.Session(advm.WithParallelism(parallelism))
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	for r := 0; r < runs-1; r++ {
+		rows, err := sess.Query(ctx, mkPlan())
+		if err != nil {
+			return err
+		}
+		if _, err := rows.Count(); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	rows, err := sess.QueryTraced(ctx, mkPlan(), advm.TraceMorsels)
+	if err != nil {
+		return err
+	}
+	n, err := rows.Count()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	if explainAnalyze {
+		fmt.Print(rows.Trace().ExplainAnalyze())
+	} else {
+		fmt.Printf("%s: %d rows in %v (parallelism %d)\n", name, n, wall, parallelism)
+	}
+	if traceJSON != "" {
+		f, err := os.Create(traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := rows.Trace().WriteChromeJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "advm-run: wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", traceJSON)
+	}
+	return nil
+}

@@ -7,9 +7,16 @@
 //
 //	curl -s localhost:8080/v1/query -d '{"query":"q6"}'
 //	curl -s localhost:8080/v1/query -d '{"query":"q3","opts":{"parallelism":4,"device":"auto"}}'
+//	curl -s localhost:8080/v1/query -d '{"query":"q3","trace":true}'
 //	curl -s localhost:8080/v1/prepare -d '{"src":"...","externals":{"data":"i64"}}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/slow
 //	curl -s localhost:8080/metrics
+//
+// With -pprof localhost:6060 the standard net/http/pprof endpoints serve on
+// a separate loopback listener (kept off the query port: profiles expose
+// process internals). See docs/OBSERVABILITY.md for the trace and
+// histogram surfaces.
 //
 // The TPC-H tables (lineitem, orders, customer) are registered at startup —
 // loaded from -data / $TPCH_DATA_DIR when pre-generated, generated at the
@@ -27,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +58,11 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 2*time.Second, "max admission wait before 429")
 	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "deadline for requests that carry none")
 	drainTimeout := flag.Duration("drain-timeout", 20*time.Second, "graceful shutdown budget")
+	slowThreshold := flag.Duration("slow-threshold", time.Second,
+		"queries at or above this duration land in the slow-query log with their trace (negative disables)")
+	slowLogSize := flag.Int("slow-log", 32, "slow queries retained for GET /v1/slow")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof profiling endpoints on this separate address (e.g. localhost:6060); off when empty")
 	flag.Parse()
 
 	eng, err := advm.NewEngine(advm.WithParallelism(*parallelism))
@@ -59,10 +72,12 @@ func main() {
 	defer eng.Close()
 
 	srv := server.New(eng, server.Config{
-		MaxConcurrent:  *maxConcurrent,
-		MaxQueue:       *maxQueue,
-		QueueWait:      *queueWait,
-		DefaultTimeout: *defaultTimeout,
+		MaxConcurrent:      *maxConcurrent,
+		MaxQueue:           *maxQueue,
+		QueueWait:          *queueWait,
+		DefaultTimeout:     *defaultTimeout,
+		SlowQueryThreshold: *slowThreshold,
+		SlowLogSize:        *slowLogSize,
 	})
 	if *useColstore && *data == "" {
 		log.Fatal("-colstore needs -data (or $TPCH_DATA_DIR) to hold the table directories")
@@ -87,6 +102,25 @@ func main() {
 		}
 		srv.RegisterTable(table, st)
 		log.Printf("registered table %s (%d rows)", table, st.Rows())
+	}
+
+	// Profiling stays off the query port: pprof exposes goroutine stacks and
+	// heap contents, so it binds its own (typically loopback-only) address
+	// and an explicit mux — never the query mux or http.DefaultServeMux.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{

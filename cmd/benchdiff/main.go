@@ -87,6 +87,16 @@ type benchRecord struct {
 	HCSpeedup    float64 `json:"hc_speedup,omitempty"`
 	NumCPU       int     `json:"num_cpu,omitempty"`
 
+	// Trace-record fields (non-zero Q6TraceOffNsOp marks the flavor). The
+	// off leg is the one that matters: it is serial Q6 with the tracing
+	// hooks compiled in but disabled, gated against the pre-tracing baseline
+	// with the tighter TraceMaxRegress threshold from the baseline record
+	// (observability must be free when off). The traced leg is reported but
+	// not gated — its cost is the price of asking for a trace.
+	Q6TraceOffNsOp  int64   `json:"q6_trace_off_ns_op,omitempty"`
+	Q6TraceOnNsOp   int64   `json:"q6_trace_on_ns_op,omitempty"`
+	TraceMaxRegress float64 `json:"trace_max_regress,omitempty"`
+
 	// Per-query speedup floors, read from the *baseline* record: when the
 	// checked-in baseline carries e.g. "q3_speedup_floor": 1.0, the current
 	// record's q3_speedup is gated against that floor instead of the default
@@ -312,6 +322,29 @@ func diffRecords(base, cur benchRecord, maxRegress float64) []diffRow {
 			mk("q6-interpreted", base.Q6InterpNsOp, cur.Q6InterpNsOp),
 			mk("q6-fused", base.Q6FusedNsOp, cur.Q6FusedNsOp),
 		}
+	} else if base.Q6TraceOffNsOp > 0 || cur.Q6TraceOffNsOp > 0 {
+		// Trace record: serial Q6 with tracing compiled in but off. Gated
+		// with the baseline's trace_max_regress when present (tighter than
+		// the general threshold: disabled tracing must cost nothing), else
+		// the default. The traced leg is informational — it reports what a
+		// client asking for a trace pays, but tracing-on cost is a feature
+		// knob, not a regression.
+		thr := maxRegress
+		if base.TraceMaxRegress > 0 {
+			thr = base.TraceMaxRegress
+		}
+		off := mk("q6-trace-off", base.Q6TraceOffNsOp, cur.Q6TraceOffNsOp)
+		if base.Q6TraceOffNsOp > 0 {
+			off.Regressed = off.Ratio > 1+thr
+		}
+		on := mk("q6-trace-morsels", base.Q6TraceOnNsOp, cur.Q6TraceOnNsOp)
+		on.Regressed = false
+		if base.Q6TraceOnNsOp == 0 {
+			on.Skipped = "no traced-leg baseline"
+		} else {
+			on.Skipped = "informational (price of tracing on)"
+		}
+		rows = []diffRow{off, on}
 	} else if base.Q1SerialNsOp > 0 || cur.Q1SerialNsOp > 0 {
 		// Multicore record: Q1/Q3/Q6 serial legs are calibration-gated like
 		// any serial measurement; the parallel legs are reported (skipped on

@@ -365,3 +365,49 @@ func TestDiffRecordsDeviceNotReproducing(t *testing.T) {
 		t.Fatal("non-identical device record not flagged")
 	}
 }
+
+// TestDiffRecordsTraceFlavor: trace records gate the tracing-off leg with
+// the baseline's tighter trace_max_regress and leave the traced leg
+// informational.
+func TestDiffRecordsTraceFlavor(t *testing.T) {
+	base := benchRecord{
+		Benchmark: "trace", GOMAXPROCS: 1, Identical: true, CalibNs: 100,
+		Q6TraceOffNsOp: 1000, TraceMaxRegress: 0.02,
+	}
+	cur := base
+	cur.Q6TraceOffNsOp = 1010 // +1%: inside the 2% trace gate
+	cur.Q6TraceOnNsOp = 1200
+	rows := diffRecords(base, cur, 0.25)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	byMetric := map[string]diffRow{}
+	for _, r := range rows {
+		byMetric[r.Metric] = r
+	}
+	if r := byMetric["q6-trace-off"]; r.Regressed || r.Skipped != "" || !r.Normalized {
+		t.Fatalf("in-threshold off leg wrongly gated: %+v", r)
+	}
+	if r := byMetric["q6-trace-morsels"]; r.Regressed || r.Skipped == "" {
+		t.Fatalf("traced leg must stay informational: %+v", r)
+	}
+
+	// +5% on the off leg breaks the 2% trace gate even though the global
+	// threshold is 25%.
+	cur.Q6TraceOffNsOp = 1050
+	rows = diffRecords(base, cur, 0.25)
+	for _, r := range rows {
+		if r.Metric == "q6-trace-off" && !r.Regressed {
+			t.Fatalf("off leg beyond trace_max_regress not flagged: %+v", r)
+		}
+	}
+
+	// Without a baseline trace_max_regress the global threshold applies.
+	base.TraceMaxRegress = 0
+	rows = diffRecords(base, cur, 0.25)
+	for _, r := range rows {
+		if r.Metric == "q6-trace-off" && r.Regressed {
+			t.Fatalf("off leg within global threshold wrongly flagged: %+v", r)
+		}
+	}
+}

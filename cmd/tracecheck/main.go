@@ -1,0 +1,96 @@
+// Command tracecheck validates a Chrome trace-event JSON file against the
+// subset of the trace-event format the exporter emits, so CI can prove the
+// export stays loadable by chrome://tracing and Perfetto: a traceEvents
+// array of named events with numeric pid/tid, non-negative microsecond
+// timestamps, complete ("X") events carrying durations, and instant ("i")
+// events carrying a scope.
+//
+// Usage: tracecheck trace.json [trace2.json ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name  string          `json:"name"`
+	Phase string          `json:"ph"`
+	Ts    *float64        `json:"ts"`
+	Dur   *float64        `json:"dur"`
+	Pid   *int            `json:"pid"`
+	Tid   *int            `json:"tid"`
+	Scope string          `json:"s"`
+	Args  json.RawMessage `json:"args"`
+}
+
+type doc struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func check(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if len(d.TraceEvents) == 0 {
+		return fmt.Errorf("%s: traceEvents is empty", path)
+	}
+	var complete, meta, workers int
+	for i, ev := range d.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("%s: event %d (%s) missing pid/tid", path, i, ev.Name)
+		}
+		switch ev.Phase {
+		case "X":
+			complete++
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return fmt.Errorf("%s: complete event %d (%s) has bad ts", path, i, ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("%s: complete event %d (%s) has bad dur", path, i, ev.Name)
+			}
+			if *ev.Tid > 0 {
+				workers++
+			}
+		case "i":
+			if ev.Scope == "" {
+				return fmt.Errorf("%s: instant event %d (%s) has no scope", path, i, ev.Name)
+			}
+		case "M":
+			meta++
+		default:
+			return fmt.Errorf("%s: event %d (%s) has unexpected phase %q", path, i, ev.Name, ev.Phase)
+		}
+	}
+	if complete == 0 {
+		return fmt.Errorf("%s: no complete (ph=X) spans", path)
+	}
+	if meta == 0 {
+		return fmt.Errorf("%s: no metadata (process/thread name) events", path)
+	}
+	fmt.Printf("%s: ok (%d events, %d spans, %d on worker timelines)\n",
+		path, len(d.TraceEvents), complete, workers)
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [trace2.json ...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+	}
+}

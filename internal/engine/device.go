@@ -122,7 +122,17 @@ type DeviceExec struct {
 	forced device.Device // non-nil pins every morsel (DeviceCPU/DeviceGPU policies)
 	spec   KernelSpec
 	rec    *PlacementRecorder
+
+	// lastDev names the device that ran the most recent morsel. It is
+	// written and read only on the worker goroutine that owns this
+	// pipeline (the dispatch closure reads it right after RunMorsel
+	// returns), so it needs no synchronization.
+	lastDev string
 }
+
+// LastDevice returns the device that executed the most recent morsel
+// ("" before the first one).
+func (d *DeviceExec) LastDevice() string { return d.lastDev }
 
 // NewDeviceExec wraps child. Exactly one of placer (adaptive) or forced
 // (pinned) should be set; rec may be nil when no one observes placements.
@@ -173,6 +183,7 @@ func (d *DeviceExec) RunMorsel(ctx context.Context, lo, hi int) ([]*vector.Chunk
 	if runErr != nil {
 		return nil, runErr
 	}
+	d.lastDev = dev.Name()
 	if d.rec != nil {
 		d.rec.record(dev.Name(), cost)
 	}

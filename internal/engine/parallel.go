@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/morsel"
+	"repro/internal/qtrace"
 	"repro/internal/vector"
 )
 
@@ -133,6 +134,7 @@ const exBatchMorsels = 4
 // slower workers' ranges — and hand off finished morsels to the merge in
 // batches; only the emission is sequenced.
 type Exchange struct {
+	traceHook
 	store     vector.Store
 	workers   int
 	morselLen int
@@ -261,12 +263,15 @@ func (e *Exchange) produce(ctx context.Context, rows int) {
 				return // drain the remaining dispatch cheaply after a failure
 			default:
 			}
+			msp := e.startMorsel()
 			e.leaves[worker].SetRange(lo, hi)
 			chunks, err := drainMorsel(ctx, e.pipes[worker], lo, hi)
 			if err != nil {
+				msp.End()
 				e.fail(err)
 				return
 			}
+			finishMorsel(msp, e.pipes[worker], worker, lo, hi, e.morselLen, rows, e.workers, chunkRows(chunks))
 			batches[worker] = append(batches[worker], exMorsel{seq: lo / e.morselLen, chunks: chunks})
 			if len(batches[worker]) >= exBatchMorsels {
 				send(batches[worker])
@@ -281,6 +286,7 @@ func (e *Exchange) produce(ctx context.Context, rows int) {
 	e.mu.Lock()
 	e.stats = st
 	e.mu.Unlock()
+	attachMorselStats(e.tsp, st)
 	close(e.out)
 }
 
@@ -428,6 +434,16 @@ func (s *SharedJoinTable) Table(ctx context.Context) (*JoinTable, error) {
 func BuildJoinTableParallel(ctx context.Context, store vector.Store, columns []string,
 	workers, chunkLen, morselLen int, buildKey string,
 	mk func(worker int, leaf Operator) (Operator, error)) (*JoinTable, error) {
+	return BuildJoinTableParallelTraced(ctx, store, columns, workers, chunkLen, morselLen, buildKey, mk, nil, false)
+}
+
+// BuildJoinTableParallelTraced is BuildJoinTableParallel with tracing: when
+// tsp is non-nil the run attaches its morsel statistics to it, and with
+// traceMorsels additionally records one leaf span per build morsel.
+func BuildJoinTableParallelTraced(ctx context.Context, store vector.Store, columns []string,
+	workers, chunkLen, morselLen int, buildKey string,
+	mk func(worker int, leaf Operator) (Operator, error),
+	tsp *qtrace.Span, traceMorsels bool) (*JoinTable, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("engine: parallel build needs ≥ 1 worker, got %d", workers)
 	}
@@ -471,17 +487,19 @@ func BuildJoinTableParallel(ctx context.Context, store vector.Store, columns []s
 		}
 	}
 
+	hook := traceHook{tsp: tsp, tmorsels: traceMorsels}
 	rows := store.Rows()
 	numMorsels := (rows + morselLen - 1) / morselLen
 	results := make([][]*vector.Chunk, numMorsels)
 	var mu sync.Mutex
 	var runErr error
 	var failed atomic.Bool
-	morsel.Run(rows, morsel.Options{Workers: workers, MorselLen: morselLen},
+	st := morsel.RunInstrumented(rows, morsel.Options{Workers: workers, MorselLen: morselLen},
 		func(worker, lo, hi int) {
 			if failed.Load() {
 				return
 			}
+			msp := hook.startMorsel()
 			leaves[worker].SetRange(lo, hi)
 			var chunks []*vector.Chunk
 			for {
@@ -493,6 +511,7 @@ func BuildJoinTableParallel(ctx context.Context, store vector.Store, columns []s
 					}
 					mu.Unlock()
 					failed.Store(true)
+					msp.End()
 					return
 				}
 				if c == nil {
@@ -506,7 +525,9 @@ func BuildJoinTableParallel(ctx context.Context, store vector.Store, columns []s
 			}
 			// Distinct morsels write distinct slice elements: no lock needed.
 			results[lo/morselLen] = chunks
+			finishMorsel(msp, pipes[worker], worker, lo, hi, morselLen, rows, workers, chunkRows(chunks))
 		})
+	attachMorselStats(tsp, st)
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -707,6 +728,7 @@ func (p *TableProbe) Close() error { return p.child.Close() }
 // low-order float bits. A table no longer than one morsel degenerates to
 // the strict row-order fold.
 type ParallelAgg struct {
+	traceHook
 	store     vector.Store
 	workers   int
 	morselLen int
@@ -827,8 +849,10 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 			if failed.Load() {
 				return
 			}
+			msp := a.startMorsel()
 			a.leaves[worker].SetRange(lo, hi)
 			tbl := newAggTableSized(a.keys, a.aggs, hint)
+			var absorbed int64
 			absorb := func(c *vector.Chunk) {
 				cc := c
 				if c.Sel() != nil {
@@ -836,6 +860,7 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 				}
 				if cc.Len() > 0 {
 					tbl.absorb(cc)
+					absorbed += int64(cc.Len())
 				}
 			}
 			if mr, ok := a.pipes[worker].(MorselRunner); ok {
@@ -843,6 +868,7 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 				// one placed unit, then folds.
 				chunks, err := mr.RunMorsel(ctx, lo, hi)
 				if err != nil {
+					msp.End()
 					fail(err)
 					return
 				}
@@ -855,6 +881,7 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 				for {
 					c, err := a.pipes[worker].Next(ctx)
 					if err != nil {
+						msp.End()
 						fail(err)
 						return
 					}
@@ -865,7 +892,9 @@ func (a *ParallelAgg) Next(ctx context.Context) (*vector.Chunk, error) {
 				}
 			}
 			tables[lo/a.morselLen] = tbl
+			finishMorsel(msp, a.pipes[worker], worker, lo, hi, a.morselLen, rows, a.workers, absorbed)
 		})
+	attachMorselStats(a.tsp, a.stats)
 	if runErr != nil {
 		return nil, runErr
 	}

@@ -31,6 +31,7 @@ import (
 // the morsel length participates: result bytes equal the serial TopK's at
 // every worker count, chunk length and morsel length.
 type ParallelTopK struct {
+	traceHook
 	store     vector.Store
 	workers   int
 	morselLen int
@@ -173,9 +174,11 @@ func (t *ParallelTopK) Next(ctx context.Context) (*vector.Chunk, error) {
 			if failed.Load() {
 				return
 			}
+			msp := t.startMorsel()
 			t.leaves[worker].SetRange(lo, hi)
 			chunks, err := drainMorsel(ctx, t.pipes[worker], lo, hi)
 			if err != nil {
+				msp.End()
 				fail(err)
 				return
 			}
@@ -189,11 +192,13 @@ func (t *ParallelTopK) Next(ctx context.Context) (*vector.Chunk, error) {
 					local.AppendChunk(projectTo(cc, sch.Names))
 				}
 			}
+			finishMorsel(msp, t.pipes[worker], worker, lo, hi, t.morselLen, rows, t.workers, int64(local.Rows()))
 			if local.Rows() == 0 {
 				return
 			}
 			cands[lo/t.morselLen] = topKSelect(local, t.schema, t.k, t.by)
 		})
+	attachMorselStats(t.tsp, t.stats)
 	if runErr != nil {
 		return nil, runErr
 	}

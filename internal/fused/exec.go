@@ -17,6 +17,11 @@ type Counters struct {
 	Chunks, Rows atomic.Int64
 	// Deopts counts guard failures that reverted an Exec to the interpreter.
 	Deopts atomic.Int64
+	// OnDeopt, when non-nil, is invoked once per deopt in addition to the
+	// Deopts increment (the tracing layer emits a deopt event through it).
+	// Set it before the query starts; it may be called from any worker, so
+	// it must be safe for concurrent use.
+	OnDeopt func()
 }
 
 // Guard tuning. The selectivity guard learns a mean output/input row ratio
@@ -164,6 +169,9 @@ func (e *Exec) deopt(ctx context.Context, in *vector.Chunk) error {
 	e.deopted = true
 	if e.ctrs != nil {
 		e.ctrs.Deopts.Add(1)
+		if e.ctrs.OnDeopt != nil {
+			e.ctrs.OnDeopt()
+		}
 	}
 	return nil
 }

@@ -189,6 +189,29 @@ func runStealing(n int, opt Options, fn func(worker, lo, hi int), steals []int64
 	wg.Wait()
 }
 
+// InitialOwner returns the worker that owned morsel seq in the initial
+// contiguous split runStealing makes before any stealing: worker w owns
+// [w*morsels/W, (w+1)*morsels/W) with W clamped to the morsel count, the
+// same clamp the dispatcher applies. Tracing uses it for steal
+// attribution: a morsel executed by a worker other than its initial owner
+// was stolen.
+func InitialOwner(seq, morsels, workers int) int {
+	if workers <= 1 || morsels <= 0 || seq < 0 {
+		return 0
+	}
+	if workers > morsels {
+		workers = morsels
+	}
+	w := seq * workers / morsels
+	for w > 0 && seq < w*morsels/workers {
+		w--
+	}
+	for w+1 < workers && seq >= (w+1)*morsels/workers {
+		w++
+	}
+	return w
+}
+
 // Fold computes a parallel reduction: each worker folds its morsels into a
 // private accumulator created by mk, and combine merges the per-worker
 // accumulators in worker order. Because work-stealing assigns morsels to

@@ -1,0 +1,115 @@
+package qtrace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event JSON export (the format consumed by chrome://tracing
+// and Perfetto). Operator spans land on tid 0 ("operators"); morsel leaves
+// land on tid worker+1 so each worker gets its own timeline row; events
+// become instant markers.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // µs since trace epoch
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeJSON writes the trace in Chrome trace-event JSON format.
+func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	spans := t.Spans()
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "advm query"},
+	})
+	threads := map[int]bool{}
+	for _, s := range spans {
+		tid := 0
+		if s.Kind() == KindMorsel {
+			tid = s.Worker() + 1
+		}
+		if !threads[tid] {
+			threads[tid] = true
+			name := "operators"
+			if tid > 0 {
+				name = workerThreadName(tid - 1)
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		args := map[string]any{}
+		for _, a := range s.Attrs() {
+			args[a.Key] = a.Value
+		}
+		if r := s.Rows(); r > 0 {
+			args["rows"] = r
+		}
+		if l := s.Loops(); l > 0 {
+			args["loops"] = l
+		}
+		if b := s.BusyNs(); b > 0 && s.Kind() == KindOp {
+			args["busy_ns"] = b
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		ev := chromeEvent{
+			Name: s.Name(), Cat: s.Kind().String(),
+			Ts: float64(s.StartNs()) / 1e3, Pid: 1, Tid: tid, Args: args,
+		}
+		if s.Kind() == KindEvent {
+			ev.Ph, ev.S = "i", "p"
+		} else {
+			ev.Ph = "X"
+			ev.Dur = float64(s.DurNs()) / 1e3
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func workerThreadName(w int) string {
+	return "worker " + itoa(w)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

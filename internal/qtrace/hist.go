@@ -1,0 +1,70 @@
+package qtrace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DurationBounds are the upper bounds (seconds) of the latency histogram
+// buckets used for query duration, admission wait, and operator self-time.
+// Exponential-ish 100µs .. 10s; observations above the last bound land in
+// the implicit +Inf bucket.
+var DurationBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters,
+// safe for concurrent Observe and Snapshot. The zero value is NOT ready;
+// use NewHistogram. All methods are nil-safe.
+type Histogram struct {
+	counts []atomic.Int64 // len(DurationBounds)+1, last is +Inf
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+// NewHistogram returns an empty histogram over DurationBounds.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, len(DurationBounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	secs := d.Seconds()
+	i := 0
+	for i < len(DurationBounds) && secs > DurationBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.n.Add(1)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative) and aligned with Bounds; Counts has one
+// extra trailing element for +Inf.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Sum    float64 // seconds
+	Count  int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	snap := HistSnapshot{Bounds: DurationBounds}
+	if h == nil {
+		snap.Counts = make([]int64, len(DurationBounds)+1)
+		return snap
+	}
+	snap.Counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		snap.Counts[i] = h.counts[i].Load()
+	}
+	snap.Sum = float64(h.sumNs.Load()) / 1e9
+	snap.Count = h.n.Load()
+	return snap
+}

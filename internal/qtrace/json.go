@@ -1,0 +1,59 @@
+package qtrace
+
+// SpanJSON is the JSON-friendly span-tree form returned by the server's
+// "trace": true query option and the slow-query log.
+type SpanJSON struct {
+	Name     string         `json:"name"`
+	Kind     string         `json:"kind"`
+	StartNs  int64          `json:"start_ns"`
+	DurNs    int64          `json:"dur_ns"`
+	BusyNs   int64          `json:"busy_ns,omitempty"`
+	SelfNs   int64          `json:"self_ns,omitempty"`
+	Rows     int64          `json:"rows,omitempty"`
+	Loops    int64          `json:"loops,omitempty"`
+	Worker   *int           `json:"worker,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*SpanJSON    `json:"children,omitempty"`
+}
+
+// Tree converts the trace to its JSON form. It returns nil for a nil
+// trace or an empty one; when several roots exist the first is returned
+// (queries record exactly one root).
+func (t *Trace) Tree() *SpanJSON {
+	if t == nil {
+		return nil
+	}
+	roots := t.tree()
+	if len(roots) == 0 {
+		return nil
+	}
+	return jsonNode(roots[0])
+}
+
+func jsonNode(n *node) *SpanJSON {
+	out := &SpanJSON{
+		Name:    n.s.Name(),
+		Kind:    n.s.Kind().String(),
+		StartNs: n.s.StartNs(),
+		DurNs:   n.s.DurNs(),
+		BusyNs:  n.s.BusyNs(),
+		Rows:    n.s.Rows(),
+		Loops:   n.s.Loops(),
+	}
+	if n.s.Kind() == KindOp {
+		out.SelfNs = n.selfNs()
+	}
+	if w := n.s.Worker(); w >= 0 {
+		out.Worker = &w
+	}
+	if attrs := n.s.Attrs(); len(attrs) > 0 {
+		out.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range n.children {
+		out.Children = append(out.Children, jsonNode(c))
+	}
+	return out
+}

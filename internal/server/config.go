@@ -51,6 +51,17 @@ type Config struct {
 	// to the client (the stream is always flushed after the header and at
 	// the end). Default 1024 — one flush per default chunk.
 	FlushRows int
+
+	// SlowQueryThreshold is the duration at or above which a completed
+	// query is retained in the slow-query log (GET /v1/slow) with its full
+	// execution trace. While it is positive every query runs traced at the
+	// ops level (two clock reads per operator call). Default 1s; negative
+	// disables the slow log and the background tracing entirely.
+	SlowQueryThreshold time.Duration
+
+	// SlowLogSize bounds how many slow queries the ring buffer retains
+	// (oldest evicted first). Default 32.
+	SlowLogSize int
 }
 
 // withDefaults resolves zero fields; poolCapacity is the engine's worker
@@ -82,6 +93,12 @@ func (c Config) withDefaults(poolCapacity int) Config {
 	}
 	if c.FlushRows <= 0 {
 		c.FlushRows = 1024
+	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = time.Second
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 32
 	}
 	return c
 }

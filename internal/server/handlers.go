@@ -115,10 +115,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
+	admitStart := time.Now()
 	if !s.admit(ctx, w) {
 		s.queriesErr.Add(1)
 		return
 	}
+	s.admWait.Observe(time.Since(admitStart))
 	defer s.adm.release()
 
 	key, opts, err := s.parseSessionOpts(req.Opts)
@@ -140,7 +142,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rows, err := sess.Query(ctx, plan)
+	// Trace level: the client asking for the trace back gets the full
+	// morsel-level tree; otherwise an enabled slow-query log keeps every
+	// query traced at the cheap ops level so a slow one can be explained
+	// after the fact.
+	level := advm.TraceOff
+	switch {
+	case req.Trace:
+		level = advm.TraceMorsels
+	case s.cfg.SlowQueryThreshold > 0:
+		level = advm.TraceOps
+	}
+	planName := req.Query
+	if planName == "" {
+		planName = "adhoc"
+	}
+
+	queryStart := time.Now()
+	rows, err := sess.QueryTraced(ctx, plan, level)
 	if err != nil {
 		s.fail(ctx, w, err)
 		return
@@ -202,7 +221,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.queriesErr.Add(1)
 		return
 	}
-	st.trailer(streamTrailer{Truncated: truncated, Placements: rows.Placements()})
+	// Close before the trailer: the trace is finalized (spans ended,
+	// summary attributes attached) when the cursor closes, and the
+	// deferred second Close is a no-op.
+	rows.Close()
+	s.observe(planName, time.Since(queryStart), st.rows, rows.Trace())
+	trailer := streamTrailer{Truncated: truncated, Placements: rows.Placements()}
+	if req.Trace {
+		trailer.Trace = rows.Trace().Tree()
+	}
+	st.trailer(trailer)
 	s.queriesOK.Add(1)
 }
 

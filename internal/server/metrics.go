@@ -3,11 +3,16 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/advm"
+	"repro/internal/qtrace"
 )
 
 // statsResponse is the body of GET /v1/stats: the adaptive telemetry that
@@ -179,62 +184,216 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(s.snapshotStats())
 }
 
+// promSample is one sample line of a Prometheus series: an optional single
+// label pair and a value.
+type promSample struct {
+	labelKey   string
+	labelValue string
+	value      float64
+}
+
+// promWriter renders Prometheus text exposition format (version 0.0.4) with
+// the invariants a scraper's parser enforces: every series is announced by
+// one # HELP and one # TYPE line before its samples, metric and label names
+// match [a-zA-Z_:][a-zA-Z0-9_:]* (invalid characters are sanitized to '_'),
+// and label values escape backslash, double-quote and newline. Hand-rolled
+// so the repo needs no client library.
+type promWriter struct {
+	w io.Writer
+}
+
+// validMetricName reports whether s is a legal metric/label name.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sanitizeMetricName replaces every illegal character with '_' (prefixing
+// when the first character is an illegal digit), so dynamic name components
+// can never corrupt the exposition.
+func sanitizeMetricName(s string) string {
+	if validMetricName(s) {
+		return s
+	}
+	var b strings.Builder
+	if s == "" {
+		return "_"
+	}
+	if c := s[0]; c >= '0' && c <= '9' {
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9') {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote and line feed.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text: backslash and line feed (quotes are legal
+// there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// fmtValue renders a sample value the way Prometheus expects.
+func fmtValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// series writes one complete series: HELP, TYPE, then every sample.
+func (p *promWriter) series(name, typ, help string, samples ...promSample) {
+	name = sanitizeMetricName(name)
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+	for _, sm := range samples {
+		if sm.labelKey == "" {
+			fmt.Fprintf(p.w, "%s %s\n", name, fmtValue(sm.value))
+			continue
+		}
+		fmt.Fprintf(p.w, "%s{%s=%q} %s\n",
+			name, sanitizeMetricName(sm.labelKey), escapeLabelValue(sm.labelValue), fmtValue(sm.value))
+	}
+}
+
+func (p *promWriter) gauge(name, help string, v float64) {
+	p.series(name, "gauge", help, promSample{value: v})
+}
+func (p *promWriter) counter(name, help string, v float64) {
+	p.series(name, "counter", help, promSample{value: v})
+}
+
+// histogram writes one labeled histogram: cumulative buckets, sum and count
+// per label value, HELP/TYPE announced once. labelKey "" emits a single
+// unlabeled histogram under the name.
+func (p *promWriter) histogram(name, help, labelKey string, snaps map[string]qtrace.HistSnapshot) {
+	name = sanitizeMetricName(name)
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s histogram\n", name, escapeHelp(help), name)
+	labels := make([]string, 0, len(snaps))
+	for lv := range snaps {
+		labels = append(labels, lv)
+	}
+	sort.Strings(labels)
+	for _, lv := range labels {
+		snap := snaps[lv]
+		prefix := ""
+		if labelKey != "" {
+			prefix = fmt.Sprintf("%s=%q,", sanitizeMetricName(labelKey), escapeLabelValue(lv))
+		}
+		var cum int64
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			fmt.Fprintf(p.w, "%s_bucket{%sle=%q} %d\n", name, prefix, fmtValue(bound), cum)
+		}
+		cum += snap.Counts[len(snap.Counts)-1]
+		fmt.Fprintf(p.w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, prefix, cum)
+		if labelKey == "" {
+			fmt.Fprintf(p.w, "%s_sum %s\n%s_count %d\n", name, fmtValue(snap.Sum), name, snap.Count)
+		} else {
+			lp := fmt.Sprintf("{%s=%q}", sanitizeMetricName(labelKey), escapeLabelValue(lv))
+			fmt.Fprintf(p.w, "%s_sum%s %s\n%s_count%s %d\n", name, lp, fmtValue(snap.Sum), name, lp, snap.Count)
+		}
+	}
+}
+
 // handleMetrics serves the same telemetry in Prometheus text exposition
-// format (version 0.0.4), hand-rendered so the repo needs no client
-// library.
+// format (version 0.0.4).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.snapshotStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := &promWriter{w: w}
 
-	gauge := func(name, help string, v any) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v any) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
-	}
+	p.gauge("advm_pool_capacity", "Morsel worker pool capacity.", float64(st.Engine.PoolCapacity))
+	p.gauge("advm_pool_in_use", "Morsel workers currently granted to queries.", float64(st.Engine.PoolInUse))
+	p.gauge("advm_prepared_programs", "Programs in the prepared-statement cache.", float64(st.Engine.PreparedPrograms))
+	p.counter("advm_prepares_total", "Prepare calls.", float64(st.Engine.Prepares))
+	p.counter("advm_prepare_cache_hits_total", "Prepare calls answered from the cache.", float64(st.Engine.CacheHits))
+	p.counter("advm_prepare_cache_evictions_total", "LRU evictions from the prepared cache.", float64(st.Engine.CacheEvictions))
+	p.counter("advm_sessions_total", "Sessions handed out by the engine.", float64(st.Engine.Sessions))
+	p.counter("advm_parallel_queries_total", "Queries that executed with more than one worker.", float64(st.Engine.ParallelQueries))
 
-	gauge("advm_pool_capacity", "Morsel worker pool capacity.", st.Engine.PoolCapacity)
-	gauge("advm_pool_in_use", "Morsel workers currently granted to queries.", st.Engine.PoolInUse)
-	gauge("advm_prepared_programs", "Programs in the prepared-statement cache.", st.Engine.PreparedPrograms)
-	counter("advm_prepares_total", "Prepare calls.", st.Engine.Prepares)
-	counter("advm_prepare_cache_hits_total", "Prepare calls answered from the cache.", st.Engine.CacheHits)
-	counter("advm_prepare_cache_evictions_total", "LRU evictions from the prepared cache.", st.Engine.CacheEvictions)
-	counter("advm_sessions_total", "Sessions handed out by the engine.", st.Engine.Sessions)
-	counter("advm_parallel_queries_total", "Queries that executed with more than one worker.", st.Engine.ParallelQueries)
+	p.counter("advm_tier_ups_total", "Plan fingerprints crossing the warm or hot tier threshold.", float64(st.Engine.TierUps))
+	p.counter("advm_fused_compiles_total", "Hot plan segments compiled into specialized fused loops.", float64(st.Engine.FusedCompiles))
+	p.counter("advm_fused_cache_hits_total", "Fused-loop executions answered from the code cache.", float64(st.Engine.FusedCacheHits))
+	p.gauge("advm_fused_programs", "Specialized programs resident in the fused code cache.", float64(st.Engine.FusedPrograms))
+	p.counter("advm_fused_queries_total", "Queries that executed fused loops.", float64(st.Engine.FusedQueries))
+	p.counter("advm_fused_deopts_total", "Fused-loop guard failures that reverted to the interpreter.", float64(st.Engine.FusedDeopts))
 
-	counter("advm_tier_ups_total", "Plan fingerprints crossing the warm or hot tier threshold.", st.Engine.TierUps)
-	counter("advm_fused_compiles_total", "Hot plan segments compiled into specialized fused loops.", st.Engine.FusedCompiles)
-	counter("advm_fused_cache_hits_total", "Fused-loop executions answered from the code cache.", st.Engine.FusedCacheHits)
-	gauge("advm_fused_programs", "Specialized programs resident in the fused code cache.", st.Engine.FusedPrograms)
-	counter("advm_fused_queries_total", "Queries that executed fused loops.", st.Engine.FusedQueries)
-	counter("advm_fused_deopts_total", "Fused-loop guard failures that reverted to the interpreter.", st.Engine.FusedDeopts)
+	p.gauge("advm_server_inflight", "Queries currently executing.", float64(st.Admission.Running))
+	p.gauge("advm_server_queue_depth", "Requests currently queued for admission.", float64(st.Admission.Queued))
+	p.counter("advm_server_admitted_total", "Requests granted an execution slot.", float64(st.Admission.Admitted))
+	p.counter("advm_server_queued_total", "Requests that waited in the admission queue.", float64(st.Admission.Waited))
+	p.counter("advm_server_rejected_total", "Requests rejected with 429 (queue full or wait expired).", float64(st.Admission.Rejected))
+	p.counter("advm_server_queue_expired_total", "Requests whose deadline expired while queued.", float64(st.Admission.Expired))
 
-	gauge("advm_server_inflight", "Queries currently executing.", st.Admission.Running)
-	gauge("advm_server_queue_depth", "Requests currently queued for admission.", st.Admission.Queued)
-	counter("advm_server_admitted_total", "Requests granted an execution slot.", st.Admission.Admitted)
-	counter("advm_server_queued_total", "Requests that waited in the admission queue.", st.Admission.Waited)
-	counter("advm_server_rejected_total", "Requests rejected with 429 (queue full or wait expired).", st.Admission.Rejected)
-	counter("advm_server_queue_expired_total", "Requests whose deadline expired while queued.", st.Admission.Expired)
+	p.series("advm_server_queries_total", "counter", "Completed /v1/query requests.",
+		promSample{"status", "ok", float64(st.Server.QueriesOK)},
+		promSample{"status", "error", float64(st.Server.QueriesErr)})
+	p.series("advm_server_execs_total", "counter", "Completed /v1/exec requests.",
+		promSample{"status", "ok", float64(st.Server.ExecsOK)},
+		promSample{"status", "error", float64(st.Server.ExecsErr)})
+	p.counter("advm_server_rows_streamed_total", "Result rows streamed to clients.", float64(st.Server.RowsStreamed))
+	p.counter("advm_server_disconnects_total", "Streams abandoned by clients mid-query.", float64(st.Server.Disconnects))
+	p.counter("advm_server_slow_queries_total", "Queries at or above the slow-query threshold.", float64(s.slowQueries.Load()))
 
-	fmt.Fprintf(w, "# HELP advm_server_queries_total Completed /v1/query requests.\n# TYPE advm_server_queries_total counter\n")
-	fmt.Fprintf(w, "advm_server_queries_total{status=\"ok\"} %d\n", st.Server.QueriesOK)
-	fmt.Fprintf(w, "advm_server_queries_total{status=\"error\"} %d\n", st.Server.QueriesErr)
-	fmt.Fprintf(w, "# HELP advm_server_execs_total Completed /v1/exec requests.\n# TYPE advm_server_execs_total counter\n")
-	fmt.Fprintf(w, "advm_server_execs_total{status=\"ok\"} %d\n", st.Server.ExecsOK)
-	fmt.Fprintf(w, "advm_server_execs_total{status=\"error\"} %d\n", st.Server.ExecsErr)
-	counter("advm_server_rows_streamed_total", "Result rows streamed to clients.", st.Server.RowsStreamed)
-	counter("advm_server_disconnects_total", "Streams abandoned by clients mid-query.", st.Server.Disconnects)
-
-	fmt.Fprintf(w, "# HELP advm_morsel_placements_total Morsels dispatched per device.\n# TYPE advm_morsel_placements_total counter\n")
 	devices := make([]string, 0, len(st.Placements))
 	for dev := range st.Placements {
 		devices = append(devices, dev)
 	}
 	sort.Strings(devices)
+	placements := make([]promSample, 0, len(devices))
 	for _, dev := range devices {
-		fmt.Fprintf(w, "advm_morsel_placements_total{device=%q} %d\n", dev, st.Placements[dev])
+		placements = append(placements, promSample{"device", dev, float64(st.Placements[dev])})
 	}
-	counter("advm_morsel_transfer_seconds", "Modeled PCIe transfer time of GPU-placed morsels.", st.TransferMS/1000)
-	counter("advm_segments_scanned_total", "Colstore segments decoded by stored-table scans.", st.SegmentsScanned)
-	counter("advm_segments_skipped_total", "Colstore segments pruned by zone maps before decoding.", st.SegmentsSkipped)
+	p.series("advm_morsel_placements_total", "counter", "Morsels dispatched per device.", placements...)
+	p.counter("advm_morsel_transfer_seconds", "Modeled PCIe transfer time of GPU-placed morsels.", st.TransferMS/1000)
+	p.counter("advm_segments_scanned_total", "Colstore segments decoded by stored-table scans.", float64(st.SegmentsScanned))
+	p.counter("advm_segments_skipped_total", "Colstore segments pruned by zone maps before decoding.", float64(st.SegmentsSkipped))
+
+	durHs, opHs, admWait := s.histSnapshots()
+	p.histogram("advm_query_duration_seconds", "Server-side wall time of completed /v1/query requests, per plan name.", "query", durHs)
+	p.histogram("advm_operator_self_seconds", "Per-operator self time (busy minus child busy) of traced queries.", "op", opHs)
+	p.histogram("advm_admission_wait_seconds", "Time admitted requests spent waiting for an execution slot.", "",
+		map[string]qtrace.HistSnapshot{"": admWait})
 }

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"repro/advm"
+	"repro/internal/qtrace"
 )
 
 // stream writes a query result as NDJSON: one meta record, then one JSON
@@ -39,8 +40,11 @@ type streamTrailer struct {
 	Rows       int64            `json:"rows"`
 	Truncated  bool             `json:"truncated,omitempty"`
 	Placements map[string]int64 `json:"placements,omitempty"`
-	Error      string           `json:"error,omitempty"`
-	Status     int              `json:"status,omitempty"`
+	// Trace is the query's span tree, present when the request asked for
+	// it with "trace": true.
+	Trace  *qtrace.SpanJSON `json:"trace,omitempty"`
+	Error  string           `json:"error,omitempty"`
+	Status int              `json:"status,omitempty"`
 }
 
 // header commits the response: content type, status 200, the meta record,

@@ -1,0 +1,159 @@
+// Query observability: latency histograms, a bounded slow-query log with
+// full execution traces, and the per-request trace plumbing that feeds
+// both. The server traces queries at the ops level whenever the slow-query
+// log is enabled (the default), paying two clock reads per operator call,
+// and at the morsels level when the client asks for the trace back.
+
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/qtrace"
+)
+
+// slowEntry is one retained slow query.
+type slowEntry struct {
+	// Query names the plan: a named TPC-H query ("q3") or "adhoc".
+	Query string `json:"query"`
+	// DurationMS is the query's server-side wall time.
+	DurationMS float64 `json:"duration_ms"`
+	// Rows is how many result rows the query streamed.
+	Rows int64 `json:"rows"`
+	// UnixMS is when the query finished.
+	UnixMS int64 `json:"unix_ms"`
+	// Trace is the query's span tree (ops level at minimum).
+	Trace *qtrace.SpanJSON `json:"trace,omitempty"`
+}
+
+// slowLog is a fixed-size ring of the most recent slow queries.
+type slowLog struct {
+	mu      sync.Mutex
+	entries []slowEntry
+	next    int
+	total   int64
+}
+
+func newSlowLog(size int) *slowLog {
+	return &slowLog{entries: make([]slowEntry, 0, size)}
+}
+
+func (l *slowLog) add(e slowEntry) {
+	if l == nil || cap(l.entries) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.entries) < cap(l.entries) {
+		l.entries = append(l.entries, e)
+		return
+	}
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % cap(l.entries)
+}
+
+// snapshot returns the retained entries, most recent first, plus the
+// lifetime count of slow queries (including evicted ones).
+func (l *slowLog) snapshot() ([]slowEntry, int64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]slowEntry, 0, len(l.entries))
+	// Entries wrap at next: oldest is entries[next] once the ring is full.
+	for i := len(l.entries) - 1; i >= 0; i-- {
+		out = append(out, l.entries[(l.next+i)%len(l.entries)])
+	}
+	return out, l.total
+}
+
+// observe records one completed query into the latency histograms, the
+// per-operator self-time histograms, and — when it crossed the threshold —
+// the slow-query log.
+func (s *Server) observe(name string, dur time.Duration, rows int64, tr *qtrace.Trace) {
+	s.histMu.Lock()
+	h := s.durHists[name]
+	if h == nil {
+		h = qtrace.NewHistogram()
+		s.durHists[name] = h
+	}
+	var opHs map[string]*qtrace.Histogram
+	if tr != nil {
+		opHs = make(map[string]*qtrace.Histogram)
+		for op := range tr.OpSelfTimes() {
+			oh := s.opHists[op]
+			if oh == nil {
+				oh = qtrace.NewHistogram()
+				s.opHists[op] = oh
+			}
+			opHs[op] = oh
+		}
+	}
+	s.histMu.Unlock()
+
+	h.Observe(dur)
+	if tr != nil {
+		for op, selfNs := range tr.OpSelfTimes() {
+			opHs[op].Observe(time.Duration(selfNs))
+		}
+	}
+	if s.cfg.SlowQueryThreshold > 0 && dur >= s.cfg.SlowQueryThreshold {
+		s.slowQueries.Add(1)
+		s.slow.add(slowEntry{
+			Query:      name,
+			DurationMS: float64(dur) / float64(time.Millisecond),
+			Rows:       rows,
+			UnixMS:     time.Now().UnixMilli(),
+			Trace:      tr.Tree(),
+		})
+	}
+}
+
+// histSnapshots copies the histogram maps for rendering.
+func (s *Server) histSnapshots() (dur, op map[string]qtrace.HistSnapshot, adm qtrace.HistSnapshot) {
+	s.histMu.Lock()
+	durHs := make(map[string]*qtrace.Histogram, len(s.durHists))
+	for k, v := range s.durHists {
+		durHs[k] = v
+	}
+	opHs := make(map[string]*qtrace.Histogram, len(s.opHists))
+	for k, v := range s.opHists {
+		opHs[k] = v
+	}
+	s.histMu.Unlock()
+	dur = make(map[string]qtrace.HistSnapshot, len(durHs))
+	for k, v := range durHs {
+		dur[k] = v.Snapshot()
+	}
+	op = make(map[string]qtrace.HistSnapshot, len(opHs))
+	for k, v := range opHs {
+		op[k] = v.Snapshot()
+	}
+	return dur, op, s.admWait.Snapshot()
+}
+
+// slowResponse is the body of GET /v1/slow.
+type slowResponse struct {
+	ThresholdMS float64     `json:"threshold_ms"`
+	Total       int64       `json:"total"`
+	Entries     []slowEntry `json:"entries"`
+}
+
+// handleSlow serves GET /v1/slow: the retained slow queries, most recent
+// first, each with its full execution trace.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	entries, total := s.slow.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(slowResponse{
+		ThresholdMS: float64(s.cfg.SlowQueryThreshold) / float64(time.Millisecond),
+		Total:       total,
+		Entries:     entries,
+	})
+}

@@ -33,6 +33,10 @@ type queryRequest struct {
 	// Limit stops the stream after this many rows (0 = all). The server
 	// abandons the cursor at the limit, cancelling the rest of the query.
 	Limit int64 `json:"limit,omitempty"`
+	// Trace asks for the query's execution trace — the full span tree with
+	// per-morsel worker/steal/device attribution — as a "trace" field on
+	// the trailing NDJSON record.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // stageSpec is one pipeline stage of an ad-hoc query. Lambdas are DSL

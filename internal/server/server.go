@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/advm"
+	"repro/internal/qtrace"
 )
 
 // Server serves one advm.Engine over HTTP. Create it with New, register
@@ -58,6 +59,14 @@ type Server struct {
 	execsErr     atomic.Int64
 	rowsStreamed atomic.Int64
 	disconnects  atomic.Int64
+	slowQueries  atomic.Int64
+
+	// Observability state (see observe.go).
+	slow     *slowLog
+	histMu   sync.Mutex
+	durHists map[string]*qtrace.Histogram // query duration per plan name
+	opHists  map[string]*qtrace.Histogram // operator self time per op name
+	admWait  *qtrace.Histogram            // admission wait of admitted requests
 }
 
 // sessKey identifies one per-tenant session-option combination; concurrent
@@ -107,11 +116,16 @@ func New(eng *advm.Engine, cfg Config) *Server {
 		tables:   make(map[string]advm.TableSource),
 		sessions: make(map[sessKey]*sessEntry),
 		prepared: make(map[string]*prepEntry),
+		slow:     newSlowLog(cfg.SlowLogSize),
+		durHists: make(map[string]*qtrace.Histogram),
+		opHists:  make(map[string]*qtrace.Histogram),
+		admWait:  qtrace.NewHistogram(),
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
 	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/slow", s.handleSlow)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
